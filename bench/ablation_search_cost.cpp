@@ -1,0 +1,60 @@
+// Ablation for §IV-D: the cost of the decoupled, seeded search against an
+// exhaustive sweep of the same parameter space.
+//
+// Paper argument: "if a parameter P1 had 16 possibilities and P2 has 32,
+// and we identify P1 and P2 as independent, then we must test only
+// 16+32=48 possibilities instead of 16x32=512", and "a typical
+// self-tuning run for a particular system and GPU takes less than one
+// minute".
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+
+using namespace tda;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::size_t m = static_cast<std::size_t>(cli.get_int("m", 16));
+  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 8192));
+
+  std::cout << "Ablation §IV-D — decoupled+seeded search vs exhaustive "
+               "sweep\nworkload: "
+            << m << " x " << n << ", fp32\n\n";
+
+  TextTable table;
+  table.set_header({"device", "dyn evals", "exh evals", "eval ratio",
+                    "dyn best ms", "exh best ms", "quality gap",
+                    "dyn wall s", "exh wall s"});
+
+  for (const auto& spec : gpusim::device_registry()) {
+    gpusim::Device dev(spec);
+    WallTimer t1;
+    tuning::DynamicTuner<float> tuner(dev);
+    auto dyn = tuner.tune({m, n});
+    const double dyn_wall = t1.seconds();
+
+    WallTimer t2;
+    auto exh = tuning::exhaustive_tune<float>(dev, {m, n});
+    const double exh_wall = t2.seconds();
+
+    table.add_row(
+        {bench::short_name(spec.name), std::to_string(dyn.evaluations),
+         std::to_string(exh.evaluations),
+         TextTable::num(static_cast<double>(exh.evaluations) /
+                            static_cast<double>(dyn.evaluations),
+                        1) +
+             "x",
+         TextTable::num(dyn.best_ms, 4), TextTable::num(exh.best_ms, 4),
+         TextTable::num(100.0 * (dyn.best_ms / exh.best_ms - 1.0), 2) + " %",
+         TextTable::num(dyn_wall, 2), TextTable::num(exh_wall, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(decoupling makes the search additive in the parameter "
+               "ladders; the hill\n descents land within a few percent of "
+               "the exhaustive optimum)\n";
+  return 0;
+}

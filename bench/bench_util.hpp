@@ -1,0 +1,62 @@
+#pragma once
+// Shared helpers for the figure/table reproduction harnesses.
+
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/launch.hpp"
+#include "kernels/device_batch.hpp"
+#include "solver/gpu_solver.hpp"
+#include "tuning/dynamic_tuner.hpp"
+#include "tuning/tuners.hpp"
+
+namespace tda::bench {
+
+/// Short device labels used in the paper's figures.
+inline std::string short_name(const std::string& full) {
+  if (full.find("8800") != std::string::npos) return "Geforce 8800";
+  if (full.find("280") != std::string::npos) return "Geforce 280";
+  if (full.find("470") != std::string::npos) return "Geforce 470";
+  return full;
+}
+
+/// Simulated solve time for a workload under given switch points
+/// (cost-only run on a reusable scratch batch).
+template <typename T>
+double timed_ms(gpusim::Device& dev, kernels::DeviceBatch<T>& scratch,
+                const solver::SwitchPoints& sp) {
+  solver::GpuTridiagonalSolver<T> s(dev, sp);
+  return s.run(scratch, kernels::ExecMode::CostOnly).total_ms;
+}
+
+/// Best Thomas switch / variant for a fixed stage-3 size (the "tune for
+/// the ideal stage-3 to stage-4 switch point for each setting" step the
+/// paper prescribes before comparing stage-3 sizes).
+template <typename T>
+std::pair<solver::SwitchPoints, double> best_inner(
+    gpusim::Device& dev, kernels::DeviceBatch<T>& scratch,
+    solver::SwitchPoints base, std::size_t stage3_size) {
+  base.stage3_system_size = stage3_size;
+  solver::SwitchPoints best = base;
+  double best_ms = std::numeric_limits<double>::infinity();
+  for (auto variant :
+       {kernels::LoadVariant::Strided, kernels::LoadVariant::Coalesced}) {
+    for (std::size_t th = 16; th <= stage3_size; th *= 2) {
+      solver::SwitchPoints sp = base;
+      sp.variant = variant;
+      sp.thomas_switch = th;
+      const double ms = timed_ms(dev, scratch, sp);
+      if (ms < best_ms) {
+        best_ms = ms;
+        best = sp;
+      }
+    }
+  }
+  return {best, best_ms};
+}
+
+}  // namespace tda::bench

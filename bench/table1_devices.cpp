@@ -1,0 +1,82 @@
+// Reproduces paper Table I (the GPU devices and their capabilities) and
+// Table II (the queryable device properties the machine-query tuner may
+// use), plus the derived per-device solver limits.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "kernels/config.hpp"
+#include "tuning/tuners.hpp"
+
+using namespace tda;
+
+int main() {
+  std::cout << "Table I — GPU devices used in tests and benchmarks\n\n";
+  {
+    TextTable t;
+    t.set_header({"Name", "Global Memory Bandwidth", "Shared Memory Size",
+                  "Number of Processors", "Thread Processors per Processor"});
+    for (const auto& d : gpusim::device_registry()) {
+      t.add_row({d.name, TextTable::num(d.global_bw_gb_s, 1) + " GB/s",
+                 std::to_string(d.shared_mem_per_sm / 1024) + " KB",
+                 std::to_string(d.sm_count),
+                 std::to_string(d.thread_procs_per_sm)});
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nTable II — queryable device properties (all the static "
+               "tuner sees)\n\n";
+  {
+    TextTable t;
+    t.set_header({"Query Parameter", "8800 GTX", "GTX 280", "GTX 470"});
+    auto devs = gpusim::device_registry();
+    auto q0 = devs[0].query();
+    auto q1 = devs[1].query();
+    auto q2 = devs[2].query();
+    auto row = [&](const char* name, auto f) {
+      t.add_row({name, f(q0), f(q1), f(q2)});
+    };
+    using Q = gpusim::DeviceQuery;
+    row("Global Mem (MB)", [](const Q& q) {
+      return std::to_string(q.global_mem_bytes / (1024 * 1024));
+    });
+    row("Processors",
+        [](const Q& q) { return std::to_string(q.sm_count); });
+    row("Constant Memory (KB)", [](const Q& q) {
+      return std::to_string(q.constant_mem_bytes / 1024);
+    });
+    row("Shared Memory (KB)", [](const Q& q) {
+      return std::to_string(q.shared_mem_per_sm / 1024);
+    });
+    row("Register Memory (regs/SM)",
+        [](const Q& q) { return std::to_string(q.registers_per_sm); });
+    row("Max Threads per Block",
+        [](const Q& q) { return std::to_string(q.max_threads_per_block); });
+    row("Warp Size",
+        [](const Q& q) { return std::to_string(q.warp_size); });
+    t.print(std::cout);
+  }
+
+  std::cout << "\nDerived solver limits and machine-query switch points\n\n";
+  {
+    TextTable t;
+    t.set_header({"device", "max on-chip n (fp32)", "max on-chip n (fp64)",
+                  "static stage3", "static thomas", "static stage1_target"});
+    for (const auto& d : gpusim::device_registry()) {
+      const auto q = d.query();
+      const auto sp = tuning::static_switch_points<float>(q);
+      t.add_row({bench::short_name(d.name),
+                 std::to_string(kernels::max_shared_system_size(q, 4)),
+                 std::to_string(kernels::max_shared_system_size(q, 8)),
+                 std::to_string(sp.stage3_system_size),
+                 std::to_string(sp.thomas_switch),
+                 std::to_string(sp.stage1_target_systems)});
+    }
+    t.print(std::cout);
+    std::cout << "\n(paper §V: largest on-chip systems are 256 / 512 / 1024 "
+                 "for the 8800 / 280 / 470, fp32)\n";
+  }
+  return 0;
+}

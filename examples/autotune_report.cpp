@@ -1,0 +1,90 @@
+// Auto-tuning walkthrough: tunes a set of workloads on every registry
+// device, prints the selected switch points, demonstrates the decoupled
+// search's cost, and shows the persistent tuning cache in action — the
+// workflow a downstream application would run once at install time.
+//
+//   ./autotune_report [--cache=/tmp/tda_tuning_cache.txt]
+
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "gpusim/launch.hpp"
+#include "gpusim/probes.hpp"
+#include "solver/gpu_solver.hpp"
+#include "tuning/cache.hpp"
+#include "tuning/dynamic_tuner.hpp"
+#include "tuning/tuners.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tda;
+  Cli cli(argc, argv);
+  const std::string cache_path =
+      cli.get("cache", "/tmp/tda_tuning_cache.txt");
+
+  const solver::Workload workloads[] = {
+      {512, 512}, {64, 8192}, {1, 1 << 20}};
+
+  tuning::TuningCache cache;
+  const std::size_t preloaded = cache.load(cache_path);
+  std::cout << "tuning cache: " << cache_path << " (" << preloaded
+            << " records preloaded)\n\n";
+
+  // Micro-benchmark probes: estimate the performance characteristics
+  // that cannot be queried (paper §IV-C/D) by timing synthetic kernels.
+  {
+    TextTable probes("micro-benchmark probe estimates (unqueryable!)");
+    probes.set_header({"device", "peak GB/s", "starved GB/s",
+                       "inflation saturates at stride", "launch us",
+                       "dep penalty"});
+    for (const auto& spec : gpusim::device_registry()) {
+      gpusim::Device dev(spec);
+      auto rep = gpusim::run_probes(dev);
+      probes.add_row({spec.name, TextTable::num(rep.peak_bandwidth_gb_s, 1),
+                      TextTable::num(rep.starved_bandwidth_gb_s, 1),
+                      std::to_string(rep.inflation_saturation_stride),
+                      TextTable::num(rep.launch_overhead_us, 1),
+                      TextTable::num(rep.dependency_penalty, 1)});
+    }
+    probes.print(std::cout);
+    std::cout << "\n";
+  }
+
+  TextTable table("tuned switch points (fp32)");
+  table.set_header({"device", "workload", "stage1", "stage3", "thomas",
+                    "variant", "evals", "tuned ms", "vs static", "cached"});
+
+  for (const auto& spec : gpusim::device_registry()) {
+    gpusim::Device dev(spec);
+    for (const auto& w : workloads) {
+      WallTimer timer;
+      tuning::DynamicTuner<float> tuner(dev, &cache);
+      auto r = tuner.tune(w);
+
+      solver::GpuTridiagonalSolver<float> stat_solver(
+          dev, tuning::static_switch_points<float>(dev.query()));
+      const double t_static = stat_solver.simulate_ms(w);
+
+      table.add_row(
+          {spec.name,
+           std::to_string(w.num_systems) + "x" +
+               std::to_string(w.system_size),
+           std::to_string(r.points.stage1_target_systems),
+           std::to_string(r.points.stage3_system_size),
+           std::to_string(r.points.thomas_switch),
+           kernels::to_string(r.points.variant),
+           std::to_string(r.evaluations), TextTable::num(r.best_ms, 3),
+           TextTable::num(t_static / r.best_ms, 2) + "x",
+           r.from_cache ? "hit" : "miss"});
+      (void)timer;
+    }
+  }
+  table.print(std::cout);
+
+  if (cache.save(cache_path)) {
+    std::cout << "\nsaved " << cache.size() << " records to " << cache_path
+              << " — rerun this program to see cache hits.\n";
+  }
+  return 0;
+}

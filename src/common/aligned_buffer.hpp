@@ -1,0 +1,109 @@
+#pragma once
+// Cache-line aligned, value-initialized numeric buffer.
+//
+// The solver moves large coefficient arrays; 64-byte alignment keeps the
+// CPU reference paths vectorizable and mirrors the alignment guarantees of
+// cudaMalloc that the simulated kernels assume.
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace tda {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Owning, 64-byte-aligned array of trivially copyable T.
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedBuffer is for plain numeric data");
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count) { resize(count); }
+
+  AlignedBuffer(const AlignedBuffer& other) : AlignedBuffer(other.size_) {
+    std::copy(other.begin(), other.end(), begin());
+  }
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) {
+      resize(other.size_);
+      std::copy(other.begin(), other.end(), begin());
+    }
+    return *this;
+  }
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  ~AlignedBuffer() { release(); }
+
+  /// Reallocates to `count` elements, zero-initialized. Contents are NOT
+  /// preserved (the solver always refills buffers after resizing).
+  void resize(std::size_t count) {
+    release();
+    if (count == 0) return;
+    void* p = std::aligned_alloc(
+        kCacheLineBytes,
+        round_up(count * sizeof(T), kCacheLineBytes));
+    if (p == nullptr) throw std::bad_alloc{};
+    data_ = static_cast<T*>(p);
+    size_ = count;
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = T{};
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+
+  [[nodiscard]] T& operator[](std::size_t i) {
+    TDA_ASSERT(i < size_);
+    return data_[i];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    TDA_ASSERT(i < size_);
+    return data_[i];
+  }
+
+  [[nodiscard]] T* begin() noexcept { return data_; }
+  [[nodiscard]] T* end() noexcept { return data_ + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+
+  [[nodiscard]] std::span<T> span() noexcept { return {data_, size_}; }
+  [[nodiscard]] std::span<const T> span() const noexcept {
+    return {data_, size_};
+  }
+
+ private:
+  static std::size_t round_up(std::size_t v, std::size_t m) {
+    return (v + m - 1) / m * m;
+  }
+  void release() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tda

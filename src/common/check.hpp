@@ -1,0 +1,59 @@
+#pragma once
+// Lightweight contract checking for the whole library.
+//
+// TDA_REQUIRE  — precondition check, always on, throws tda::ContractError.
+// TDA_ENSURE   — postcondition/invariant check, always on.
+// TDA_ASSERT   — debug-only internal sanity check (compiled out in NDEBUG).
+//
+// We throw instead of aborting so tests can assert on violations and so a
+// long tuning run can report which configuration was illegal.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tda {
+
+/// Error thrown when a TDA_REQUIRE/TDA_ENSURE contract is violated.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractError(os.str());
+}
+}  // namespace detail
+
+}  // namespace tda
+
+#define TDA_REQUIRE(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::tda::detail::contract_fail("precondition", #expr, __FILE__,         \
+                                   __LINE__, (msg));                        \
+  } while (0)
+
+#define TDA_ENSURE(expr, msg)                                               \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::tda::detail::contract_fail("invariant", #expr, __FILE__, __LINE__,  \
+                                   (msg));                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define TDA_ASSERT(expr) ((void)0)
+#else
+#define TDA_ASSERT(expr)                                                    \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::tda::detail::contract_fail("assertion", #expr, __FILE__, __LINE__,  \
+                                   std::string{});                          \
+  } while (0)
+#endif

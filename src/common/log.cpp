@@ -1,0 +1,53 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace tda {
+
+namespace {
+std::atomic<int> g_level{-1};
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("TDA_LOG");
+  if (env == nullptr) return LogLevel::Warn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::Error;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
+  return LogLevel::Warn;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Debug: return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(level_from_env());
+    g_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg) {
+  std::cerr << "[tda:" << level_name(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace tda

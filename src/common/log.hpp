@@ -1,0 +1,37 @@
+#pragma once
+// Tiny leveled logger. The dynamic tuner logs its search trajectory at
+// Debug level; benches run with Info. Controlled by TDA_LOG env var
+// (error|warn|info|debug) or programmatically.
+
+#include <sstream>
+#include <string>
+
+namespace tda {
+
+enum class LogLevel { Error = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/// Returns the process-wide log level (initialized from $TDA_LOG once).
+LogLevel log_level();
+
+/// Overrides the process-wide log level.
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace tda
+
+#define TDA_LOG(level, streamexpr)                                    \
+  do {                                                                \
+    if (static_cast<int>(level) <=                                    \
+        static_cast<int>(::tda::log_level())) {                       \
+      std::ostringstream tda_log_os;                                  \
+      tda_log_os << streamexpr;                                       \
+      ::tda::detail::log_emit(level, tda_log_os.str());               \
+    }                                                                 \
+  } while (0)
+
+#define TDA_INFO(streamexpr) TDA_LOG(::tda::LogLevel::Info, streamexpr)
+#define TDA_WARN(streamexpr) TDA_LOG(::tda::LogLevel::Warn, streamexpr)
+#define TDA_DEBUG(streamexpr) TDA_LOG(::tda::LogLevel::Debug, streamexpr)

@@ -1,0 +1,37 @@
+#pragma once
+// Small numeric statistics used by verification and benchmark reporting.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tda {
+
+/// Summary statistics over a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+};
+
+/// Computes count/min/max/mean/stddev. Empty input yields a zero Summary.
+Summary summarize(std::span<const double> xs);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> xs);
+
+/// Geometric mean; requires all-positive input, 0 for empty input.
+double geomean(std::span<const double> xs);
+
+/// Median (averages the two central elements for even sizes).
+double median(std::vector<double> xs);
+
+/// max_i |a[i] - b[i]| ; spans must be equal length.
+double max_abs_diff(std::span<const double> a, std::span<const double> b);
+
+/// max_i |a[i] - b[i]| / max(1, max_i |b[i]|) — scale-invariant error.
+double rel_error(std::span<const double> a, std::span<const double> b);
+
+}  // namespace tda

@@ -1,0 +1,44 @@
+#pragma once
+// Plain-text table and CSV rendering for benchmark harnesses.
+//
+// Every figure/table reproduction prints (a) a human-readable aligned table
+// and (b) optionally a CSV block that downstream plotting can consume.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tda {
+
+/// Column-aligned text table with an optional title and CSV emission.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row; resets nothing else.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a pre-formatted row (cells as strings).
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string num(double v, int precision = 3);
+  /// Convenience: integer cell.
+  static std::string num(long long v);
+
+  /// Renders the aligned table.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (header + rows, comma separated, no quoting of commas —
+  /// callers must not put commas in cells).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tda

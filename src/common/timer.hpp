@@ -1,0 +1,27 @@
+#pragma once
+// Wall-clock timer used by CPU-side measured benchmarks (GPU timings come
+// from the simulator's cost model instead).
+
+#include <chrono>
+
+namespace tda {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction/reset.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  /// Elapsed milliseconds since construction/reset.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace tda

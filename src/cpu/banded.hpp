@@ -1,0 +1,158 @@
+#pragma once
+// General banded LU solver with partial pivoting (LAPACK ?gbsv-style) and
+// a pentadiagonal convenience wrapper — the paper's §VII names "optimized
+// banded solvers" as the next challenge beyond tridiagonal; this provides
+// the reference CPU implementation the library builds on.
+//
+// Storage follows LAPACK band convention: a matrix with kl subdiagonals
+// and ku superdiagonals is stored column-major in an (2kl+ku+1) x n
+// array; entry (i, j) lives at row kl+ku+i-j of column j. The extra kl
+// rows hold the fill-in produced by row pivoting.
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tda::cpu {
+
+/// Column-major banded matrix with pivoting headroom.
+template <typename T>
+class BandedMatrix {
+ public:
+  BandedMatrix(std::size_t n, std::size_t kl, std::size_t ku)
+      : n_(n), kl_(kl), ku_(ku), ldab_(2 * kl + ku + 1),
+        ab_(ldab_ * n, T{}) {
+    TDA_REQUIRE(n >= 1, "banded matrix needs at least one row");
+    TDA_REQUIRE(kl < n && ku < n, "bandwidths must be below n");
+  }
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] std::size_t lower_bandwidth() const { return kl_; }
+  [[nodiscard]] std::size_t upper_bandwidth() const { return ku_; }
+
+  /// True when (i, j) falls inside the logical band.
+  [[nodiscard]] bool in_band(std::size_t i, std::size_t j) const {
+    const auto di = static_cast<std::ptrdiff_t>(i);
+    const auto dj = static_cast<std::ptrdiff_t>(j);
+    return di - dj <= static_cast<std::ptrdiff_t>(kl_) &&
+           dj - di <= static_cast<std::ptrdiff_t>(ku_);
+  }
+
+  /// Mutable access to in-band entries (pivot fill rows included: the
+  /// working band reaches ku_ + kl_ above the diagonal internally).
+  [[nodiscard]] T& at(std::size_t i, std::size_t j) {
+    TDA_ASSERT(i < n_ && j < n_);
+    const auto row = static_cast<std::ptrdiff_t>(kl_ + ku_) +
+                     static_cast<std::ptrdiff_t>(i) -
+                     static_cast<std::ptrdiff_t>(j);
+    TDA_ASSERT(row >= static_cast<std::ptrdiff_t>(0) &&
+               row < static_cast<std::ptrdiff_t>(ldab_));
+    return ab_[static_cast<std::size_t>(row) + j * ldab_];
+  }
+  [[nodiscard]] const T& at(std::size_t i, std::size_t j) const {
+    return const_cast<BandedMatrix*>(this)->at(i, j);
+  }
+
+  /// Whether (i, j) lies inside the WORKING band (logical band plus the
+  /// kl rows of pivot fill above).
+  [[nodiscard]] bool in_working_band(std::size_t i, std::size_t j) const {
+    const auto di = static_cast<std::ptrdiff_t>(i);
+    const auto dj = static_cast<std::ptrdiff_t>(j);
+    return di - dj <= static_cast<std::ptrdiff_t>(kl_) &&
+           dj - di <= static_cast<std::ptrdiff_t>(ku_ + kl_);
+  }
+
+ private:
+  std::size_t n_, kl_, ku_, ldab_;
+  std::vector<T> ab_;
+};
+
+/// Solves A x = d for a banded A using LU with row partial pivoting.
+/// A is consumed destructively. x may alias d. Returns false on a
+/// numerically singular matrix.
+template <typename T>
+bool gbsv_solve(BandedMatrix<T>& A, std::span<const T> d, std::span<T> x) {
+  const std::size_t n = A.size();
+  const std::size_t kl = A.lower_bandwidth();
+  const std::size_t ku = A.upper_bandwidth();
+  TDA_REQUIRE(d.size() == n && x.size() == n, "gbsv: size mismatch");
+
+  std::vector<T> rhs(d.begin(), d.end());
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting within the kl rows below the diagonal.
+    std::size_t piv = k;
+    double best = std::abs(static_cast<double>(A.at(k, k)));
+    const std::size_t last_row = std::min(n - 1, k + kl);
+    for (std::size_t r = k + 1; r <= last_row; ++r) {
+      const double v = std::abs(static_cast<double>(A.at(r, k)));
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best == 0.0) return false;
+    const std::size_t last_col = std::min(n - 1, k + ku + kl);
+    if (piv != k) {
+      // Both rows' entries over [k, k+ku+kl] lie inside their working
+      // bands (piv <= k+kl, so j-piv <= ku+kl and j >= piv-kl hold).
+      for (std::size_t j = k; j <= last_col; ++j) {
+        std::swap(A.at(k, j), A.at(piv, j));
+      }
+      std::swap(rhs[k], rhs[piv]);
+    }
+
+    const T pivval = A.at(k, k);
+    for (std::size_t r = k + 1; r <= last_row; ++r) {
+      const T f = A.at(r, k) / pivval;
+      if (f == T{0}) continue;
+      A.at(r, k) = T{0};
+      for (std::size_t j = k + 1; j <= last_col; ++j) {
+        A.at(r, j) -= f * A.at(k, j);
+      }
+      rhs[r] -= f * rhs[k];
+    }
+  }
+
+  // Back substitution over the (widened) upper band.
+  for (std::size_t i = n; i-- > 0;) {
+    T acc = rhs[i];
+    const std::size_t last_col = std::min(n - 1, i + ku + kl);
+    for (std::size_t j = i + 1; j <= last_col; ++j) {
+      acc -= A.at(i, j) * x[j];
+    }
+    const T pivval = A.at(i, i);
+    if (pivval == T{0}) return false;
+    x[i] = acc / pivval;
+  }
+  return true;
+}
+
+/// Pentadiagonal convenience: diagonals a2 (i,i-2), a1 (i,i-1), b (i,i),
+/// c1 (i,i+1), c2 (i,i+2); all spans length n with out-of-range leading/
+/// trailing entries ignored. Solves into x.
+template <typename T>
+bool penta_solve(std::span<const T> a2, std::span<const T> a1,
+                 std::span<const T> b, std::span<const T> c1,
+                 std::span<const T> c2, std::span<const T> d,
+                 std::span<T> x) {
+  const std::size_t n = b.size();
+  TDA_REQUIRE(a2.size() == n && a1.size() == n && c1.size() == n &&
+                  c2.size() == n && d.size() == n && x.size() == n,
+              "penta: size mismatch");
+  TDA_REQUIRE(n >= 3, "penta solver needs n >= 3");
+  BandedMatrix<T> A(n, 2, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i >= 2) A.at(i, i - 2) = a2[i];
+    if (i >= 1) A.at(i, i - 1) = a1[i];
+    A.at(i, i) = b[i];
+    if (i + 1 < n) A.at(i, i + 1) = c1[i];
+    if (i + 2 < n) A.at(i, i + 2) = c2[i];
+  }
+  return gbsv_solve(A, d, x);
+}
+
+}  // namespace tda::cpu

@@ -1,0 +1,257 @@
+#pragma once
+// Block-tridiagonal solver — the other half of the paper's §VII "next
+// challenge ... high-performance blocked tridiagonal solvers".
+//
+// Systems of the form
+//
+//   B_0 X_0 + C_0 X_1                      = D_0
+//   A_i X_{i-1} + B_i X_i + C_i X_{i+1}    = D_i      0 < i < n-1
+//   A_{n-1} X_{n-2} + B_{n-1} X_{n-1}      = D_{n-1}
+//
+// where A/B/C are dense k×k blocks and D/X are k-vectors, arise from
+// coupled PDE systems and vector-valued ADI sweeps. The solver is block
+// Thomas (block LU without block pivoting, with partial pivoting INSIDE
+// each diagonal block factorization — the standard compromise):
+//
+//   forward:  B'_i = B_i - A_i (B'_{i-1})^{-1} C_{i-1}
+//             D'_i = D_i - A_i (B'_{i-1})^{-1} D'_{i-1}
+//   backward: X_i  = (B'_i)^{-1} (D'_i - C_i X_{i+1})
+//
+// applied through small dense LU kernels (SmallLU).
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tda::cpu {
+
+/// In-place dense LU factorization with partial pivoting for small k×k
+/// blocks (row-major), plus solve/apply helpers.
+template <typename T>
+class SmallLU {
+ public:
+  /// Factors `a` (k×k row-major, destroyed). Returns false if singular.
+  bool factor(std::span<T> a, std::size_t k) {
+    TDA_REQUIRE(a.size() == k * k, "SmallLU: bad span size");
+    k_ = k;
+    lu_.assign(a.begin(), a.end());
+    piv_.resize(k);
+    for (std::size_t col = 0; col < k; ++col) {
+      std::size_t p = col;
+      double best = std::abs(static_cast<double>(lu_[col * k + col]));
+      for (std::size_t r = col + 1; r < k; ++r) {
+        const double v = std::abs(static_cast<double>(lu_[r * k + col]));
+        if (v > best) {
+          best = v;
+          p = r;
+        }
+      }
+      if (best == 0.0) return false;
+      piv_[col] = p;
+      if (p != col) {
+        for (std::size_t j = 0; j < k; ++j) {
+          std::swap(lu_[col * k + j], lu_[p * k + j]);
+        }
+      }
+      const T d = lu_[col * k + col];
+      for (std::size_t r = col + 1; r < k; ++r) {
+        const T f = lu_[r * k + col] / d;
+        lu_[r * k + col] = f;
+        for (std::size_t j = col + 1; j < k; ++j) {
+          lu_[r * k + j] -= f * lu_[col * k + j];
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Solves LU x = b in place (b has k entries).
+  void solve_vec(std::span<T> b) const {
+    TDA_REQUIRE(b.size() == k_, "SmallLU: bad rhs size");
+    for (std::size_t col = 0; col < k_; ++col) {
+      if (piv_[col] != col) std::swap(b[col], b[piv_[col]]);
+      for (std::size_t r = col + 1; r < k_; ++r) {
+        b[r] -= lu_[r * k_ + col] * b[col];
+      }
+    }
+    for (std::size_t r = k_; r-- > 0;) {
+      for (std::size_t j = r + 1; j < k_; ++j) {
+        b[r] -= lu_[r * k_ + j] * b[j];
+      }
+      b[r] /= lu_[r * k_ + r];
+    }
+  }
+
+  /// Solves LU X = B for a k×k right-hand side (row-major, in place).
+  void solve_mat(std::span<T> bmat) const {
+    TDA_REQUIRE(bmat.size() == k_ * k_, "SmallLU: bad matrix size");
+    // Column by column.
+    std::vector<T> col(k_);
+    for (std::size_t c = 0; c < k_; ++c) {
+      for (std::size_t r = 0; r < k_; ++r) col[r] = bmat[r * k_ + c];
+      solve_vec(col);
+      for (std::size_t r = 0; r < k_; ++r) bmat[r * k_ + c] = col[r];
+    }
+  }
+
+ private:
+  std::size_t k_ = 0;
+  std::vector<T> lu_;
+  std::vector<std::size_t> piv_;
+};
+
+/// Owning block-tridiagonal system: n block-rows of k×k blocks.
+/// Blocks are row-major; a[0] and c[n-1] are ignored by convention.
+template <typename T>
+struct BlockTridiagSystem {
+  std::size_t n = 0;  ///< number of block rows
+  std::size_t k = 0;  ///< block dimension
+  std::vector<T> a, b, c;  ///< n·k·k each
+  std::vector<T> d;        ///< n·k
+
+  BlockTridiagSystem(std::size_t block_rows, std::size_t block_dim)
+      : n(block_rows), k(block_dim) {
+    TDA_REQUIRE(n >= 1 && k >= 1, "empty block system");
+    a.assign(n * k * k, T{});
+    b.assign(n * k * k, T{});
+    c.assign(n * k * k, T{});
+    d.assign(n * k, T{});
+  }
+
+  [[nodiscard]] std::span<T> A(std::size_t i) {
+    return {a.data() + i * k * k, k * k};
+  }
+  [[nodiscard]] std::span<T> B(std::size_t i) {
+    return {b.data() + i * k * k, k * k};
+  }
+  [[nodiscard]] std::span<T> C(std::size_t i) {
+    return {c.data() + i * k * k, k * k};
+  }
+  [[nodiscard]] std::span<T> D(std::size_t i) {
+    return {d.data() + i * k, k};
+  }
+  [[nodiscard]] std::span<const T> A(std::size_t i) const {
+    return {a.data() + i * k * k, k * k};
+  }
+  [[nodiscard]] std::span<const T> B(std::size_t i) const {
+    return {b.data() + i * k * k, k * k};
+  }
+  [[nodiscard]] std::span<const T> C(std::size_t i) const {
+    return {c.data() + i * k * k, k * k};
+  }
+  [[nodiscard]] std::span<const T> D(std::size_t i) const {
+    return {d.data() + i * k, k};
+  }
+};
+
+namespace detail {
+/// out -= M * N for k×k row-major blocks.
+template <typename T>
+void gemm_sub(std::span<T> out, std::span<const T> m, std::span<const T> nn,
+              std::size_t k) {
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      T acc{};
+      for (std::size_t t = 0; t < k; ++t) {
+        acc += m[r * k + t] * nn[t * k + c];
+      }
+      out[r * k + c] -= acc;
+    }
+  }
+}
+
+/// out -= M * v for a k×k block and k-vector.
+template <typename T>
+void gemv_sub(std::span<T> out, std::span<const T> m, std::span<const T> v,
+              std::size_t k) {
+  for (std::size_t r = 0; r < k; ++r) {
+    T acc{};
+    for (std::size_t t = 0; t < k; ++t) acc += m[r * k + t] * v[t];
+    out[r] -= acc;
+  }
+}
+}  // namespace detail
+
+/// Solves a block-tridiagonal system with block Thomas. The system is
+/// consumed destructively; the solution (n·k values) is written to x.
+/// Returns false when a diagonal block becomes singular (block pivoting
+/// would be required — not provided; block-diagonally-dominant systems
+/// are always safe).
+template <typename T>
+bool block_thomas_solve(BlockTridiagSystem<T>& sys, std::span<T> x) {
+  const std::size_t n = sys.n;
+  const std::size_t k = sys.k;
+  TDA_REQUIRE(x.size() == n * k, "block solve: solution size mismatch");
+
+  SmallLU<T> lu;
+  std::vector<T> tmp_mat(k * k);
+  std::vector<T> tmp_vec(k);
+
+  // Forward elimination: after step i, C(i) holds (B'_i)^{-1} C_i and
+  // D(i) holds (B'_i)^{-1} D'_i.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) {
+      // B_i -= A_i * C~_{i-1};  D_i -= A_i * D~_{i-1}
+      detail::gemm_sub<T>(sys.B(i), sys.A(i), sys.C(i - 1), k);
+      detail::gemv_sub<T>(sys.D(i), sys.A(i), sys.D(i - 1), k);
+    }
+    std::vector<T> bcopy(sys.B(i).begin(), sys.B(i).end());
+    if (!lu.factor(std::span<T>(bcopy), k)) return false;
+    if (i + 1 < n) lu.solve_mat(sys.C(i));
+    lu.solve_vec(sys.D(i));
+  }
+
+  // Back substitution: X_i = D~_i - C~_i X_{i+1}.
+  for (std::size_t i = n; i-- > 0;) {
+    std::span<T> xi(x.data() + i * k, k);
+    std::copy(sys.D(i).begin(), sys.D(i).end(), xi.begin());
+    if (i + 1 < n) {
+      detail::gemv_sub<T>(xi, sys.C(i),
+                          std::span<const T>(x.data() + (i + 1) * k, k), k);
+    }
+  }
+  return true;
+}
+
+/// Max-norm residual of a candidate solution against a PRISTINE system
+/// (pass a copy that was not consumed by the solver).
+template <typename T>
+double block_residual_inf(const BlockTridiagSystem<T>& sys,
+                          std::span<const T> x) {
+  const std::size_t n = sys.n;
+  const std::size_t k = sys.k;
+  TDA_REQUIRE(x.size() == n * k, "block residual: size mismatch");
+  double worst = 0.0, scale = 1.0;
+  std::vector<double> acc(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t r = 0; r < k; ++r) {
+      acc[r] = -static_cast<double>(sys.D(i)[r]);
+    }
+    auto accumulate = [&](std::span<const T> block,
+                          std::span<const T> vec) {
+      for (std::size_t r = 0; r < k; ++r) {
+        for (std::size_t t = 0; t < k; ++t) {
+          acc[r] += static_cast<double>(block[r * k + t]) *
+                    static_cast<double>(vec[t]);
+        }
+      }
+    };
+    accumulate(sys.B(i), std::span<const T>(x.data() + i * k, k));
+    if (i > 0) {
+      accumulate(sys.A(i), std::span<const T>(x.data() + (i - 1) * k, k));
+    }
+    if (i + 1 < n) {
+      accumulate(sys.C(i), std::span<const T>(x.data() + (i + 1) * k, k));
+    }
+    for (std::size_t r = 0; r < k; ++r) {
+      worst = std::max(worst, std::abs(acc[r]));
+      scale = std::max(scale, std::abs(static_cast<double>(sys.D(i)[r])));
+    }
+  }
+  return worst / scale;
+}
+
+}  // namespace tda::cpu

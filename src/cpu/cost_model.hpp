@@ -1,0 +1,56 @@
+#pragma once
+// Analytic model of the paper's CPU baseline platform (3.4 GHz Intel Core
+// i5 dual-core running the sequential MKL gtsv solver, OpenMP over
+// systems). Fig. 8's CPU column is reproduced from this model so that
+// both sides of the comparison live in one consistent simulated-time
+// framework (DESIGN.md §2); the measured wall-clock of BatchCpuSolver on
+// the build host is reported alongside for reference.
+
+#include <cstddef>
+
+namespace tda::cpu {
+
+/// CPU platform description for the cost model.
+struct CpuSpec {
+  const char* name = "cpu";
+  int cores = 1;
+  /// Effective streaming bandwidth (GB/s) achieved by the sequential
+  /// gtsv solver on one thread — well below DRAM peak because the LU
+  /// sweep is dependency-bound.
+  double eff_bw_single_gb_s = 1.0;
+  /// Combined effective bandwidth with one solver thread per core.
+  double eff_bw_multi_gb_s = 2.0;
+  /// Traffic per equation in units of coefficient elements: 4 reads
+  /// (a,b,c,d) + 1 write (x) + pivot/fill overhead.
+  double values_per_eq = 6.5;
+};
+
+/// The paper's baseline: Intel Core i5 dual-core, 3.4 GHz, MKL
+/// 10.2.5.035. Bandwidth constants are calibrated to the two CPU anchor
+/// timings of Fig. 8 (10.7 ms for 1K×1K two-threaded, 34 ms for 1×2M
+/// single-threaded, fp32) and then frozen.
+inline CpuSpec paper_core_i5() {
+  CpuSpec s;
+  s.name = "Intel Core i5 dual-core 3.4 GHz (MKL model)";
+  s.cores = 2;
+  s.eff_bw_single_gb_s = 1.53;
+  s.eff_bw_multi_gb_s = 2.43;
+  s.values_per_eq = 6.5;
+  return s;
+}
+
+/// Modeled solve time in milliseconds for m systems of n equations with
+/// `elem_bytes`-wide elements. Uses the multi-thread bandwidth when the
+/// batch has system-level parallelism (m > 1), matching the paper's
+/// OpenMP setup.
+inline double mkl_model_ms(const CpuSpec& spec, std::size_t m,
+                           std::size_t n, std::size_t elem_bytes) {
+  const double bytes = static_cast<double>(m) * static_cast<double>(n) *
+                       spec.values_per_eq *
+                       static_cast<double>(elem_bytes);
+  const double bw =
+      (m > 1 ? spec.eff_bw_multi_gb_s : spec.eff_bw_single_gb_s) * 1e9;
+  return bytes / bw * 1e3;
+}
+
+}  // namespace tda::cpu

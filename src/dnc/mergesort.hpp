@@ -1,0 +1,406 @@
+#pragma once
+// Multi-stage, auto-tuned merge sort — the paper's §VI-C generalization.
+//
+// "Consider the problem of bottom-up merge sorting ... An implementation
+//  of this algorithm on the GPU faces the same issues as our tridiagonal
+//  solver: a shift from solving many independent chunks within a single
+//  processor's shared memory to solving many independent chunks that do
+//  not fit within shared memory, and a second shift from solving enough
+//  chunks to fill the machine to solving fewer, larger chunks that do not
+//  fill the machine."
+//
+// The stages mirror the tridiagonal solver exactly:
+//
+//   base kernel  — each block sorts one chunk in shared memory
+//                  (bitonic-style; analogue of PCR-Thomas);
+//   independent  — one block per merge PAIR, one launch per level
+//   merge levels   (analogue of Stage 2: simple, but the machine starves
+//                  when few pairs remain);
+//   cooperative  — many blocks split each merge via merge-path
+//   merge levels   partitioning (analogue of Stage 1: keeps the machine
+//                  full at the price of partition-search and extra
+//                  partition traffic per level).
+//
+// Two switch points arise — the shared-memory chunk size and the pair
+// count below which merges go cooperative — and the same decoupled,
+// machine-guess-seeded search tunes them.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "gpusim/launch.hpp"
+#include "kernels/config.hpp"
+
+namespace tda::dnc {
+
+/// Tunable switch points of the sorter.
+struct SortSwitchPoints {
+  /// Base-kernel chunk size (elements sorted on-chip by one block).
+  std::size_t chunk_size = 1024;
+  /// Pair count below which a merge level runs cooperatively (many
+  /// blocks per pair). Mirrors stage1_target_systems.
+  std::size_t coop_threshold = 16;
+};
+
+inline std::string describe(const SortSwitchPoints& sp) {
+  return "chunk=" + std::to_string(sp.chunk_size) +
+         " coop_threshold=" + std::to_string(sp.coop_threshold);
+}
+
+/// Execution plan for one input size.
+struct SortPlan {
+  std::size_t chunks = 0;            ///< base-kernel blocks
+  std::size_t independent_levels = 0;  ///< merge levels done per-block
+  std::size_t cooperative_levels = 0;  ///< grid-wide merge levels
+};
+
+/// Timing breakdown (simulated milliseconds).
+struct SortStats {
+  SortPlan plan;
+  double base_ms = 0.0;
+  double independent_ms = 0.0;
+  double cooperative_ms = 0.0;
+  double total_ms = 0.0;
+  std::size_t kernel_launches = 0;
+};
+
+/// Largest power-of-two chunk a block can sort on chip: ping-pong buffer
+/// of 2 element arrays, one thread per two elements.
+inline std::size_t max_chunk_size(const gpusim::DeviceQuery& q,
+                                  std::size_t elem_bytes) {
+  std::size_t best = 0;
+  for (std::size_t c = 64;; c *= 2) {
+    const bool fits_shared = 2 * c * elem_bytes <= q.shared_mem_per_sm;
+    const bool fits_threads =
+        c / 2 <= static_cast<std::size_t>(q.max_threads_per_block);
+    if (fits_shared && fits_threads) {
+      best = c;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+/// Multi-stage sorter over a simulated device.
+template <typename T>
+class MultiStageSorter {
+ public:
+  MultiStageSorter(gpusim::Device& dev, SortSwitchPoints points)
+      : dev_(&dev), points_(points) {
+    TDA_REQUIRE(points_.chunk_size >= 2, "chunk size must be >= 2");
+    TDA_REQUIRE((points_.chunk_size & (points_.chunk_size - 1)) == 0,
+                "chunk size must be a power of two");
+    TDA_REQUIRE(points_.chunk_size <=
+                    max_chunk_size(dev.query(), sizeof(T)),
+                "chunk size exceeds on-chip capacity");
+    TDA_REQUIRE(points_.coop_threshold >= 1, "coop threshold must be >= 1");
+  }
+
+  [[nodiscard]] const SortSwitchPoints& switch_points() const {
+    return points_;
+  }
+
+  [[nodiscard]] SortPlan plan_for(std::size_t n) const {
+    SortPlan plan;
+    const std::size_t c = points_.chunk_size;
+    plan.chunks = (n + c - 1) / c;
+    std::size_t runs = plan.chunks;
+    // Merge levels from `runs` down to 1; a level goes cooperative when
+    // its pair count drops below the threshold.
+    while (runs > 1) {
+      const std::size_t pairs = runs / 2;
+      if (pairs < points_.coop_threshold) {
+        ++plan.cooperative_levels;
+      } else {
+        ++plan.independent_levels;
+      }
+      runs = (runs + 1) / 2;
+    }
+    return plan;
+  }
+
+  /// Sorts `data` ascending; returns the simulated timing breakdown.
+  SortStats sort(std::vector<T>& data,
+                 kernels::ExecMode mode = kernels::ExecMode::Full) {
+    const std::size_t n = data.size();
+    SortStats stats;
+    if (n <= 1) return stats;
+    stats.plan = plan_for(n);
+
+    // ---- base kernel: per-block on-chip chunk sort ----
+    stats.base_ms = base_sort(data, mode);
+    ++stats.kernel_launches;
+
+    // ---- merge levels: one launch each ----
+    std::size_t run_len = points_.chunk_size;
+    std::size_t runs = stats.plan.chunks;
+    std::vector<T> scratch;
+    if (mode == kernels::ExecMode::Full) scratch.resize(n);
+
+    while (runs > 1) {
+      const std::size_t pairs = runs / 2;
+      if (pairs < points_.coop_threshold) {
+        stats.cooperative_ms +=
+            merge_level(data, scratch, run_len, /*cooperative=*/true, mode);
+      } else {
+        stats.independent_ms +=
+            merge_level(data, scratch, run_len, /*cooperative=*/false,
+                        mode);
+      }
+      ++stats.kernel_launches;
+      run_len *= 2;
+      runs = (runs + 1) / 2;
+    }
+
+    stats.total_ms =
+        stats.base_ms + stats.independent_ms + stats.cooperative_ms;
+    return stats;
+  }
+
+  /// Simulated time for an input size, without data (tuning evaluations).
+  double simulate_ms(std::size_t n) {
+    return sort_impl_cost_only(n).total_ms;
+  }
+
+ private:
+  SortStats sort_impl_cost_only(std::size_t n) {
+    SortStats stats;
+    if (n <= 1) return stats;
+    stats.plan = plan_for(n);
+    stats.base_ms = base_sort_cost(n);
+    ++stats.kernel_launches;
+    std::size_t run_len = points_.chunk_size;
+    std::size_t runs = stats.plan.chunks;
+    std::vector<T> none;
+    while (runs > 1) {
+      const std::size_t pairs = runs / 2;
+      const double ms = merge_level(none, none, run_len,
+                                    pairs < points_.coop_threshold,
+                                    kernels::ExecMode::CostOnly, n);
+      if (pairs < points_.coop_threshold) {
+        stats.cooperative_ms += ms;
+      } else {
+        stats.independent_ms += ms;
+      }
+      ++stats.kernel_launches;
+      run_len *= 2;
+      runs = (runs + 1) / 2;
+    }
+    stats.total_ms =
+        stats.base_ms + stats.independent_ms + stats.cooperative_ms;
+    return stats;
+  }
+
+  // --- base kernel ---
+
+  gpusim::LaunchConfig base_config(std::size_t n) const {
+    const std::size_t c = points_.chunk_size;
+    gpusim::LaunchConfig cfg;
+    cfg.blocks = (n + c - 1) / c;
+    cfg.threads_per_block = static_cast<int>(std::min<std::size_t>(
+        std::max<std::size_t>(32, c / 2),
+        dev_->spec().max_threads_per_block));
+    cfg.shared_bytes = 2 * c * sizeof(T);
+    cfg.regs_per_thread = 16;
+    return cfg;
+  }
+
+  void charge_base_block(gpusim::BlockContext& ctx, std::size_t len) const {
+    const std::size_t c = points_.chunk_size;
+    ctx.charge_global(static_cast<double>(len) * sizeof(T), 1, sizeof(T));
+    // Bitonic network: log2(c)*(log2(c)+1)/2 compare-exchange phases over
+    // c/2 active threads, one sync each.
+    std::size_t lg = 0;
+    while ((std::size_t{1} << lg) < c) ++lg;
+    const double phases = static_cast<double>(lg * (lg + 1)) / 2.0;
+    ctx.charge_phase(static_cast<int>(c / 2), phases, 8.0);
+    for (double p = 0; p < phases; ++p) ctx.sync();
+    ctx.charge_global(static_cast<double>(len) * sizeof(T), 1, sizeof(T));
+  }
+
+  double base_sort(std::vector<T>& data, kernels::ExecMode mode) {
+    const std::size_t n = data.size();
+    const std::size_t c = points_.chunk_size;
+    auto cfg = base_config(n);
+    auto st = dev_->launch(cfg, [&](gpusim::BlockContext& ctx) {
+      const std::size_t lo = ctx.block_index() * c;
+      const std::size_t hi = std::min(n, lo + c);
+      if (mode == kernels::ExecMode::Full) {
+        std::sort(data.begin() + static_cast<std::ptrdiff_t>(lo),
+                  data.begin() + static_cast<std::ptrdiff_t>(hi));
+      }
+      charge_base_block(ctx, hi - lo);
+    }, "sort_chunks");
+    return st.seconds * 1e3;
+  }
+
+  double base_sort_cost(std::size_t n) {
+    const std::size_t c = points_.chunk_size;
+    auto cfg = base_config(n);
+    auto st = dev_->launch(cfg, [&](gpusim::BlockContext& ctx) {
+      const std::size_t lo = ctx.block_index() * c;
+      const std::size_t hi = std::min(n, lo + c);
+      charge_base_block(ctx, hi - lo);
+    }, "sort_chunks");
+    return st.seconds * 1e3;
+  }
+
+  // --- merge levels ---
+
+  /// One merge level as one kernel launch.
+  ///
+  /// Independent (Stage-2 analogue): one block per merge pair — no
+  /// overheads, but the grid shrinks level by level until the machine
+  /// starves.
+  ///
+  /// Cooperative (Stage-1 analogue): a machine-filling grid where many
+  /// blocks share each pair via merge-path partitioning — every block
+  /// first binary-searches its diagonal split (extra compute) and the
+  /// partition boundaries are re-read (extra traffic), costs the
+  /// independent scheme does not pay.
+  ///
+  /// `n_override` supplies the input size for cost-only runs where
+  /// `data` is empty.
+  double merge_level(std::vector<T>& data, std::vector<T>& scratch,
+                     std::size_t run_len, bool cooperative,
+                     kernels::ExecMode mode, std::size_t n_override = 0) {
+    const std::size_t n =
+        (mode == kernels::ExecMode::Full) ? data.size() : n_override;
+    const std::size_t pairs =
+        std::max<std::size_t>(1, (n + 2 * run_len - 1) / (2 * run_len));
+
+    gpusim::LaunchConfig cfg;
+    cfg.threads_per_block = 256;
+    cfg.regs_per_thread = 16;
+    if (cooperative) {
+      cfg.blocks = std::max<std::size_t>(
+          pairs, std::min<std::size_t>(
+                     n / (static_cast<std::size_t>(cfg.threads_per_block) *
+                          4) +
+                         1,
+                     8ull * dev_->spec().sm_count));
+    } else {
+      cfg.blocks = pairs;
+    }
+    const std::size_t chunk = (n + cfg.blocks - 1) / cfg.blocks;
+
+    bool merged = false;
+    auto st = dev_->launch(cfg, [&](gpusim::BlockContext& ctx) {
+      // Functional execution: the whole level is merged once (block
+      // decomposition does not change the result).
+      if (mode == kernels::ExecMode::Full && !merged) {
+        merged = true;
+        for (std::size_t s = 0; s < n; s += 2 * run_len) {
+          const std::size_t mid = std::min(n, s + run_len);
+          const std::size_t end = std::min(n, s + 2 * run_len);
+          std::merge(data.begin() + static_cast<std::ptrdiff_t>(s),
+                     data.begin() + static_cast<std::ptrdiff_t>(mid),
+                     data.begin() + static_cast<std::ptrdiff_t>(mid),
+                     data.begin() + static_cast<std::ptrdiff_t>(end),
+                     scratch.begin() + static_cast<std::ptrdiff_t>(s));
+        }
+        std::copy(scratch.begin(),
+                  scratch.begin() + static_cast<std::ptrdiff_t>(n),
+                  data.begin());
+      }
+      // Cost: this block's share of the level.
+      const std::size_t lo = ctx.block_index() * chunk;
+      const std::size_t hi = std::min(n, lo + chunk);
+      if (lo >= hi) return;
+      const double len = static_cast<double>(hi - lo);
+      // read the two source runs + write the output
+      ctx.charge_global(2.0 * len * sizeof(T), 1, sizeof(T));
+      ctx.charge_phase(ctx.threads(),
+                       std::ceil(len / ctx.threads()), 8.0);
+      if (cooperative) {
+        // Merge-path partitioning: every thread binary-searches the
+        // diagonal (dependent chain of log2(2*run_len) probes, each a
+        // global read) and partition frontiers are re-fetched.
+        const double probes =
+            std::ceil(std::log2(static_cast<double>(2 * run_len)));
+        ctx.charge_phase(ctx.threads(), probes, 2.0, 1.0, 4.0);
+        ctx.charge_global(probes * ctx.threads() * sizeof(T), 64,
+                          sizeof(T));
+      }
+    }, cooperative ? "merge_level_coop" : "merge_level_indep");
+    return st.seconds * 1e3;
+  }
+
+  gpusim::Device* dev_;
+  SortSwitchPoints points_;
+};
+
+/// Machine-oblivious default switch points (mirrors §IV-B).
+inline SortSwitchPoints default_sort_points() {
+  SortSwitchPoints sp;
+  sp.chunk_size = 1024;  // fits the weakest registry device
+  sp.coop_threshold = 16;
+  return sp;
+}
+
+/// Machine-query guess (mirrors §IV-C).
+template <typename T>
+SortSwitchPoints static_sort_points(const gpusim::DeviceQuery& q) {
+  SortSwitchPoints sp;
+  sp.chunk_size = max_chunk_size(q, sizeof(T));
+  sp.coop_threshold = static_cast<std::size_t>(q.sm_count);
+  return sp;
+}
+
+/// Decoupled, seeded search (mirrors §IV-D): chunk size and cooperative
+/// threshold are tuned independently, each by scanning its short ladder
+/// from the machine guess.
+template <typename T>
+struct SortTuneResult {
+  SortSwitchPoints points;
+  double best_ms = std::numeric_limits<double>::infinity();
+  std::size_t evaluations = 0;
+};
+
+template <typename T>
+SortTuneResult<T> tune_sorter(gpusim::Device& dev, std::size_t n) {
+  SortTuneResult<T> r;
+  const auto q = dev.query();
+  const std::size_t cap = max_chunk_size(q, sizeof(T));
+  SortSwitchPoints best = static_sort_points<T>(q);
+
+  auto evaluate = [&](const SortSwitchPoints& sp) {
+    MultiStageSorter<T> sorter(dev, sp);
+    ++r.evaluations;
+    return sorter.simulate_ms(n);
+  };
+
+  // Group A: chunk size ladder.
+  double best_ms = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 64; c <= cap; c *= 2) {
+    SortSwitchPoints sp = best;
+    sp.chunk_size = c;
+    const double ms = evaluate(sp);
+    if (ms < best_ms) {
+      best_ms = ms;
+      best = sp;
+    }
+  }
+  // Group B: cooperative threshold ladder.
+  for (std::size_t t = 1; t <= 1024; t *= 2) {
+    SortSwitchPoints sp = best;
+    sp.coop_threshold = t;
+    const double ms = evaluate(sp);
+    if (ms < best_ms) {
+      best_ms = ms;
+      best = sp;
+    }
+  }
+  r.points = best;
+  r.best_ms = best_ms;
+  return r;
+}
+
+}  // namespace tda::dnc

@@ -1,0 +1,95 @@
+#include "gpusim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace tda::gpusim {
+
+KernelStats kernel_time(const DeviceSpec& spec, const LaunchConfig& cfg,
+                        const KernelCost& cost) {
+  KernelStats st;
+  st.occupancy = compute_occupancy(spec, cfg);
+  TDA_REQUIRE(st.occupancy.blocks_per_sm > 0,
+              "kernel configuration is not launchable on this device");
+  TDA_REQUIRE(cost.blocks == cfg.blocks || cost.blocks == 0,
+              "cost was accumulated for a different grid size");
+
+  const double clock_hz = spec.clock_ghz * 1e9;
+  st.launch_seconds = spec.launch_overhead_us * 1e-6;
+
+  if (cost.blocks == 0) {
+    st.seconds = st.launch_seconds;
+    return st;
+  }
+
+  // --- wave schedule ---
+  const double wave_capacity =
+      static_cast<double>(st.occupancy.blocks_per_sm) * spec.sm_count;
+  st.waves = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(cost.blocks) / wave_capacity));
+
+  // --- latency hiding / achieved bandwidth ---
+  // Resident warps, averaged over the whole launch: the tail wave may run
+  // fewer blocks than capacity, and a grid smaller than the machine leaves
+  // SMs idle.
+  const int max_warps = spec.max_threads_per_sm / spec.warp_size;
+  const double avg_blocks_running =
+      static_cast<double>(cost.blocks) / static_cast<double>(st.waves);
+  const int warps_per_block =
+      (cfg.threads_per_block + spec.warp_size - 1) / spec.warp_size;
+  // Decompose into (fraction of SMs that have work at all) × (how well a
+  // busy SM hides latency). A small grid leaves SMs idle; a busy SM with
+  // few resident warps cannot keep enough requests in flight — and that
+  // loss is super-linear (each missing warp removes outstanding requests
+  // AND issue slots), hence the square.
+  const double busy_fraction =
+      std::min(1.0, avg_blocks_running / spec.sm_count);
+  const double blocks_per_busy_sm = std::min<double>(
+      st.occupancy.blocks_per_sm,
+      std::max(1.0, avg_blocks_running / spec.sm_count));
+  const double occ_fraction = std::min(
+      1.0, blocks_per_busy_sm * warps_per_block / max_warps);
+  const double ratio = std::min(1.0, occ_fraction / spec.occupancy_for_peak);
+  st.hiding_factor = busy_fraction * ratio * ratio * ratio;
+  // DRAM-efficiency floor: even one resident warp keeps several requests
+  // in flight.
+  st.hiding_factor = std::max(st.hiding_factor, 0.1);
+
+  // --- memory time ---
+  const double bw = spec.global_bw_gb_s * 1e9;
+  st.mem_seconds = cost.total.global_bytes_eff / (bw * st.hiding_factor);
+
+  // --- compute time ---
+  // Throughput cycles are per-SM issue cycles; blocks spread across SMs.
+  const double busy_sms =
+      std::min<double>(spec.sm_count, static_cast<double>(cost.blocks));
+  const double per_wave_throughput =
+      cost.total.throughput_cycles / busy_sms / static_cast<double>(st.waves);
+  const double sync_cycles_per_wave =
+      cost.total.syncs * spec.sync_cycles / busy_sms /
+      static_cast<double>(st.waves);
+  const double per_wave_cycles =
+      std::max(per_wave_throughput + sync_cycles_per_wave,
+               cost.max_critical_cycles);
+  st.compute_seconds =
+      static_cast<double>(st.waves) * per_wave_cycles / clock_hz;
+
+  // --- compute/memory overlap ---
+  // With >= 2 resident blocks per SM, one block's compute phases overlap
+  // another's memory traffic and the kernel runs at max(mem, compute).
+  // With a single resident block the SM alternates between phases and the
+  // times add. Interpolate on the average resident block count.
+  const double avg_blocks_per_sm =
+      std::min<double>(st.occupancy.blocks_per_sm,
+                       avg_blocks_running / spec.sm_count);
+  const double overlap = std::clamp(avg_blocks_per_sm - 1.0, 0.0, 1.0);
+  const double core =
+      std::max(st.mem_seconds, st.compute_seconds) +
+      (1.0 - overlap) * std::min(st.mem_seconds, st.compute_seconds);
+  st.seconds = st.launch_seconds + core;
+  return st;
+}
+
+}  // namespace tda::gpusim

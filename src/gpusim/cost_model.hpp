@@ -1,0 +1,73 @@
+#pragma once
+// Kernel time model.
+//
+// A kernel's cost is aggregated from per-block events into three terms:
+//
+//  * memory time   — effective (coalescing-inflated) global bytes divided
+//                    by peak bandwidth, derated when too few warps are
+//                    resident to hide memory latency;
+//  * compute time  — warp-instruction throughput cycles per SM, executed
+//                    wave by wave;
+//  * critical path — each block's longest dependent chain (chain length ×
+//                    dependent-op latency); a wave cannot finish faster
+//                    than its blocks' critical paths even at low
+//                    throughput utilization. This is what penalizes e.g. a
+//                    Thomas phase run by too few threads.
+//
+// kernel time = launch overhead + max(memory time, compute time), where
+// compute time = waves × max(per-wave throughput cycles, critical path).
+
+#include <cstddef>
+
+#include "gpusim/device.hpp"
+#include "gpusim/occupancy.hpp"
+
+namespace tda::gpusim {
+
+/// Cost events accumulated by one block during functional execution.
+struct BlockCost {
+  double global_bytes_eff = 0.0;  ///< coalescing-inflated global traffic
+  double throughput_cycles = 0.0; ///< warp-issue cycles on one SM
+  double critical_cycles = 0.0;   ///< dependent-chain cycles (latency bound)
+  double syncs = 0.0;             ///< __syncthreads count
+
+  void add(const BlockCost& other) {
+    global_bytes_eff += other.global_bytes_eff;
+    throughput_cycles += other.throughput_cycles;
+    critical_cycles += other.critical_cycles;
+    syncs += other.syncs;
+  }
+};
+
+/// Aggregate over all blocks of one kernel launch.
+struct KernelCost {
+  std::size_t blocks = 0;
+  BlockCost total;                 ///< sums over blocks
+  double max_critical_cycles = 0;  ///< max over blocks
+
+  void add_block(const BlockCost& b) {
+    ++blocks;
+    total.add(b);
+    if (b.critical_cycles > max_critical_cycles)
+      max_critical_cycles = b.critical_cycles;
+  }
+};
+
+/// Timing breakdown of one simulated kernel launch.
+struct KernelStats {
+  double seconds = 0.0;
+  double mem_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double launch_seconds = 0.0;
+  double hiding_factor = 1.0;  ///< achieved fraction of peak bandwidth
+  Occupancy occupancy;
+  std::size_t waves = 0;
+};
+
+/// Converts aggregated kernel cost into time on `spec` with launch
+/// configuration `cfg`. REQUIREs that the configuration is launchable
+/// (occupancy > 0).
+KernelStats kernel_time(const DeviceSpec& spec, const LaunchConfig& cfg,
+                        const KernelCost& cost);
+
+}  // namespace tda::gpusim

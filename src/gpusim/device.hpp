@@ -1,0 +1,101 @@
+#pragma once
+// Simulated GPU device descriptions.
+//
+// DeviceSpec is the full hardware truth: the queryable properties CUDA's
+// deviceProperties exposes (paper Table II) *plus* the performance
+// characteristics the paper stresses CANNOT be queried — global memory
+// bandwidth, shared-bank organisation, dependent-op latency, launch
+// overhead. The static machine-query tuner is only ever handed a
+// DeviceQuery (the queryable subset); the dynamic tuner can observe the
+// hidden parameters only through measured (simulated) runtimes, exactly
+// the information asymmetry of §IV-C/D.
+//
+// The registry holds the paper's three GPUs (Table I).
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tda::gpusim {
+
+/// Queryable device properties (the cudaDeviceProperties subset the
+/// paper's Table II lists). This is ALL the static tuner may see.
+struct DeviceQuery {
+  std::string name;
+  std::size_t global_mem_bytes = 0;
+  int sm_count = 0;
+  int thread_procs_per_sm = 0;
+  int warp_size = 32;
+  std::size_t shared_mem_per_sm = 0;   ///< bytes
+  std::size_t constant_mem_bytes = 0;  ///< bytes
+  int registers_per_sm = 0;
+  int max_threads_per_block = 0;
+  int max_threads_per_sm = 0;
+  int max_blocks_per_sm = 0;
+  /// API grid limit: 65535 blocks per dimension; kernels index 2-D grids
+  /// when they need more, so the effective limit is 65535^2.
+  long long max_grid_blocks = 0;
+};
+
+/// Full device model: query()-able properties plus hidden performance
+/// characteristics used only by the cost model.
+struct DeviceSpec {
+  // --- queryable (Table II) ---
+  std::string name;
+  std::size_t global_mem_bytes = 0;
+  int sm_count = 0;
+  int thread_procs_per_sm = 0;
+  int warp_size = 32;
+  std::size_t shared_mem_per_sm = 0;
+  std::size_t constant_mem_bytes = 64 * 1024;
+  int registers_per_sm = 0;
+  int max_threads_per_block = 0;
+  int max_threads_per_sm = 0;
+  int max_blocks_per_sm = 8;
+  long long max_grid_blocks = 65535ll * 65535ll;  ///< 2-D grid capacity
+
+  // --- hidden performance characteristics (NOT queryable; §IV-C) ---
+  double global_bw_gb_s = 0.0;       ///< peak global bandwidth (Table I)
+  double clock_ghz = 1.0;            ///< shader clock
+  int shared_banks = 16;             ///< shared memory bank count
+  double dep_latency_cycles = 24.0;  ///< latency of a dependent ALU/shared op
+  double mem_latency_cycles = 450;   ///< global memory round-trip latency
+  double launch_overhead_us = 6.0;   ///< per kernel launch
+  double sync_cycles = 40.0;         ///< cost of one __syncthreads
+  /// Effective fraction of peak bandwidth a grid-wide dependent pass
+  /// achieves (paper §III-C: cooperative splitting "incurs an extra
+  /// penalty per split due to this synchronization" — the whole pipeline
+  /// drains at every relaunch, and the read-after-write dependence defeats
+  /// DRAM scheduling). Applies to Stage-1 split passes.
+  double coop_sync_efficiency = 0.25;
+  /// Fraction of max resident warps required to reach peak memory
+  /// bandwidth (latency hiding requirement). Newer, wider parts need more.
+  double occupancy_for_peak = 0.5;
+  /// Memory transaction segment size in bytes: determines the worst-case
+  /// inflation of uncoalesced accesses (G80 has no coalescing hardware for
+  /// irregular patterns; Fermi's L1 softens the blow).
+  std::size_t coalesce_segment_bytes = 64;
+  /// Fraction of redundant strided-segment fetches absorbed by cross-block
+  /// reuse (caches / DRAM row locality): sibling blocks gathering
+  /// interleaved subsystems touch the same segments close together in
+  /// time. 0 = every block refetches (G80); near 1 = segments are served
+  /// once (Fermi L1/L2).
+  double strided_reuse = 0.0;
+
+  /// The queryable subset.
+  [[nodiscard]] DeviceQuery query() const;
+};
+
+/// The three GPUs of paper Table I.
+DeviceSpec geforce_8800_gtx();
+DeviceSpec geforce_gtx_280();
+DeviceSpec geforce_gtx_470();
+
+/// All registry devices, oldest first (matching Table I ordering).
+std::vector<DeviceSpec> device_registry();
+
+/// Looks up a registry device by (case-sensitive) name; nullopt if absent.
+std::optional<DeviceSpec> device_by_name(const std::string& name);
+
+}  // namespace tda::gpusim

@@ -1,0 +1,217 @@
+#include "gpusim/device_file.hpp"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace tda::gpusim {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+using Setter = std::function<void(DeviceSpec&, const std::string&)>;
+
+template <typename T, typename Parse>
+Setter make_setter(T DeviceSpec::* field, Parse parse) {
+  return [field, parse](DeviceSpec& spec, const std::string& value) {
+    spec.*field = parse(value);
+  };
+}
+
+long long parse_int(const std::string& v) {
+  std::size_t pos = 0;
+  const long long out = std::stoll(v, &pos);
+  TDA_REQUIRE(pos == v.size(), "trailing junk after integer: " + v);
+  return out;
+}
+
+double parse_double(const std::string& v) {
+  std::size_t pos = 0;
+  const double out = std::stod(v, &pos);
+  TDA_REQUIRE(pos == v.size(), "trailing junk after number: " + v);
+  return out;
+}
+
+const std::map<std::string, Setter>& setters() {
+  static const std::map<std::string, Setter> table = {
+      {"name", make_setter(&DeviceSpec::name,
+                           [](const std::string& v) { return v; })},
+      {"global_mem_bytes",
+       make_setter(&DeviceSpec::global_mem_bytes, [](const std::string& v) {
+         return static_cast<std::size_t>(parse_int(v));
+       })},
+      {"sm_count", make_setter(&DeviceSpec::sm_count,
+                               [](const std::string& v) {
+                                 return static_cast<int>(parse_int(v));
+                               })},
+      {"thread_procs_per_sm",
+       make_setter(&DeviceSpec::thread_procs_per_sm,
+                   [](const std::string& v) {
+                     return static_cast<int>(parse_int(v));
+                   })},
+      {"warp_size", make_setter(&DeviceSpec::warp_size,
+                                [](const std::string& v) {
+                                  return static_cast<int>(parse_int(v));
+                                })},
+      {"shared_mem_per_sm",
+       make_setter(&DeviceSpec::shared_mem_per_sm, [](const std::string& v) {
+         return static_cast<std::size_t>(parse_int(v));
+       })},
+      {"constant_mem_bytes",
+       make_setter(&DeviceSpec::constant_mem_bytes,
+                   [](const std::string& v) {
+                     return static_cast<std::size_t>(parse_int(v));
+                   })},
+      {"registers_per_sm",
+       make_setter(&DeviceSpec::registers_per_sm, [](const std::string& v) {
+         return static_cast<int>(parse_int(v));
+       })},
+      {"max_threads_per_block",
+       make_setter(&DeviceSpec::max_threads_per_block,
+                   [](const std::string& v) {
+                     return static_cast<int>(parse_int(v));
+                   })},
+      {"max_threads_per_sm",
+       make_setter(&DeviceSpec::max_threads_per_sm,
+                   [](const std::string& v) {
+                     return static_cast<int>(parse_int(v));
+                   })},
+      {"max_blocks_per_sm",
+       make_setter(&DeviceSpec::max_blocks_per_sm, [](const std::string& v) {
+         return static_cast<int>(parse_int(v));
+       })},
+      {"max_grid_blocks",
+       make_setter(&DeviceSpec::max_grid_blocks,
+                   [](const std::string& v) { return parse_int(v); })},
+      {"global_bw_gb_s",
+       make_setter(&DeviceSpec::global_bw_gb_s, parse_double)},
+      {"clock_ghz", make_setter(&DeviceSpec::clock_ghz, parse_double)},
+      {"shared_banks", make_setter(&DeviceSpec::shared_banks,
+                                   [](const std::string& v) {
+                                     return static_cast<int>(parse_int(v));
+                                   })},
+      {"dep_latency_cycles",
+       make_setter(&DeviceSpec::dep_latency_cycles, parse_double)},
+      {"mem_latency_cycles",
+       make_setter(&DeviceSpec::mem_latency_cycles, parse_double)},
+      {"launch_overhead_us",
+       make_setter(&DeviceSpec::launch_overhead_us, parse_double)},
+      {"sync_cycles", make_setter(&DeviceSpec::sync_cycles, parse_double)},
+      {"coop_sync_efficiency",
+       make_setter(&DeviceSpec::coop_sync_efficiency, parse_double)},
+      {"occupancy_for_peak",
+       make_setter(&DeviceSpec::occupancy_for_peak, parse_double)},
+      {"coalesce_segment_bytes",
+       make_setter(&DeviceSpec::coalesce_segment_bytes,
+                   [](const std::string& v) {
+                     return static_cast<std::size_t>(parse_int(v));
+                   })},
+      {"strided_reuse",
+       make_setter(&DeviceSpec::strided_reuse, parse_double)},
+  };
+  return table;
+}
+
+void validate(const DeviceSpec& spec) {
+  TDA_REQUIRE(!spec.name.empty(), "device profile must set `name`");
+  TDA_REQUIRE(spec.sm_count >= 1, "sm_count must be positive");
+  TDA_REQUIRE(spec.thread_procs_per_sm >= 1,
+              "thread_procs_per_sm must be positive");
+  TDA_REQUIRE(spec.warp_size >= 1, "warp_size must be positive");
+  TDA_REQUIRE(spec.shared_mem_per_sm >= 1024,
+              "shared_mem_per_sm implausibly small");
+  TDA_REQUIRE(spec.max_threads_per_block >= spec.warp_size,
+              "max_threads_per_block below warp size");
+  TDA_REQUIRE(spec.max_threads_per_sm >= spec.max_threads_per_block,
+              "max_threads_per_sm below max_threads_per_block");
+  TDA_REQUIRE(spec.global_bw_gb_s > 0.0, "global_bw_gb_s must be positive");
+  TDA_REQUIRE(spec.clock_ghz > 0.0, "clock_ghz must be positive");
+  TDA_REQUIRE(spec.coop_sync_efficiency > 0.0 &&
+                  spec.coop_sync_efficiency <= 1.0,
+              "coop_sync_efficiency must be in (0, 1]");
+  TDA_REQUIRE(spec.occupancy_for_peak > 0.0 &&
+                  spec.occupancy_for_peak <= 1.0,
+              "occupancy_for_peak must be in (0, 1]");
+  TDA_REQUIRE(spec.strided_reuse >= 0.0 && spec.strided_reuse < 1.0,
+              "strided_reuse must be in [0, 1)");
+}
+
+}  // namespace
+
+DeviceSpec read_device_profile(std::istream& in) {
+  DeviceSpec spec;
+  spec.name.clear();
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    TDA_REQUIRE(eq != std::string::npos,
+                "device profile line " + std::to_string(lineno) +
+                    ": expected key = value");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    auto it = setters().find(key);
+    TDA_REQUIRE(it != setters().end(),
+                "device profile line " + std::to_string(lineno) +
+                    ": unknown key `" + key + "`");
+    it->second(spec, value);
+  }
+  validate(spec);
+  return spec;
+}
+
+DeviceSpec load_device_profile(const std::string& path) {
+  std::ifstream in(path);
+  TDA_REQUIRE(static_cast<bool>(in), "cannot open device profile " + path);
+  return read_device_profile(in);
+}
+
+void write_device_profile(std::ostream& out, const DeviceSpec& spec) {
+  out << "# tridiag_autotune device profile\n";
+  out << "name = " << spec.name << "\n";
+  out << "global_mem_bytes = " << spec.global_mem_bytes << "\n";
+  out << "sm_count = " << spec.sm_count << "\n";
+  out << "thread_procs_per_sm = " << spec.thread_procs_per_sm << "\n";
+  out << "warp_size = " << spec.warp_size << "\n";
+  out << "shared_mem_per_sm = " << spec.shared_mem_per_sm << "\n";
+  out << "constant_mem_bytes = " << spec.constant_mem_bytes << "\n";
+  out << "registers_per_sm = " << spec.registers_per_sm << "\n";
+  out << "max_threads_per_block = " << spec.max_threads_per_block << "\n";
+  out << "max_threads_per_sm = " << spec.max_threads_per_sm << "\n";
+  out << "max_blocks_per_sm = " << spec.max_blocks_per_sm << "\n";
+  out << "max_grid_blocks = " << spec.max_grid_blocks << "\n";
+  out << "global_bw_gb_s = " << spec.global_bw_gb_s << "\n";
+  out << "clock_ghz = " << spec.clock_ghz << "\n";
+  out << "shared_banks = " << spec.shared_banks << "\n";
+  out << "dep_latency_cycles = " << spec.dep_latency_cycles << "\n";
+  out << "mem_latency_cycles = " << spec.mem_latency_cycles << "\n";
+  out << "launch_overhead_us = " << spec.launch_overhead_us << "\n";
+  out << "sync_cycles = " << spec.sync_cycles << "\n";
+  out << "coop_sync_efficiency = " << spec.coop_sync_efficiency << "\n";
+  out << "occupancy_for_peak = " << spec.occupancy_for_peak << "\n";
+  out << "coalesce_segment_bytes = " << spec.coalesce_segment_bytes << "\n";
+  out << "strided_reuse = " << spec.strided_reuse << "\n";
+}
+
+bool save_device_profile(const std::string& path, const DeviceSpec& spec) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_device_profile(out, spec);
+  return static_cast<bool>(out);
+}
+
+}  // namespace tda::gpusim

@@ -1,0 +1,34 @@
+#pragma once
+// Device profiles as text files.
+//
+// The paper's closing argument: "more generations of GPUs with different
+// performance characteristics coupled with the larger diversity of
+// manycore devices ... make performance tuning an increasingly difficult
+// problem". Users model a new device by writing a profile file instead of
+// recompiling; the auto-tuner handles the rest.
+//
+// Format: one `key = value` per line, `#` comments. Keys match the
+// DeviceSpec field names. Unknown keys are errors (typo safety);
+// omitted keys keep DeviceSpec defaults. `name` is required.
+
+#include <iosfwd>
+#include <string>
+
+#include "gpusim/device.hpp"
+
+namespace tda::gpusim {
+
+/// Parses a device profile from a stream. Throws tda::ContractError on
+/// malformed input or unknown keys.
+DeviceSpec read_device_profile(std::istream& in);
+
+/// Loads a device profile from a file. Throws on I/O or parse failure.
+DeviceSpec load_device_profile(const std::string& path);
+
+/// Writes a profile (all fields) that read_device_profile can load back.
+void write_device_profile(std::ostream& out, const DeviceSpec& spec);
+
+/// Saves a profile to a file; returns false on I/O failure.
+bool save_device_profile(const std::string& path, const DeviceSpec& spec);
+
+}  // namespace tda::gpusim

@@ -1,0 +1,192 @@
+#pragma once
+// Kernel launcher and per-block execution context.
+//
+// A "kernel" is any callable void(BlockContext&). The launcher executes
+// every block functionally (sequentially, deterministic) while each block
+// records cost events through its BlockContext; the cost model then turns
+// the aggregate into simulated time, which the owning Device accumulates
+// on its timeline.
+//
+// BlockContext also owns the block's shared-memory arena: kernels allocate
+// their working set from it, so a configuration whose working set exceeds
+// the declared shared_bytes fails loudly during functional execution —
+// the simulator's analogue of a CUDA launch failure.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/check.hpp"
+#include "gpusim/cost_model.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/memory_model.hpp"
+#include "gpusim/occupancy.hpp"
+
+namespace tda::gpusim {
+
+/// Execution context of one block: cost recorder + shared-memory arena.
+class BlockContext {
+ public:
+  BlockContext(const DeviceSpec& spec, const LaunchConfig& cfg,
+               std::size_t block_index, std::byte* shared_arena,
+               int resident_blocks)
+      : spec_(&spec),
+        cfg_(&cfg),
+        block_index_(block_index),
+        shared_arena_(shared_arena),
+        resident_blocks_(resident_blocks > 0 ? resident_blocks : 1) {}
+
+  [[nodiscard]] std::size_t block_index() const { return block_index_; }
+  [[nodiscard]] int threads() const { return cfg_->threads_per_block; }
+  [[nodiscard]] const DeviceSpec& device() const { return *spec_; }
+
+  /// Allocates `count` elements of block-shared memory. Throws when the
+  /// block's declared shared_bytes budget is exceeded.
+  template <typename T>
+  std::span<T> shared_alloc(std::size_t count) {
+    const std::size_t bytes = count * sizeof(T);
+    // keep allocations aligned to the element size
+    std::size_t aligned_off =
+        (shared_used_ + alignof(T) - 1) / alignof(T) * alignof(T);
+    TDA_REQUIRE(aligned_off + bytes <= cfg_->shared_bytes,
+                "kernel exceeded its declared shared memory budget");
+    T* p = reinterpret_cast<T*>(shared_arena_ + aligned_off);
+    shared_used_ = aligned_off + bytes;
+    return {p, count};
+  }
+
+  /// Records a global-memory access of `useful_bytes` payload performed
+  /// warp-wide at the given element stride (1 = coalesced).
+  void charge_global(double useful_bytes, std::size_t stride_elems,
+                     std::size_t elem_bytes) {
+    cost_.global_bytes_eff +=
+        effective_global_bytes(*spec_, useful_bytes, stride_elems,
+                               elem_bytes);
+  }
+
+  /// Records a compute/shared phase: `active_threads` threads each execute
+  /// a dependent chain of `chain_ops` steps, every step issuing
+  /// `warp_insts_per_op` warp instructions (replayed `conflict_factor`
+  /// times for shared-bank conflicts) and carrying `dep_per_op` dependent-
+  /// latency units (≈ how many back-to-back instruction results each step
+  /// waits on; division-heavy steps are deep).
+  ///
+  /// The phase cost folds latency-boundness in at phase granularity:
+  /// with R resident blocks per SM the phase cannot run faster than its
+  /// critical path spread over R concurrent blocks, however few warps it
+  /// occupies — this is what makes a 16-thread Thomas tail expensive and
+  /// drives the stage-3→4 switch point (paper Fig. 6).
+  void charge_phase(int active_threads, double chain_ops,
+                    double warp_insts_per_op = 1.0,
+                    double conflict_factor = 1.0, double dep_per_op = 1.0) {
+    if (active_threads <= 0 || chain_ops <= 0.0) return;
+    const int warps =
+        (active_threads + spec_->warp_size - 1) / spec_->warp_size;
+    const double issue =
+        static_cast<double>(spec_->warp_size) / spec_->thread_procs_per_sm;
+    const double throughput = static_cast<double>(warps) * chain_ops *
+                              warp_insts_per_op * conflict_factor * issue;
+    const double critical =
+        chain_ops * dep_per_op * spec_->dep_latency_cycles;
+    cost_.throughput_cycles +=
+        std::max(throughput, critical / resident_blocks_);
+    cost_.critical_cycles += critical;
+  }
+
+  /// Records one __syncthreads().
+  void sync() { cost_.syncs += 1.0; }
+
+  [[nodiscard]] const BlockCost& cost() const { return cost_; }
+
+ private:
+  const DeviceSpec* spec_;
+  const LaunchConfig* cfg_;
+  std::size_t block_index_;
+  std::byte* shared_arena_;
+  int resident_blocks_;
+  std::size_t shared_used_ = 0;
+  BlockCost cost_;
+};
+
+/// One record of the optional kernel trace.
+struct TraceRecord {
+  std::string name;
+  std::size_t blocks = 0;
+  int threads_per_block = 0;
+  KernelStats stats;
+};
+
+/// A simulated GPU: a DeviceSpec plus an accumulating timeline.
+class Device {
+ public:
+  explicit Device(DeviceSpec spec) : spec_(std::move(spec)) {
+    arena_.resize(spec_.shared_mem_per_sm);
+  }
+
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+  [[nodiscard]] DeviceQuery query() const { return spec_.query(); }
+
+  /// Runs `body(BlockContext&)` for every block of the grid, charges the
+  /// aggregate cost, advances the timeline, and returns the launch stats.
+  /// `name` labels the launch in the optional trace.
+  template <typename F>
+  KernelStats launch(const LaunchConfig& cfg, F&& body,
+                     const char* name = "kernel") {
+    TDA_REQUIRE(cfg.blocks >= 1, "grid must contain at least one block");
+    TDA_REQUIRE(cfg.blocks <=
+                    static_cast<std::size_t>(spec_.max_grid_blocks),
+                "grid exceeds the device's block limit");
+    const Occupancy occ = compute_occupancy(spec_, cfg);
+    TDA_REQUIRE(occ.blocks_per_sm > 0,
+                std::string("unlaunchable configuration (") + occ.limiter +
+                    ")");
+
+    KernelCost agg;
+    for (std::size_t b = 0; b < cfg.blocks; ++b) {
+      BlockContext ctx(spec_, cfg, b, arena_.data(), occ.blocks_per_sm);
+      body(ctx);
+      agg.add_block(ctx.cost());
+    }
+    KernelStats st = kernel_time(spec_, cfg, agg);
+    elapsed_seconds_ += st.seconds;
+    ++kernels_launched_;
+    if (tracing_) {
+      trace_.push_back(
+          TraceRecord{name, cfg.blocks, cfg.threads_per_block, st});
+    }
+    return st;
+  }
+
+  /// Enables per-launch trace recording (off by default; recording a
+  /// tuning search produces thousands of records).
+  void enable_trace(bool on = true) { tracing_ = on; }
+  [[nodiscard]] const std::vector<TraceRecord>& trace() const {
+    return trace_;
+  }
+  void clear_trace() { trace_.clear(); }
+
+  /// Total simulated time since construction / last reset.
+  [[nodiscard]] double elapsed_seconds() const { return elapsed_seconds_; }
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds_ * 1e3; }
+  [[nodiscard]] std::size_t kernels_launched() const {
+    return kernels_launched_;
+  }
+
+  void reset_timeline() {
+    elapsed_seconds_ = 0.0;
+    kernels_launched_ = 0;
+  }
+
+ private:
+  DeviceSpec spec_;
+  AlignedBuffer<std::byte> arena_;
+  double elapsed_seconds_ = 0.0;
+  std::size_t kernels_launched_ = 0;
+  bool tracing_ = false;
+  std::vector<TraceRecord> trace_;
+};
+
+}  // namespace tda::gpusim

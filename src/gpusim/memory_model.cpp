@@ -1,0 +1,57 @@
+#include "gpusim/memory_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tda::gpusim {
+
+double strided_inflation(const DeviceSpec& spec, std::size_t stride_elems,
+                         std::size_t elem_bytes) {
+  TDA_REQUIRE(stride_elems >= 1, "stride must be >= 1");
+  TDA_REQUIRE(elem_bytes >= 1, "element size must be >= 1");
+  const double seg = static_cast<double>(spec.coalesce_segment_bytes);
+  const double e = static_cast<double>(elem_bytes);
+  // A warp's 32 accesses at stride s touch ceil(32·s·e / seg) segments
+  // (at most 32 — one per thread); coalesced payload is 32·e bytes.
+  const double wanted = 32.0 * e;
+  const double span = 32.0 * static_cast<double>(stride_elems) * e;
+  double segments = std::min(32.0, std::max(1.0, span / seg));
+  const double moved = std::max(wanted, segments * seg);
+  return moved / wanted;
+}
+
+double reuse_adjusted_inflation(const DeviceSpec& spec,
+                                std::size_t stride_elems,
+                                std::size_t elem_bytes) {
+  const double raw = strided_inflation(spec, stride_elems, elem_bytes);
+  return 1.0 + (raw - 1.0) * (1.0 - spec.strided_reuse);
+}
+
+double effective_global_bytes(const DeviceSpec& spec, double useful_bytes,
+                              std::size_t stride_elems,
+                              std::size_t elem_bytes) {
+  return useful_bytes *
+         reuse_adjusted_inflation(spec, stride_elems, elem_bytes);
+}
+
+double bank_conflict_factor(const DeviceSpec& spec, std::size_t stride_elems,
+                            std::size_t elem_bytes) {
+  TDA_REQUIRE(stride_elems >= 1, "stride must be >= 1");
+  const std::size_t banks = static_cast<std::size_t>(spec.shared_banks);
+  // Shared banks are 4-byte wide; an element of e bytes advances the bank
+  // index by e/4 words (8-byte doubles hit two banks, modeled as word
+  // stride 2).
+  const std::size_t word_stride =
+      std::max<std::size_t>(1, stride_elems * std::max<std::size_t>(
+                                                  1, elem_bytes / 4));
+  const std::size_t g = std::gcd(word_stride, banks);
+  // g threads of each bank-group collide; the warp replays g times
+  // (classic CUDA rule: conflict degree = gcd(stride, banks)).
+  double factor = static_cast<double>(g);
+  // 16-bank parts service a warp as two half-warps; that constant
+  // half-warp serialization is part of the baseline cost, not a conflict.
+  return std::max(1.0, factor);
+}
+
+}  // namespace tda::gpusim

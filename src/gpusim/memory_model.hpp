@@ -1,0 +1,50 @@
+#pragma once
+// Global-memory coalescing and shared-memory bank-conflict models.
+//
+// Coalescing: a warp of 32 threads reading consecutive elements touches
+// 32·e bytes in ⌈32e/seg⌉ segments — fully coalesced. Reading with an
+// element stride s makes the warp's footprint span 32·s·e bytes; the
+// memory system must still move whole segments, so the useful-byte
+// inflation grows with s until every thread hits its own segment
+// (inflation cap = seg/e). The segment size is a *hidden* device property:
+// 128 B on G80 (whose coalescer gives up on irregular patterns), 64 B on
+// GT200, 32 B on Fermi with its L1.
+//
+// Bank conflicts: a warp accessing shared memory with element stride s
+// hits gcd-determined bank groups; the access replays conflict_factor
+// times.
+
+#include <cstddef>
+#include <numeric>
+
+#include "gpusim/device.hpp"
+
+namespace tda::gpusim {
+
+/// Useful-byte inflation factor (>= 1) of a warp-strided global access.
+/// stride_elems == 1 → 1.0 (fully coalesced).
+double strided_inflation(const DeviceSpec& spec, std::size_t stride_elems,
+                         std::size_t elem_bytes);
+
+/// Inflation after cross-block segment reuse: when many blocks gather
+/// interleaved subsystems from the same region, a cached/row-local memory
+/// system serves part of the redundant segment traffic once. This is the
+/// inflation kernels are charged with.
+double reuse_adjusted_inflation(const DeviceSpec& spec,
+                                std::size_t stride_elems,
+                                std::size_t elem_bytes);
+
+/// Effective bytes the memory system moves for `useful_bytes` of payload
+/// accessed at the given element stride (reuse-adjusted).
+double effective_global_bytes(const DeviceSpec& spec, double useful_bytes,
+                              std::size_t stride_elems,
+                              std::size_t elem_bytes);
+
+/// Shared-memory bank-conflict replay factor for a warp accessing 32-bit
+/// words with the given element stride (CUDA bank rules: bank =
+/// word_index mod banks; conflict factor = warp_size/banks * gcd-derived
+/// group size). Returns >= 1.
+double bank_conflict_factor(const DeviceSpec& spec, std::size_t stride_elems,
+                            std::size_t elem_bytes);
+
+}  // namespace tda::gpusim

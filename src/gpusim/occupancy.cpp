@@ -1,0 +1,62 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tda::gpusim {
+
+Occupancy compute_occupancy(const DeviceQuery& q, const LaunchConfig& cfg) {
+  TDA_REQUIRE(cfg.threads_per_block >= 1, "block needs at least one thread");
+  TDA_REQUIRE(cfg.regs_per_thread >= 1, "regs_per_thread must be positive");
+
+  Occupancy occ;
+  if (cfg.threads_per_block > q.max_threads_per_block) {
+    occ.limiter = "threads_per_block";
+    return occ;
+  }
+  if (cfg.shared_bytes > q.shared_mem_per_sm) {
+    occ.limiter = "shared_memory";
+    return occ;
+  }
+  const long long regs_per_block =
+      static_cast<long long>(cfg.regs_per_thread) * cfg.threads_per_block;
+  if (regs_per_block > q.registers_per_sm) {
+    occ.limiter = "registers";
+    return occ;
+  }
+
+  int by_threads = q.max_threads_per_sm / cfg.threads_per_block;
+  int by_shared = (cfg.shared_bytes == 0)
+                      ? q.max_blocks_per_sm
+                      : static_cast<int>(q.shared_mem_per_sm /
+                                         cfg.shared_bytes);
+  int by_regs = static_cast<int>(q.registers_per_sm / regs_per_block);
+  int by_limit = q.max_blocks_per_sm;
+
+  int blocks = std::min({by_threads, by_shared, by_regs, by_limit});
+  occ.blocks_per_sm = blocks;
+  if (blocks == by_threads) occ.limiter = "threads_per_sm";
+  if (blocks == by_regs) occ.limiter = "registers";
+  if (blocks == by_shared) occ.limiter = "shared_memory";
+  if (blocks == by_limit) occ.limiter = "max_blocks";
+  if (blocks <= 0) {
+    occ.blocks_per_sm = 0;
+    return occ;
+  }
+
+  const int warps_per_block =
+      (cfg.threads_per_block + q.warp_size - 1) / q.warp_size;
+  occ.warps_per_sm = blocks * warps_per_block;
+  const int max_warps = q.max_threads_per_sm / q.warp_size;
+  occ.fraction =
+      static_cast<double>(occ.warps_per_sm) / static_cast<double>(max_warps);
+  occ.fraction = std::min(occ.fraction, 1.0);
+  return occ;
+}
+
+Occupancy compute_occupancy(const DeviceSpec& spec, const LaunchConfig& cfg) {
+  return compute_occupancy(spec.query(), cfg);
+}
+
+}  // namespace tda::gpusim

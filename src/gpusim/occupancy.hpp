@@ -1,0 +1,39 @@
+#pragma once
+// Occupancy calculation: how many blocks of a given launch configuration
+// fit on one streaming multiprocessor simultaneously, and what fraction of
+// the SM's warp slots they fill. This is the CUDA occupancy calculator's
+// arithmetic, driven entirely by queryable properties plus the launch
+// configuration — so both the cost model and the *static* tuner may use it.
+
+#include <cstddef>
+
+#include "gpusim/device.hpp"
+
+namespace tda::gpusim {
+
+/// Per-block resource requirements of a kernel launch.
+struct LaunchConfig {
+  std::size_t blocks = 1;            ///< grid size
+  int threads_per_block = 32;        ///< block size (threads)
+  std::size_t shared_bytes = 0;      ///< shared memory per block
+  int regs_per_thread = 24;          ///< register footprint per thread
+};
+
+/// Result of the occupancy calculation.
+struct Occupancy {
+  int blocks_per_sm = 0;   ///< resident blocks per SM (0 = unlaunchable)
+  int warps_per_sm = 0;    ///< resident warps per SM
+  double fraction = 0.0;   ///< warps_per_sm / max warps
+  const char* limiter = "none";  ///< which resource bound first
+};
+
+/// Computes occupancy of `cfg` on a device described by its queryable
+/// properties. Returns blocks_per_sm == 0 when the configuration cannot
+/// launch at all (block too large for shared memory / registers / thread
+/// limit).
+Occupancy compute_occupancy(const DeviceQuery& q, const LaunchConfig& cfg);
+
+/// Convenience overload for a full spec.
+Occupancy compute_occupancy(const DeviceSpec& spec, const LaunchConfig& cfg);
+
+}  // namespace tda::gpusim

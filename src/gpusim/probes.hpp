@@ -1,0 +1,49 @@
+#pragma once
+// Micro-benchmark probes (§IV-D: the self-tuner "uses static machine
+// characteristics when available, but also uses micro-benchmarks").
+//
+// The probes estimate the performance characteristics that CANNOT be
+// queried (paper §IV-C) by timing tiny synthetic kernels — the same way a
+// real auto-tuner would. They only ever observe simulated kernel times;
+// they never read the hidden DeviceSpec fields, so their results are
+// honest measurements within the simulation.
+
+#include <cstddef>
+#include <vector>
+
+#include "gpusim/launch.hpp"
+
+namespace tda::gpusim {
+
+/// Results of a probe sweep.
+struct ProbeReport {
+  /// Measured peak effective global bandwidth (GB/s) at full occupancy.
+  double peak_bandwidth_gb_s = 0.0;
+  /// Measured bandwidth with a single resident block (starved machine).
+  double starved_bandwidth_gb_s = 0.0;
+  /// Measured inflation of a stride-`s` access relative to stride-1, for
+  /// each probed stride (powers of two starting at 2).
+  std::vector<std::pair<std::size_t, double>> stride_inflation;
+  /// Stride at which inflation stops growing (the transaction segment
+  /// size, expressed in elements) — not directly queryable on the device.
+  std::size_t inflation_saturation_stride = 0;
+  /// Estimated per-launch overhead in microseconds.
+  double launch_overhead_us = 0.0;
+  /// Relative cost of a dependent-chain phase vs a wide parallel phase
+  /// with identical instruction counts (a latency-sensitivity measure).
+  double dependency_penalty = 1.0;
+};
+
+/// Measured effective bandwidth (GB/s) for a streaming kernel moving
+/// `bytes_per_block` with `blocks` blocks of `threads` threads.
+double probe_bandwidth(Device& dev, std::size_t blocks, int threads,
+                       double bytes_per_block, std::size_t stride_elems = 1,
+                       std::size_t elem_bytes = 4);
+
+/// Per-launch overhead estimated from empty-kernel timing (us).
+double probe_launch_overhead(Device& dev);
+
+/// Full probe sweep on a device.
+ProbeReport run_probes(Device& dev, std::size_t elem_bytes = 4);
+
+}  // namespace tda::gpusim

@@ -1,0 +1,67 @@
+#pragma once
+// Kernel launch-configuration helpers that depend ONLY on queryable device
+// properties — the static machine-query tuner is allowed to call these
+// (in a real toolchain the register footprint comes from the compiler and
+// everything else from cudaDeviceProperties).
+
+#include <cstddef>
+
+#include "gpusim/device.hpp"
+
+namespace tda::kernels {
+
+/// Kernel execution fidelity. Full runs the real arithmetic; CostOnly
+/// records the identical cost events (they are data-independent) while
+/// skipping the math — used by the self-tuner's search, whose only
+/// observable is simulated time.
+enum class ExecMode { Full, CostOnly };
+
+/// Register footprint per thread of the PCR-Thomas shared-memory kernel.
+/// Older architectures compile this kernel fatter (32 regs) than Fermi-
+/// class parts (20) — the compiler reports this, so it is "queryable".
+inline int pcr_thomas_regs_per_thread(const gpusim::DeviceQuery& q) {
+  return q.thread_procs_per_sm >= 32 ? 20 : 32;
+}
+
+/// Register footprint of the global splitting kernels (lean).
+inline int split_kernel_regs_per_thread(const gpusim::DeviceQuery&) {
+  return 16;
+}
+
+/// Shared-memory working set of the PCR-Thomas kernel for a system of
+/// `n` equations: 4 coefficient arrays plus the solution. The PCR steps
+/// stage their new coefficients in REGISTERS (each thread holds its
+/// equation's next a,b,c,d between the two __syncthreads of a step) —
+/// which is exactly why the kernel's register footprint is fat enough to
+/// bound occupancy on the older parts.
+inline std::size_t pcr_thomas_shared_bytes(std::size_t n,
+                                           std::size_t elem_bytes) {
+  return 5 * n * elem_bytes;
+}
+
+/// Largest power-of-two system size the PCR-Thomas kernel can solve on
+/// chip: limited by shared memory, the thread-per-equation block size and
+/// the register file. This is the machine-query estimate of the paper's
+/// 256 / 512 / 1024 (fp32) per-device maxima.
+inline std::size_t max_shared_system_size(const gpusim::DeviceQuery& q,
+                                          std::size_t elem_bytes) {
+  const int regs = pcr_thomas_regs_per_thread(q);
+  std::size_t best = 0;
+  for (std::size_t n = 2;; n *= 2) {
+    const bool fits_shared =
+        pcr_thomas_shared_bytes(n, elem_bytes) <= q.shared_mem_per_sm;
+    const bool fits_threads =
+        n <= static_cast<std::size_t>(q.max_threads_per_block);
+    const bool fits_regs =
+        n * static_cast<std::size_t>(regs) <=
+        static_cast<std::size_t>(q.registers_per_sm);
+    if (fits_shared && fits_threads && fits_regs) {
+      best = n;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace tda::kernels

@@ -1,0 +1,114 @@
+#pragma once
+// Device-resident batch: the coefficient arrays a multi-stage solve works
+// on, double-buffered for PCR's read-old/write-new steps.
+//
+// "Upload" copies a host TridiagBatch into the ping buffer; each split
+// step reads the current buffer and writes the other, then swap() flips
+// parity. The solution array x is single-buffered. download() copies x
+// back into a host batch.
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <utility>
+
+#include "common/aligned_buffer.hpp"
+#include "common/check.hpp"
+#include "tridiag/batch.hpp"
+
+namespace tda::kernels {
+
+using tridiag::SystemView;
+using tridiag::TridiagBatch;
+
+template <typename T>
+class DeviceBatch {
+ public:
+  /// Shape-only batch (zero coefficients) — used for cost-only tuning
+  /// runs, where only sizes and access patterns matter. The all-zero
+  /// diagonal would break real arithmetic; set b to 1 so a cost-only
+  /// batch is also numerically inert if accidentally executed fully.
+  DeviceBatch(std::size_t num_systems, std::size_t system_size)
+      : m_(num_systems), n_(system_size) {
+    TDA_REQUIRE(m_ >= 1 && n_ >= 1, "empty batch");
+    allocate();
+    for (auto& v : b_[0]) v = T{1};
+  }
+
+  explicit DeviceBatch(const TridiagBatch<T>& host)
+      : m_(host.num_systems()), n_(host.system_size()) {
+    allocate();
+    std::copy(host.a().begin(), host.a().end(), a_[0].begin());
+    std::copy(host.b().begin(), host.b().end(), b_[0].begin());
+    std::copy(host.c().begin(), host.c().end(), c_[0].begin());
+    std::copy(host.d().begin(), host.d().end(), d_[0].begin());
+  }
+
+  [[nodiscard]] std::size_t num_systems() const { return m_; }
+  [[nodiscard]] std::size_t system_size() const { return n_; }
+  [[nodiscard]] std::size_t total_equations() const { return m_ * n_; }
+
+  /// Current (source) coefficient view of system s; stride 1.
+  [[nodiscard]] SystemView<T> cur_system(std::size_t s) {
+    return view_of(cur_, s);
+  }
+  /// Alternate (destination) coefficient view of system s.
+  [[nodiscard]] SystemView<T> alt_system(std::size_t s) {
+    return view_of(1 - cur_, s);
+  }
+  /// Const view of the current coefficients of system s.
+  [[nodiscard]] SystemView<const T> cur_system_const(std::size_t s) const {
+    const std::size_t off = s * n_;
+    TDA_REQUIRE(s < m_, "system index out of range");
+    return SystemView<const T>{
+        StridedView<const T>(a_[cur_].data() + off, n_, 1),
+        StridedView<const T>(b_[cur_].data() + off, n_, 1),
+        StridedView<const T>(c_[cur_].data() + off, n_, 1),
+        StridedView<const T>(d_[cur_].data() + off, n_, 1)};
+  }
+
+  /// Solution view of system s.
+  [[nodiscard]] StridedView<T> solution(std::size_t s) {
+    TDA_REQUIRE(s < m_, "system index out of range");
+    return StridedView<T>(x_.data() + s * n_, n_, 1);
+  }
+  [[nodiscard]] std::span<T> x() { return x_.span(); }
+  [[nodiscard]] std::span<const T> x() const { return x_.span(); }
+
+  /// Flips the ping-pong parity after a split step.
+  void swap_buffers() { cur_ = 1 - cur_; }
+
+  /// Copies the solution into `host.x()`.
+  void download(TridiagBatch<T>& host) const {
+    TDA_REQUIRE(host.num_systems() == m_ && host.system_size() == n_,
+                "download: shape mismatch");
+    std::copy(x_.begin(), x_.end(), host.x().begin());
+  }
+
+ private:
+  void allocate() {
+    const std::size_t total = m_ * n_;
+    for (auto* buf : {&a_[0], &b_[0], &c_[0], &d_[0], &a_[1], &b_[1],
+                      &c_[1], &d_[1]}) {
+      buf->resize(total);
+    }
+    x_.resize(total);
+  }
+
+  [[nodiscard]] SystemView<T> view_of(int which, std::size_t s) {
+    TDA_REQUIRE(s < m_, "system index out of range");
+    const std::size_t off = s * n_;
+    return SystemView<T>{StridedView<T>(a_[which].data() + off, n_, 1),
+                         StridedView<T>(b_[which].data() + off, n_, 1),
+                         StridedView<T>(c_[which].data() + off, n_, 1),
+                         StridedView<T>(d_[which].data() + off, n_, 1)};
+  }
+
+  std::size_t m_;
+  std::size_t n_;
+  int cur_ = 0;
+  AlignedBuffer<T> a_[2], b_[2], c_[2], d_[2];
+  AlignedBuffer<T> x_;
+};
+
+}  // namespace tda::kernels

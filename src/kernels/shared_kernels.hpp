@@ -1,0 +1,332 @@
+#pragma once
+// Baseline shared-memory kernels for whole systems that fit on chip:
+//
+//  * pure PCR        — log n steps, O(n log n) work, n threads busy
+//  * CR              — 2·log n steps, O(n) work, thread count halves each
+//                      step, power-of-two strides cause bank conflicts
+//  * CR-PCR hybrid   — Zhang et al. (PPoPP 2010), the prior-art hybrid
+//
+// These exist to reproduce the paper's §III-A comparison: the PCR-Thomas
+// hybrid matches CR-PCR in single precision and beats it in double.
+// One block per system; the batch must not have been split.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "common/check.hpp"
+#include "gpusim/launch.hpp"
+#include "gpusim/memory_model.hpp"
+#include "kernels/config.hpp"
+#include "kernels/device_batch.hpp"
+#include "tridiag/cr.hpp"
+#include "tridiag/pcr.hpp"
+
+namespace tda::kernels {
+
+/// Shared working set of the pure-PCR kernel (a,b,c,d + x; steps stage
+/// their new coefficients in registers, as in the PCR-Thomas kernel).
+inline std::size_t pure_pcr_shared_bytes(std::size_t n,
+                                         std::size_t elem_bytes) {
+  return 5 * n * elem_bytes;
+}
+
+/// Shared working set of the CR kernels (in-place a,b,c,d + x).
+inline std::size_t cr_shared_bytes(std::size_t n, std::size_t elem_bytes) {
+  return 5 * n * elem_bytes;
+}
+
+/// Pure PCR: split until every equation stands alone, then x = d/b.
+template <typename T>
+gpusim::KernelStats pure_pcr_kernel(gpusim::Device& dev,
+                                    DeviceBatch<T>& batch) {
+  const std::size_t m = batch.num_systems();
+  const std::size_t n = batch.system_size();
+  const auto& spec = dev.spec();
+
+  gpusim::LaunchConfig cfg;
+  cfg.blocks = m;
+  cfg.threads_per_block = static_cast<int>(
+      std::min<std::size_t>(n, spec.max_threads_per_block));
+  cfg.shared_bytes = pure_pcr_shared_bytes(n, sizeof(T));
+  cfg.regs_per_thread = pcr_thomas_regs_per_thread(dev.query());
+
+  return dev.launch(cfg, [&](gpusim::BlockContext& ctx) {
+    const std::size_t s = ctx.block_index();
+    auto g = batch.cur_system(s);
+    auto gx = batch.solution(s);
+
+    auto sa = ctx.shared_alloc<T>(n);
+    auto sb = ctx.shared_alloc<T>(n);
+    auto sc = ctx.shared_alloc<T>(n);
+    auto sd = ctx.shared_alloc<T>(n);
+    auto sx = ctx.shared_alloc<T>(n);
+    (void)sx;
+    std::vector<T> ra(n), rb(n), rc(n), rd(n);  // register staging
+    for (std::size_t i = 0; i < n; ++i) {
+      sa[i] = g.a[i];
+      sb[i] = g.b[i];
+      sc[i] = g.c[i];
+      sd[i] = g.d[i];
+    }
+    ctx.charge_global(4.0 * n * sizeof(T), 1, sizeof(T));
+    ctx.sync();
+
+    tridiag::SystemView<T> shared_view{tda::StridedView<T>(sa.data(), n, 1),
+                                       tda::StridedView<T>(sb.data(), n, 1),
+                                       tda::StridedView<T>(sc.data(), n, 1),
+                                       tda::StridedView<T>(sd.data(), n, 1)};
+    tridiag::SystemView<T> reg_view{tda::StridedView<T>(ra.data(), n, 1),
+                                    tda::StridedView<T>(rb.data(), n, 1),
+                                    tda::StridedView<T>(rc.data(), n, 1),
+                                    tda::StridedView<T>(rd.data(), n, 1)};
+    for (std::size_t shift = 1; shift < n; shift *= 2) {
+      tridiag::pcr_step(
+          tridiag::SystemView<const T>{
+              shared_view.a.as_const(), shared_view.b.as_const(),
+              shared_view.c.as_const(), shared_view.d.as_const()},
+          reg_view, shift);
+      for (std::size_t i = 0; i < n; ++i) {
+        shared_view.a[i] = reg_view.a[i];
+        shared_view.b[i] = reg_view.b[i];
+        shared_view.c[i] = reg_view.c[i];
+        shared_view.d[i] = reg_view.d[i];
+      }
+      ctx.charge_phase(
+          static_cast<int>(std::min<std::size_t>(n, ctx.threads())),
+          std::ceil(static_cast<double>(n) / ctx.threads()),
+          kSharedPcrWarpInsts);
+      ctx.sync();
+      ctx.sync();
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      gx[i] = shared_view.d[i] / shared_view.b[i];
+    ctx.charge_phase(
+        static_cast<int>(std::min<std::size_t>(n, ctx.threads())),
+        std::ceil(static_cast<double>(n) / ctx.threads()), 2.0);
+    ctx.charge_global(static_cast<double>(n) * sizeof(T), 1, sizeof(T));
+  }, "pure_pcr");
+}
+
+/// Cyclic reduction kernel. Models the classic power-of-two-stride bank
+/// conflicts (a naive, non-padded CR — what Göddeke & Strzodka's
+/// bank-conflict-free variant improves on).
+template <typename T>
+gpusim::KernelStats cr_kernel(gpusim::Device& dev, DeviceBatch<T>& batch) {
+  const std::size_t m = batch.num_systems();
+  const std::size_t n = batch.system_size();
+  const auto& spec = dev.spec();
+
+  gpusim::LaunchConfig cfg;
+  cfg.blocks = m;
+  // One thread per equation (the surplus half helps the coalesced load
+  // and keeps occupancy up; CR levels use progressively fewer).
+  cfg.threads_per_block = static_cast<int>(
+      std::min<std::size_t>(std::max<std::size_t>(1, n),
+                            spec.max_threads_per_block));
+  cfg.shared_bytes = cr_shared_bytes(n, sizeof(T));
+  cfg.regs_per_thread = pcr_thomas_regs_per_thread(dev.query());
+
+  return dev.launch(cfg, [&](gpusim::BlockContext& ctx) {
+    const std::size_t s = ctx.block_index();
+    auto g = batch.cur_system(s);
+    auto gx = batch.solution(s);
+
+    auto sa = ctx.shared_alloc<T>(n);
+    auto sb = ctx.shared_alloc<T>(n);
+    auto sc = ctx.shared_alloc<T>(n);
+    auto sd = ctx.shared_alloc<T>(n);
+    auto sx = ctx.shared_alloc<T>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sa[i] = g.a[i];
+      sb[i] = g.b[i];
+      sc[i] = g.c[i];
+      sd[i] = g.d[i];
+    }
+    ctx.charge_global(4.0 * n * sizeof(T), 1, sizeof(T));
+    ctx.sync();
+
+    tridiag::SystemView<T> sys{tda::StridedView<T>(sa.data(), n, 1),
+                               tda::StridedView<T>(sb.data(), n, 1),
+                               tda::StridedView<T>(sc.data(), n, 1),
+                               tda::StridedView<T>(sd.data(), n, 1)};
+    auto xv = tda::StridedView<T>(sx.data(), n, 1);
+
+    // Forward reduction, one sync per level; active threads halve.
+    std::size_t smax = 1;
+    while (smax < n) smax *= 2;
+    for (std::size_t st = 1; st < n; st *= 2) {
+      std::size_t active = 0;
+      for (std::size_t i = 2 * st - 1; i < n; i += 2 * st) {
+        tridiag::cr_forward_update(sys, i, st);
+        ++active;
+      }
+      const double conflict =
+          gpusim::bank_conflict_factor(spec, 2 * st, sizeof(T));
+      // Arithmetic is conflict-free; only the ~8 strided shared accesses
+      // replay.
+      ctx.charge_phase(static_cast<int>(std::max<std::size_t>(1, active)),
+                       1.0, 6.0, 1.0, 4.0);
+      ctx.charge_phase(static_cast<int>(std::max<std::size_t>(1, active)),
+                       1.0, 8.0, conflict, 2.0);
+      ctx.sync();
+    }
+    // Back substitution.
+    for (std::size_t st = smax; st >= 1; st /= 2) {
+      std::size_t active = 0;
+      for (std::size_t i = st - 1; i < n; i += 2 * st) {
+        T acc = sys.d[i];
+        if (i >= st) acc -= sys.a[i] * xv[i - st];
+        if (i + st < n) acc -= sys.c[i] * xv[i + st];
+        xv[i] = acc / sys.b[i];
+        ++active;
+      }
+      const double conflict =
+          gpusim::bank_conflict_factor(spec, 2 * st, sizeof(T));
+      ctx.charge_phase(static_cast<int>(std::max<std::size_t>(1, active)),
+                       1.0, 3.0, 1.0, 2.0);
+      ctx.charge_phase(static_cast<int>(std::max<std::size_t>(1, active)),
+                       1.0, 5.0, conflict, 1.0);
+      ctx.sync();
+      if (st == 1) break;
+    }
+    for (std::size_t i = 0; i < n; ++i) gx[i] = sx[i];
+    ctx.charge_global(static_cast<double>(n) * sizeof(T), 1, sizeof(T));
+  }, "cr");
+}
+
+/// CR-PCR hybrid kernel (Zhang et al.): CR-reduce to `pcr_threshold`
+/// equations, PCR the reduced system, CR back-substitute.
+template <typename T>
+gpusim::KernelStats cr_pcr_kernel(gpusim::Device& dev, DeviceBatch<T>& batch,
+                                  std::size_t pcr_threshold) {
+  TDA_REQUIRE(pcr_threshold >= 1, "threshold must be >= 1");
+  const std::size_t m = batch.num_systems();
+  const std::size_t n = batch.system_size();
+  const auto& spec = dev.spec();
+
+  gpusim::LaunchConfig cfg;
+  cfg.blocks = m;
+  // One thread per equation, as in cr_kernel.
+  cfg.threads_per_block = static_cast<int>(std::min<std::size_t>(
+      std::max<std::size_t>({std::size_t{32}, n, pcr_threshold}),
+      spec.max_threads_per_block));
+  // CR arrays + PCR double buffer for the reduced system.
+  cfg.shared_bytes =
+      cr_shared_bytes(n, sizeof(T)) + 8 * pcr_threshold * sizeof(T);
+  cfg.regs_per_thread = pcr_thomas_regs_per_thread(dev.query());
+
+  return dev.launch(cfg, [&](gpusim::BlockContext& ctx) {
+    const std::size_t s = ctx.block_index();
+    auto g = batch.cur_system(s);
+    auto gx = batch.solution(s);
+
+    auto sa = ctx.shared_alloc<T>(n);
+    auto sb = ctx.shared_alloc<T>(n);
+    auto sc = ctx.shared_alloc<T>(n);
+    auto sd = ctx.shared_alloc<T>(n);
+    auto sx = ctx.shared_alloc<T>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sa[i] = g.a[i];
+      sb[i] = g.b[i];
+      sc[i] = g.c[i];
+      sd[i] = g.d[i];
+    }
+    ctx.charge_global(4.0 * n * sizeof(T), 1, sizeof(T));
+    ctx.sync();
+
+    tridiag::SystemView<T> sys{tda::StridedView<T>(sa.data(), n, 1),
+                               tda::StridedView<T>(sb.data(), n, 1),
+                               tda::StridedView<T>(sc.data(), n, 1),
+                               tda::StridedView<T>(sd.data(), n, 1)};
+    auto xv = tda::StridedView<T>(sx.data(), n, 1);
+
+    // CR forward (charging per level) mirroring tridiag::cr_pcr_solve.
+    std::size_t stride = 1;
+    std::size_t active_count = n;
+    while (active_count > pcr_threshold && active_count >= 2) {
+      std::size_t active = 0;
+      for (std::size_t i = 2 * stride - 1; i < n; i += 2 * stride) {
+        tridiag::cr_forward_update(sys, i, stride);
+        ++active;
+      }
+      const double conflict =
+          gpusim::bank_conflict_factor(spec, 2 * stride, sizeof(T));
+      ctx.charge_phase(static_cast<int>(std::max<std::size_t>(1, active)),
+                       1.0, 6.0, 1.0, 4.0);
+      ctx.charge_phase(static_cast<int>(std::max<std::size_t>(1, active)),
+                       1.0, 8.0, conflict, 2.0);
+      ctx.sync();
+      stride *= 2;
+      const std::size_t start = stride - 1;
+      active_count = (n > start) ? (n - start + stride - 1) / stride : 0;
+    }
+
+    if (stride == 1) {
+      // System already small: pure PCR on the whole thing.
+      auto ta = ctx.shared_alloc<T>(n > pcr_threshold ? n : pcr_threshold);
+      auto tb = ctx.shared_alloc<T>(n > pcr_threshold ? n : pcr_threshold);
+      auto tc = ctx.shared_alloc<T>(n > pcr_threshold ? n : pcr_threshold);
+      auto td = ctx.shared_alloc<T>(n > pcr_threshold ? n : pcr_threshold);
+      (void)ta;
+      tridiag::SystemView<T> scratch{
+          tda::StridedView<T>(ta.data(), n, 1),
+          tda::StridedView<T>(tb.data(), n, 1),
+          tda::StridedView<T>(tc.data(), n, 1),
+          tda::StridedView<T>(td.data(), n, 1)};
+      tridiag::pcr_solve(sys, scratch, xv);
+      const double steps =
+          static_cast<double>(tridiag::pcr_steps_to_decouple(n));
+      ctx.charge_phase(static_cast<int>(std::min<std::size_t>(
+                           n, ctx.threads())),
+                       steps, kSharedPcrWarpInsts);
+    } else {
+      const std::size_t start = stride - 1;
+      if (start < n && active_count > 0) {
+        tridiag::SystemView<T> red{
+            tda::StridedView<T>(&sys.a[start], active_count, stride),
+            tda::StridedView<T>(&sys.b[start], active_count, stride),
+            tda::StridedView<T>(&sys.c[start], active_count, stride),
+            tda::StridedView<T>(&sys.d[start], active_count, stride)};
+        auto ta = ctx.shared_alloc<T>(active_count);
+        auto tb = ctx.shared_alloc<T>(active_count);
+        auto tc = ctx.shared_alloc<T>(active_count);
+        auto td = ctx.shared_alloc<T>(active_count);
+        tridiag::SystemView<T> scratch{
+            tda::StridedView<T>(ta.data(), active_count, 1),
+            tda::StridedView<T>(tb.data(), active_count, 1),
+            tda::StridedView<T>(tc.data(), active_count, 1),
+            tda::StridedView<T>(td.data(), active_count, 1)};
+        tda::StridedView<T> xr(&xv[start], active_count, stride);
+        tridiag::pcr_solve(red, scratch, xr);
+        const double steps = static_cast<double>(
+            tridiag::pcr_steps_to_decouple(active_count));
+        ctx.charge_phase(static_cast<int>(active_count), steps,
+                         kSharedPcrWarpInsts);
+      }
+      // CR back substitution.
+      for (std::size_t lvl = stride / 2; lvl >= 1; lvl /= 2) {
+        std::size_t active = 0;
+        for (std::size_t i = lvl - 1; i < n; i += 2 * lvl) {
+          T acc = sys.d[i];
+          if (i >= lvl) acc -= sys.a[i] * xv[i - lvl];
+          if (i + lvl < n) acc -= sys.c[i] * xv[i + lvl];
+          xv[i] = acc / sys.b[i];
+          ++active;
+        }
+        const double conflict =
+            gpusim::bank_conflict_factor(spec, 2 * lvl, sizeof(T));
+        ctx.charge_phase(static_cast<int>(std::max<std::size_t>(1, active)),
+                         1.0, 3.0, 1.0, 2.0);
+        ctx.charge_phase(static_cast<int>(std::max<std::size_t>(1, active)),
+                         1.0, 5.0, conflict, 1.0);
+        ctx.sync();
+        if (lvl == 1) break;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) gx[i] = xv[i];
+    ctx.charge_global(static_cast<double>(n) * sizeof(T), 1, sizeof(T));
+  }, "cr_pcr");
+}
+
+}  // namespace tda::kernels

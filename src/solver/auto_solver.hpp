@@ -1,0 +1,81 @@
+#pragma once
+// AutoSolver — the friendly front door of the library.
+//
+// Owns a device, a tuning cache and the per-shape tuned switch points:
+// the first solve of a new (m, n) shape triggers the §IV-D self-tuning
+// run (sub-second), later solves of that shape reuse the cached result —
+// exactly the deployment model the paper advocates ("save those results
+// for future runs"). Handles uniform and ragged batches.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+#include "gpusim/launch.hpp"
+#include "solver/gpu_solver.hpp"
+#include "solver/ragged.hpp"
+#include "tridiag/batch.hpp"
+#include "tuning/cache.hpp"
+#include "tuning/dynamic_tuner.hpp"
+
+namespace tda::solver {
+
+template <typename T>
+class AutoSolver {
+ public:
+  /// `cache_path` (optional) persists tuning results across processes.
+  explicit AutoSolver(gpusim::Device& dev, std::string cache_path = {})
+      : dev_(&dev), cache_path_(std::move(cache_path)) {
+    if (!cache_path_.empty()) cache_.load(cache_path_);
+  }
+
+  ~AutoSolver() {
+    if (!cache_path_.empty()) cache_.save(cache_path_);
+  }
+
+  AutoSolver(const AutoSolver&) = delete;
+  AutoSolver& operator=(const AutoSolver&) = delete;
+
+  /// Tuned switch points for a workload shape (tunes on first use).
+  SwitchPoints points_for(const Workload& w) {
+    tuning::DynamicTuner<T> tuner(*dev_, &cache_);
+    auto result = tuner.tune(w);
+    tunes_performed_ += result.from_cache ? 0 : 1;
+    return result.points;
+  }
+
+  /// Solves a uniform batch with per-shape tuned parameters.
+  SolveStats solve(tridiag::TridiagBatch<T>& batch) {
+    const Workload w{batch.num_systems(), batch.system_size()};
+    GpuTridiagonalSolver<T> solver(*dev_, points_for(w));
+    return solver.solve(batch);
+  }
+
+  /// Solves a ragged batch by grouping equal-sized systems; each group
+  /// is solved with its own tuned parameters. Returns the total
+  /// simulated milliseconds.
+  double solve(RaggedBatch<T>& batch) {
+    double total_ms = 0.0;
+    for (auto& [n, members] : batch.groups_by_size()) {
+      auto group = batch.gather_group(n, members);
+      total_ms += solve(group).total_ms;
+      batch.scatter_group(group, members);
+    }
+    return total_ms;
+  }
+
+  [[nodiscard]] const tuning::TuningCache& cache() const { return cache_; }
+  [[nodiscard]] std::size_t tunes_performed() const {
+    return tunes_performed_;
+  }
+  [[nodiscard]] gpusim::Device& device() { return *dev_; }
+
+ private:
+  gpusim::Device* dev_;
+  std::string cache_path_;
+  tuning::TuningCache cache_;
+  std::size_t tunes_performed_ = 0;
+};
+
+}  // namespace tda::solver

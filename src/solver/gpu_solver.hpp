@@ -1,0 +1,130 @@
+#pragma once
+// The multi-stage GPU tridiagonal solver — the paper's primary
+// contribution. Composes the Stage-1 cooperative splitter, the Stage-2
+// independent splitter and the Stage-3/4 PCR-Thomas base kernel according
+// to a SolvePlan derived from the configured switch points.
+//
+// Typical use:
+//
+//   gpusim::Device dev(gpusim::geforce_gtx_470());
+//   solver::GpuTridiagonalSolver<float> solver(dev, tuned_points);
+//   auto stats = solver.solve(batch);            // batch.x() now holds x
+//   std::cout << stats.total_ms << " simulated ms\n";
+
+#include <cstddef>
+
+#include "common/check.hpp"
+#include "gpusim/launch.hpp"
+#include "kernels/config.hpp"
+#include "kernels/device_batch.hpp"
+#include "kernels/pcr_thomas_kernel.hpp"
+#include "kernels/split_kernels.hpp"
+#include "solver/plan.hpp"
+#include "solver/switch_points.hpp"
+#include "tridiag/batch.hpp"
+
+namespace tda::solver {
+
+/// Timing breakdown of one multi-stage solve (simulated milliseconds).
+struct SolveStats {
+  SolvePlan plan;
+  double total_ms = 0.0;
+  double stage1_ms = 0.0;
+  double stage2_ms = 0.0;
+  double stage3_ms = 0.0;
+  std::size_t kernel_launches = 0;
+};
+
+template <typename T>
+class GpuTridiagonalSolver {
+ public:
+  GpuTridiagonalSolver(gpusim::Device& dev, SwitchPoints points)
+      : dev_(&dev), points_(points) {
+    validate();
+  }
+
+  [[nodiscard]] const SwitchPoints& switch_points() const { return points_; }
+
+  void set_switch_points(SwitchPoints points) {
+    points_ = points;
+    validate();
+  }
+
+  /// Largest stage-3 system size this device supports for element type T.
+  [[nodiscard]] std::size_t max_on_chip_size() const {
+    return kernels::max_shared_system_size(dev_->query(), sizeof(T));
+  }
+
+  /// Builds the plan this solver would execute for a workload.
+  [[nodiscard]] SolvePlan plan_for(const Workload& w) const {
+    return make_plan(w, points_);
+  }
+
+  /// Solves every system of the batch; the solution lands in batch.x().
+  /// Coefficient arrays of `batch` are left untouched (work happens in a
+  /// device-side copy). Returns the simulated timing breakdown.
+  SolveStats solve(tridiag::TridiagBatch<T>& batch) {
+    kernels::DeviceBatch<T> dbatch(batch);
+    SolveStats stats = run(dbatch, kernels::ExecMode::Full);
+    dbatch.download(batch);
+    return stats;
+  }
+
+  /// Runs the full stage pipeline on a pre-allocated device batch. With
+  /// ExecMode::CostOnly the arithmetic is skipped but the simulated time
+  /// is identical — this is what the self-tuner's search measures.
+  SolveStats run(kernels::DeviceBatch<T>& dbatch, kernels::ExecMode mode) {
+    const Workload w{dbatch.num_systems(), dbatch.system_size()};
+    const SolvePlan plan = plan_for(w);
+    SolveStats stats;
+    stats.plan = plan;
+
+    kernels::SplitState st;
+    for (std::size_t i = 0; i < plan.stage1_steps; ++i) {
+      auto ks = kernels::stage1_split_step(*dev_, dbatch, st, mode);
+      stats.stage1_ms += ks.seconds * 1e3;
+      ++stats.kernel_launches;
+    }
+    if (plan.stage2_steps > 0) {
+      auto ks =
+          kernels::stage2_split(*dev_, dbatch, st, plan.stage2_steps, mode);
+      stats.stage2_ms += ks.seconds * 1e3;
+      ++stats.kernel_launches;
+    }
+    {
+      auto ks = kernels::pcr_thomas_stage(
+          *dev_, dbatch, st, plan.thomas_switch, plan.variant, mode);
+      stats.stage3_ms += ks.seconds * 1e3;
+      ++stats.kernel_launches;
+    }
+    stats.total_ms = stats.stage1_ms + stats.stage2_ms + stats.stage3_ms;
+    return stats;
+  }
+
+  /// Simulated solve time (ms) for a workload shape, without real data.
+  /// Allocates a shape-only device batch; prefer run(&batch, CostOnly)
+  /// with a reused batch inside search loops.
+  double simulate_ms(const Workload& w) {
+    kernels::DeviceBatch<T> dbatch(w.num_systems, w.system_size);
+    return run(dbatch, kernels::ExecMode::CostOnly).total_ms;
+  }
+
+ private:
+  void validate() const {
+    TDA_REQUIRE(points_.stage1_target_systems >= 1,
+                "stage1 target must be positive");
+    TDA_REQUIRE(points_.thomas_switch >= 1,
+                "thomas switch must be positive");
+    const std::size_t cap =
+        kernels::max_shared_system_size(dev_->query(), sizeof(T));
+    TDA_REQUIRE(cap >= 2, "device cannot run the base kernel at all");
+    TDA_REQUIRE(points_.stage3_system_size >= 1 &&
+                    points_.stage3_system_size <= cap,
+                "stage3 system size exceeds on-chip capacity");
+  }
+
+  gpusim::Device* dev_;
+  SwitchPoints points_;
+};
+
+}  // namespace tda::solver

@@ -1,0 +1,65 @@
+#pragma once
+// Solve-plan construction: turns (workload, switch points) into concrete
+// stage step counts, implementing the workflow of paper Figure 1.
+
+#include <cstddef>
+
+#include "common/check.hpp"
+#include "solver/switch_points.hpp"
+
+namespace tda::solver {
+
+/// Concrete execution plan for one workload.
+struct SolvePlan {
+  std::size_t stage1_steps = 0;   ///< cooperative splits (one launch each)
+  std::size_t stage2_steps = 0;   ///< independent splits (single launch)
+  std::size_t total_splits = 0;   ///< stage1_steps + stage2_steps
+  std::size_t stage3_sub_size = 0;  ///< max subsystem size entering stage 3
+  std::size_t thomas_switch = 1;
+  kernels::LoadVariant variant = kernels::LoadVariant::Strided;
+};
+
+/// Smallest k such that ceil(n / 2^k) <= limit (0 when n <= limit).
+inline std::size_t splits_needed(std::size_t n, std::size_t limit) {
+  TDA_REQUIRE(limit >= 1, "size limit must be positive");
+  std::size_t k = 0;
+  std::size_t parts = 1;
+  while ((n + parts - 1) / parts > limit) {
+    parts *= 2;
+    ++k;
+    TDA_ENSURE(k < 64, "split count overflow");
+  }
+  return k;
+}
+
+/// Builds the plan: split until subsystems fit the stage-3 size, running
+/// the first splits cooperatively (Stage 1) while there are fewer
+/// independent systems than stage1_target_systems, the rest independently
+/// (Stage 2).
+inline SolvePlan make_plan(const Workload& w, const SwitchPoints& sp) {
+  TDA_REQUIRE(w.num_systems >= 1 && w.system_size >= 1, "empty workload");
+  TDA_REQUIRE(sp.stage3_system_size >= 1, "stage3 size must be positive");
+  TDA_REQUIRE(sp.thomas_switch >= 1, "thomas switch must be positive");
+
+  SolvePlan plan;
+  plan.thomas_switch = sp.thomas_switch;
+  plan.variant = sp.variant;
+  plan.total_splits = splits_needed(w.system_size, sp.stage3_system_size);
+
+  // Stage 1 runs while independent systems < target and splits remain.
+  std::size_t k1 = 0;
+  std::size_t independent = w.num_systems;
+  while (independent < sp.stage1_target_systems &&
+         k1 < plan.total_splits) {
+    independent *= 2;
+    ++k1;
+  }
+  plan.stage1_steps = k1;
+  plan.stage2_steps = plan.total_splits - k1;
+
+  const std::size_t parts = std::size_t{1} << plan.total_splits;
+  plan.stage3_sub_size = (w.system_size + parts - 1) / parts;
+  return plan;
+}
+
+}  // namespace tda::solver

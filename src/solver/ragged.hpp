@@ -1,0 +1,116 @@
+#pragma once
+// Ragged batches: systems of varying size in one container (CSR-style
+// offsets). Real applications — ADI on non-square grids, spline channels
+// of different lengths, adaptive meshes — rarely produce perfectly
+// uniform batches; the solver handles them by grouping equal-sized
+// systems into uniform sub-batches.
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tridiag/batch.hpp"
+
+namespace tda::solver {
+
+/// Variable-size batch of tridiagonal systems. System s occupies
+/// [offset(s), offset(s+1)) of the coefficient arrays.
+template <typename T>
+class RaggedBatch {
+ public:
+  explicit RaggedBatch(std::vector<std::size_t> sizes)
+      : sizes_(std::move(sizes)) {
+    TDA_REQUIRE(!sizes_.empty(), "ragged batch needs at least one system");
+    offsets_.reserve(sizes_.size() + 1);
+    offsets_.push_back(0);
+    for (std::size_t n : sizes_) {
+      TDA_REQUIRE(n >= 1, "every system needs at least one equation");
+      offsets_.push_back(offsets_.back() + n);
+    }
+    const std::size_t total = offsets_.back();
+    a_.resize(total);
+    b_.resize(total);
+    c_.resize(total);
+    d_.resize(total);
+    x_.resize(total);
+  }
+
+  [[nodiscard]] std::size_t num_systems() const { return sizes_.size(); }
+  [[nodiscard]] std::size_t total_equations() const {
+    return offsets_.back();
+  }
+  [[nodiscard]] std::size_t system_size(std::size_t s) const {
+    TDA_REQUIRE(s < sizes_.size(), "system index out of range");
+    return sizes_[s];
+  }
+  [[nodiscard]] std::size_t offset(std::size_t s) const {
+    TDA_REQUIRE(s < offsets_.size(), "offset index out of range");
+    return offsets_[s];
+  }
+
+  [[nodiscard]] std::span<T> a() { return {a_.data(), a_.size()}; }
+  [[nodiscard]] std::span<T> b() { return {b_.data(), b_.size()}; }
+  [[nodiscard]] std::span<T> c() { return {c_.data(), c_.size()}; }
+  [[nodiscard]] std::span<T> d() { return {d_.data(), d_.size()}; }
+  [[nodiscard]] std::span<T> x() { return {x_.data(), x_.size()}; }
+  [[nodiscard]] std::span<const T> a() const { return {a_.data(), a_.size()}; }
+  [[nodiscard]] std::span<const T> b() const { return {b_.data(), b_.size()}; }
+  [[nodiscard]] std::span<const T> c() const { return {c_.data(), c_.size()}; }
+  [[nodiscard]] std::span<const T> d() const { return {d_.data(), d_.size()}; }
+  [[nodiscard]] std::span<const T> x() const { return {x_.data(), x_.size()}; }
+
+  /// Groups system indices by size (ascending size order).
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::vector<std::size_t>>>
+  groups_by_size() const {
+    std::vector<std::pair<std::size_t, std::vector<std::size_t>>> groups;
+    std::vector<std::size_t> order(sizes_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t l, std::size_t r) {
+      return sizes_[l] < sizes_[r];
+    });
+    for (std::size_t idx : order) {
+      if (groups.empty() || groups.back().first != sizes_[idx]) {
+        groups.push_back({sizes_[idx], {}});
+      }
+      groups.back().second.push_back(idx);
+    }
+    return groups;
+  }
+
+  /// Gathers one size-group into a uniform batch.
+  [[nodiscard]] tridiag::TridiagBatch<T> gather_group(
+      std::size_t n, const std::vector<std::size_t>& members) const {
+    tridiag::TridiagBatch<T> batch(members.size(), n);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const std::size_t src = offsets_[members[i]];
+      TDA_REQUIRE(sizes_[members[i]] == n, "group member size mismatch");
+      std::copy_n(a_.data() + src, n, batch.a().data() + i * n);
+      std::copy_n(b_.data() + src, n, batch.b().data() + i * n);
+      std::copy_n(c_.data() + src, n, batch.c().data() + i * n);
+      std::copy_n(d_.data() + src, n, batch.d().data() + i * n);
+    }
+    return batch;
+  }
+
+  /// Scatters a solved group's x back into this container.
+  void scatter_group(const tridiag::TridiagBatch<T>& batch,
+                     const std::vector<std::size_t>& members) {
+    const std::size_t n = batch.system_size();
+    TDA_REQUIRE(batch.num_systems() == members.size(),
+                "scatter: group size mismatch");
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      std::copy_n(batch.x().data() + i * n, n,
+                  x_.data() + offsets_[members[i]]);
+    }
+  }
+
+ private:
+  std::vector<std::size_t> sizes_;
+  std::vector<std::size_t> offsets_;
+  std::vector<T> a_, b_, c_, d_, x_;
+};
+
+}  // namespace tda::solver

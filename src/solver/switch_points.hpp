@@ -1,0 +1,49 @@
+#pragma once
+// The tunable switch points of the multi-stage solver (§III-D) and the
+// workload descriptor.
+
+#include <cstddef>
+#include <string>
+
+#include "kernels/pcr_thomas_kernel.hpp"
+
+namespace tda::solver {
+
+/// A workload: m independent tridiagonal systems of n equations each
+/// (the paper's "m×n", e.g. 1K×1K = 1024 systems of 1024 equations).
+struct Workload {
+  std::size_t num_systems = 1;   ///< m
+  std::size_t system_size = 1;   ///< n
+
+  [[nodiscard]] std::size_t total_equations() const {
+    return num_systems * system_size;
+  }
+};
+
+/// The switch-point parameter set the tuners select.
+struct SwitchPoints {
+  /// Stage-1→2 switch: Stage 1 keeps cooperatively splitting until the
+  /// batch holds at least this many independent systems.
+  std::size_t stage1_target_systems = 16;
+
+  /// Stage-2→3 switch: subsystems enter the shared-memory kernel once
+  /// their size is at most this (must fit on chip; may be tuned smaller
+  /// than capacity for occupancy — paper Fig. 5).
+  std::size_t stage3_system_size = 256;
+
+  /// Stage-3→4 switch: number of interleaved subsystems a block splits
+  /// into before handing each to a Thomas thread (paper Fig. 6).
+  std::size_t thomas_switch = 32;
+
+  /// Global->shared load strategy of the base kernel (§III-A).
+  kernels::LoadVariant variant = kernels::LoadVariant::Strided;
+};
+
+inline std::string describe(const SwitchPoints& sp) {
+  return "stage1_target=" + std::to_string(sp.stage1_target_systems) +
+         " stage3_size=" + std::to_string(sp.stage3_system_size) +
+         " thomas_switch=" + std::to_string(sp.thomas_switch) +
+         " variant=" + kernels::to_string(sp.variant);
+}
+
+}  // namespace tda::solver

@@ -1,0 +1,113 @@
+#pragma once
+// Batched tridiagonal systems in structure-of-arrays layout.
+//
+// A batch holds m systems of n equations each. System s of the batch is
+//
+//   b[0] x0 + c[0] x1                     = d[0]
+//   a[i] x(i-1) + b[i] xi + c[i] x(i+1)   = d[i]     0 < i < n-1
+//   a[n-1] x(n-2) + b[n-1] x(n-1)         = d[n-1]
+//
+// stored system-major: coefficient array A holds system 0's n entries, then
+// system 1's, ... — so one GPU block reading its own system with consecutive
+// threads produces coalesced accesses, exactly the access pattern the
+// paper's kernels rely on. a[0] and c[n-1] are 0 by convention.
+
+#include <cstddef>
+#include <span>
+
+#include "common/aligned_buffer.hpp"
+#include "common/check.hpp"
+#include "common/strided_view.hpp"
+
+namespace tda::tridiag {
+
+/// Non-owning view of one (sub)system's coefficients. All four views share
+/// count and stride. PCR rewrites a/b/c/d in place (via a double buffer);
+/// the unknowns are written to a separate x view.
+template <typename T>
+struct SystemView {
+  StridedView<T> a, b, c, d;
+
+  [[nodiscard]] std::size_t size() const { return a.size(); }
+  [[nodiscard]] std::size_t stride() const { return a.stride(); }
+
+  /// Even/odd children after one PCR split.
+  [[nodiscard]] std::pair<SystemView, SystemView> split() const {
+    auto [ae, ao] = a.split();
+    auto [be, bo] = b.split();
+    auto [ce, co] = c.split();
+    auto [de, doo] = d.split();
+    return {SystemView{ae, be, ce, de}, SystemView{ao, bo, co, doo}};
+  }
+
+  /// j-th of 2^k interleaved subsystems.
+  [[nodiscard]] SystemView subsystem(std::size_t k, std::size_t j) const {
+    return SystemView{a.subsystem(k, j), b.subsystem(k, j),
+                      c.subsystem(k, j), d.subsystem(k, j)};
+  }
+};
+
+/// Owning batch of m tridiagonal systems of size n (SoA, system-major).
+template <typename T>
+class TridiagBatch {
+ public:
+  TridiagBatch() = default;
+
+  TridiagBatch(std::size_t num_systems, std::size_t system_size)
+      : m_(num_systems), n_(system_size) {
+    TDA_REQUIRE(num_systems > 0, "batch needs at least one system");
+    TDA_REQUIRE(system_size > 0, "system size must be positive");
+    const std::size_t total = m_ * n_;
+    a_.resize(total);
+    b_.resize(total);
+    c_.resize(total);
+    d_.resize(total);
+    x_.resize(total);
+  }
+
+  [[nodiscard]] std::size_t num_systems() const { return m_; }
+  [[nodiscard]] std::size_t system_size() const { return n_; }
+  [[nodiscard]] std::size_t total_equations() const { return m_ * n_; }
+
+  [[nodiscard]] std::span<T> a() { return a_.span(); }
+  [[nodiscard]] std::span<T> b() { return b_.span(); }
+  [[nodiscard]] std::span<T> c() { return c_.span(); }
+  [[nodiscard]] std::span<T> d() { return d_.span(); }
+  [[nodiscard]] std::span<T> x() { return x_.span(); }
+  [[nodiscard]] std::span<const T> a() const { return a_.span(); }
+  [[nodiscard]] std::span<const T> b() const { return b_.span(); }
+  [[nodiscard]] std::span<const T> c() const { return c_.span(); }
+  [[nodiscard]] std::span<const T> d() const { return d_.span(); }
+  [[nodiscard]] std::span<const T> x() const { return x_.span(); }
+
+  /// Coefficient view of system s (contiguous, stride 1).
+  [[nodiscard]] SystemView<T> system(std::size_t s) {
+    TDA_REQUIRE(s < m_, "system index out of range");
+    const std::size_t off = s * n_;
+    return SystemView<T>{StridedView<T>(a_.data() + off, n_, 1),
+                         StridedView<T>(b_.data() + off, n_, 1),
+                         StridedView<T>(c_.data() + off, n_, 1),
+                         StridedView<T>(d_.data() + off, n_, 1)};
+  }
+
+  /// Solution view of system s.
+  [[nodiscard]] StridedView<T> solution(std::size_t s) {
+    TDA_REQUIRE(s < m_, "system index out of range");
+    return StridedView<T>(x_.data() + s * n_, n_, 1);
+  }
+
+  /// Enforces the boundary convention a[0] = c[n-1] = 0 on every system.
+  void normalize_boundaries() {
+    for (std::size_t s = 0; s < m_; ++s) {
+      a_[s * n_] = T{0};
+      c_[s * n_ + n_ - 1] = T{0};
+    }
+  }
+
+ private:
+  std::size_t m_ = 0;
+  std::size_t n_ = 0;
+  AlignedBuffer<T> a_, b_, c_, d_, x_;
+};
+
+}  // namespace tda::tridiag

@@ -1,0 +1,145 @@
+#pragma once
+// Parallel cyclic reduction (PCR).
+//
+// One PCR step with shift s rewrites every equation i by eliminating its
+// couplings to i-s and i+s using those equations, leaving i coupled to
+// i-2s and i+2s instead. After one shift-1 step the even and odd equations
+// form two independent interleaved subsystems; this is the splitting
+// primitive behind every stage of the multi-stage solver. Running steps
+// with shifts 1, 2, 4, ... ⌈log2 n⌉ times decouples every unknown:
+// x[i] = d[i] / b[i].
+//
+// All functions operate on SystemView (strided), so the same code serves
+// the CPU reference, the global-memory splitting kernels and the
+// shared-memory stage.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tridiag/batch.hpp"
+
+namespace tda::tridiag {
+
+/// One PCR step with the given shift (in view-local index space).
+/// Reads src, writes dst; src and dst must not alias and must have the
+/// same size. Boundary neighbours (i-s < 0, i+s >= n) are treated as
+/// absent, which makes the step valid for any n, power of two or not.
+template <typename T>
+void pcr_step(const SystemView<const T>& src, const SystemView<T>& dst,
+              std::size_t shift) {
+  const std::size_t n = src.size();
+  TDA_REQUIRE(dst.size() == n, "pcr_step: size mismatch");
+  TDA_REQUIRE(shift >= 1, "pcr_step: shift must be >= 1");
+  const auto s = static_cast<std::ptrdiff_t>(shift);
+  const auto nn = static_cast<std::ptrdiff_t>(n);
+
+  for (std::ptrdiff_t i = 0; i < nn; ++i) {
+    const std::ptrdiff_t im = i - s;
+    const std::ptrdiff_t ip = i + s;
+    const auto ui = static_cast<std::size_t>(i);
+
+    T alpha{0}, gamma{0};
+    T nb = src.b[ui];
+    T na{0}, nc{0};
+    T nd = src.d[ui];
+
+    if (im >= 0) {
+      const auto uim = static_cast<std::size_t>(im);
+      alpha = -src.a[ui] / src.b[uim];
+      nb += alpha * src.c[uim];
+      na = alpha * src.a[uim];
+      nd += alpha * src.d[uim];
+    }
+    if (ip < nn) {
+      const auto uip = static_cast<std::size_t>(ip);
+      gamma = -src.c[ui] / src.b[uip];
+      nb += gamma * src.a[uip];
+      nc = gamma * src.c[uip];
+      nd += gamma * src.d[uip];
+    }
+    dst.a[ui] = na;
+    dst.b[ui] = nb;
+    dst.c[ui] = nc;
+    dst.d[ui] = nd;
+  }
+}
+
+/// PCR step restricted to equations [begin, end) of the view — the work a
+/// single cooperating block contributes to a grid-wide split (Stage 1).
+/// Neighbour reads may fall outside [begin, end); they read `src`, which
+/// holds pre-step values, so chunked execution equals a full pcr_step.
+template <typename T>
+void pcr_step_range(const SystemView<const T>& src, const SystemView<T>& dst,
+                    std::size_t shift, std::size_t begin, std::size_t end) {
+  const std::size_t n = src.size();
+  TDA_REQUIRE(dst.size() == n, "pcr_step_range: size mismatch");
+  TDA_REQUIRE(begin <= end && end <= n, "pcr_step_range: bad range");
+  TDA_REQUIRE(shift >= 1, "pcr_step_range: shift must be >= 1");
+  const auto s = static_cast<std::ptrdiff_t>(shift);
+  const auto nn = static_cast<std::ptrdiff_t>(n);
+
+  for (std::size_t ui = begin; ui < end; ++ui) {
+    const auto i = static_cast<std::ptrdiff_t>(ui);
+    const std::ptrdiff_t im = i - s;
+    const std::ptrdiff_t ip = i + s;
+    T nb = src.b[ui];
+    T na{0}, nc{0};
+    T nd = src.d[ui];
+    if (im >= 0) {
+      const auto uim = static_cast<std::size_t>(im);
+      const T alpha = -src.a[ui] / src.b[uim];
+      nb += alpha * src.c[uim];
+      na = alpha * src.a[uim];
+      nd += alpha * src.d[uim];
+    }
+    if (ip < nn) {
+      const auto uip = static_cast<std::size_t>(ip);
+      const T gamma = -src.c[ui] / src.b[uip];
+      nb += gamma * src.a[uip];
+      nc = gamma * src.c[uip];
+      nd += gamma * src.d[uip];
+    }
+    dst.a[ui] = na;
+    dst.b[ui] = nb;
+    dst.c[ui] = nc;
+    dst.d[ui] = nd;
+  }
+}
+
+/// Number of PCR steps with doubling shifts needed to fully decouple a
+/// system of size n (⌈log2 n⌉; 0 for n <= 1).
+inline std::size_t pcr_steps_to_decouple(std::size_t n) {
+  std::size_t steps = 0;
+  std::size_t shift = 1;
+  while (shift < n) {
+    shift *= 2;
+    ++steps;
+  }
+  return steps;
+}
+
+/// Flop count of one PCR step over n equations (for cost accounting).
+inline std::size_t pcr_step_flops(std::size_t n) { return 14 * n; }
+
+/// Full PCR solve of a single system using caller-visible scratch of the
+/// same shape. Overwrites both sys and scratch; writes unknowns to x.
+/// This is the CPU reference for the pure-PCR GPU kernel.
+template <typename T>
+void pcr_solve(SystemView<T> sys, SystemView<T> scratch, StridedView<T> x) {
+  const std::size_t n = sys.size();
+  TDA_REQUIRE(scratch.size() == n, "pcr_solve: scratch size mismatch");
+  TDA_REQUIRE(x.size() == n, "pcr_solve: solution size mismatch");
+
+  SystemView<T>* src = &sys;
+  SystemView<T>* dst = &scratch;
+  for (std::size_t shift = 1; shift < n; shift *= 2) {
+    pcr_step(SystemView<const T>{src->a.as_const(), src->b.as_const(),
+                                 src->c.as_const(), src->d.as_const()},
+             *dst, shift);
+    std::swap(src, dst);
+  }
+  for (std::size_t i = 0; i < n; ++i) x[i] = src->d[i] / src->b[i];
+}
+
+}  // namespace tda::tridiag

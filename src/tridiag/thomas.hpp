@@ -1,0 +1,84 @@
+#pragma once
+// Thomas algorithm (tridiagonal LU without pivoting).
+//
+// O(n) work, strictly serial — the paper's Stage 4 runs one instance per
+// GPU thread on an interleaved shared-memory subsystem, which is why the
+// implementation below works on StridedView rather than raw arrays.
+//
+// Requires nonzero pivots (guaranteed for strictly diagonally dominant or
+// symmetric positive definite systems). For general systems use
+// tda::cpu::gtsv_solve, which pivots.
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/check.hpp"
+#include "common/strided_view.hpp"
+#include "tridiag/batch.hpp"
+
+namespace tda::tridiag {
+
+/// Solves sys in place (forward sweep overwrites c and d) and writes the
+/// unknowns to x. x may alias d. Returns false if a zero pivot was hit
+/// (solution is then invalid).
+template <typename T>
+bool thomas_solve_inplace(SystemView<T> sys, StridedView<T> x) {
+  const std::size_t n = sys.size();
+  TDA_REQUIRE(x.size() == n, "solution view size mismatch");
+  if (n == 0) return true;
+
+  // Forward elimination: c[i] and d[i] become the c'/d' of the standard
+  // formulation.
+  T denom = sys.b[0];
+  if (denom == T{0}) return false;
+  sys.c[0] = sys.c[0] / denom;
+  sys.d[0] = sys.d[0] / denom;
+  for (std::size_t i = 1; i < n; ++i) {
+    denom = sys.b[i] - sys.a[i] * sys.c[i - 1];
+    if (denom == T{0}) return false;
+    const T inv = T{1} / denom;
+    if (i + 1 < n) sys.c[i] = sys.c[i] * inv;
+    sys.d[i] = (sys.d[i] - sys.a[i] * sys.d[i - 1]) * inv;
+  }
+
+  // Back substitution.
+  x[n - 1] = sys.d[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) {
+    x[i] = sys.d[i] - sys.c[i] * x[i + 1];
+  }
+  return true;
+}
+
+/// Non-destructive Thomas solve: copies coefficients into caller-provided
+/// scratch (cs, ds; each of size n) first.
+template <typename T>
+bool thomas_solve(const SystemView<const T>& sys, StridedView<T> x,
+                  StridedView<T> cs, StridedView<T> ds) {
+  const std::size_t n = sys.size();
+  TDA_REQUIRE(cs.size() == n && ds.size() == n, "scratch size mismatch");
+  if (n == 0) return true;
+
+  T denom = sys.b[0];
+  if (denom == T{0}) return false;
+  cs[0] = sys.c[0] / denom;
+  ds[0] = sys.d[0] / denom;
+  for (std::size_t i = 1; i < n; ++i) {
+    denom = sys.b[i] - sys.a[i] * cs[i - 1];
+    if (denom == T{0}) return false;
+    const T inv = T{1} / denom;
+    cs[i] = (i + 1 < n) ? sys.c[i] * inv : T{0};
+    ds[i] = (sys.d[i] - sys.a[i] * ds[i - 1]) * inv;
+  }
+  x[n - 1] = ds[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) x[i] = ds[i] - cs[i] * x[i + 1];
+  return true;
+}
+
+/// Number of floating point operations a Thomas solve of size n performs
+/// (used by the simulator's compute-cost accounting).
+inline std::size_t thomas_flops(std::size_t n) {
+  if (n == 0) return 0;
+  return 8 * n;  // ~5 flops forward + ~2 backward + divisions, rounded
+}
+
+}  // namespace tda::tridiag

@@ -1,0 +1,65 @@
+#include "tuning/cache.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace tda::tuning {
+
+std::string TuningCache::make_key(const std::string& device_name,
+                                  std::size_t elem_bytes, std::size_t m,
+                                  std::size_t n) {
+  std::ostringstream os;
+  os << device_name << "|fp" << elem_bytes * 8 << "|" << m << "x" << n;
+  return os.str();
+}
+
+std::optional<CacheEntry> TuningCache::find(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void TuningCache::store(const std::string& key, const CacheEntry& entry) {
+  entries_[key] = entry;
+}
+
+std::size_t TuningCache::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::size_t count = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    // key \t stage1 \t stage3 \t thomas \t variant \t ms
+    std::istringstream ls(line);
+    std::string key, variant;
+    CacheEntry e;
+    if (!std::getline(ls, key, '\t')) continue;
+    if (!(ls >> e.points.stage1_target_systems >>
+          e.points.stage3_system_size >> e.points.thomas_switch >> variant >>
+          e.tuned_ms)) {
+      continue;
+    }
+    e.points.variant = (variant == "coalesced")
+                           ? kernels::LoadVariant::Coalesced
+                           : kernels::LoadVariant::Strided;
+    entries_[key] = e;
+    ++count;
+  }
+  return count;
+}
+
+bool TuningCache::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# tridiag_autotune tuning cache v1\n";
+  for (const auto& [key, e] : entries_) {
+    out << key << '\t' << e.points.stage1_target_systems << ' '
+        << e.points.stage3_system_size << ' ' << e.points.thomas_switch
+        << ' ' << kernels::to_string(e.points.variant) << ' ' << e.tuned_ms
+        << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace tda::tuning

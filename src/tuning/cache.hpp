@@ -1,0 +1,42 @@
+#pragma once
+// Persistent store for tuned switch points, keyed by
+// (device, precision, workload shape) — the paper's "save those results
+// for future runs". Plain text, one record per line.
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "solver/switch_points.hpp"
+
+namespace tda::tuning {
+
+/// One cached tuning record.
+struct CacheEntry {
+  solver::SwitchPoints points;
+  double tuned_ms = 0.0;  ///< best simulated time observed while tuning
+};
+
+class TuningCache {
+ public:
+  /// Builds the canonical cache key.
+  static std::string make_key(const std::string& device_name,
+                              std::size_t elem_bytes, std::size_t m,
+                              std::size_t n);
+
+  [[nodiscard]] std::optional<CacheEntry> find(const std::string& key) const;
+  void store(const std::string& key, const CacheEntry& entry);
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  /// Serialisation. load() merges into the current contents and returns
+  /// the number of records read (0 for a missing file).
+  std::size_t load(const std::string& path);
+  bool save(const std::string& path) const;
+
+ private:
+  std::map<std::string, CacheEntry> entries_;
+};
+
+}  // namespace tda::tuning

@@ -1,0 +1,62 @@
+#pragma once
+// The three parameter-selection strategies of §IV:
+//
+//  * default_switch_points  — machine-oblivious constants; must be safe on
+//    the least capable supported device (§IV-B);
+//  * static_switch_points   — derived from queryable device properties
+//    only (§IV-C);
+//  * DynamicTuner           — measured search seeded by the static guess
+//    (§IV-D; see dynamic_tuner.hpp).
+
+#include <algorithm>
+#include <cstddef>
+
+#include "gpusim/device.hpp"
+#include "kernels/config.hpp"
+#include "solver/switch_points.hpp"
+
+namespace tda::tuning {
+
+/// Machine-oblivious defaults (§IV-B).
+///
+/// * stage-3 size 256: the largest on-chip system the weakest supported
+///   card can hold, so the kernel launches everywhere;
+/// * Thomas switch 32: one subsystem per warp lane, "large enough that
+///   each warp has systems to solve";
+/// * stage-1 target 16: "most devices have between four and twenty-four
+///   processors";
+/// * strided loads: correct for any stride.
+template <typename T>
+solver::SwitchPoints default_switch_points() {
+  solver::SwitchPoints sp;
+  sp.stage1_target_systems = 16;
+  sp.stage3_system_size = 256;
+  sp.thomas_switch = 32;
+  sp.variant = kernels::LoadVariant::Strided;
+  return sp;
+}
+
+/// Machine-query tuning (§IV-C): uses cudaDeviceProperties-style
+/// information only.
+///
+/// * stage-3 size: switch to the base kernel as soon as a subsystem fits
+///   on chip (shared memory / registers / block-size limits);
+/// * Thomas switch 64 (two warps): bank count and shared bandwidth are
+///   not queryable, so the guess is warp-size based and identical on
+///   every device — precisely why Fig. 6 shows it losing on newer parts;
+/// * stage-1 target: one independent system per processor — the only
+///   proxy available, since the bandwidth-saturation point cannot be
+///   queried (§IV-C: "we must estimate based only on the number of
+///   available processors").
+template <typename T>
+solver::SwitchPoints static_switch_points(const gpusim::DeviceQuery& q) {
+  solver::SwitchPoints sp;
+  const std::size_t cap = kernels::max_shared_system_size(q, sizeof(T));
+  sp.stage3_system_size = std::max<std::size_t>(2, cap);
+  sp.thomas_switch = static_cast<std::size_t>(2 * q.warp_size);
+  sp.stage1_target_systems = static_cast<std::size_t>(q.sm_count);
+  sp.variant = kernels::LoadVariant::Strided;
+  return sp;
+}
+
+}  // namespace tda::tuning

@@ -1,0 +1,132 @@
+// Tests for the batch diagnostics: dominance scanning, zero-diagonal
+// detection, boundary-convention checks and condition estimation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tridiag/diagnostics.hpp"
+#include "tridiag/generators.hpp"
+#include "tridiag/verify.hpp"
+
+namespace {
+
+using namespace tda;
+using namespace tda::tridiag;
+
+TEST(Diagnose, DominantBatchIsDominant) {
+  auto batch = make_diag_dominant<double>(4, 64, 1, /*dominance=*/2.0);
+  auto d = diagnose(batch);
+  EXPECT_TRUE(d.strictly_dominant);
+  EXPECT_GT(d.dominance, 1.0);
+  EXPECT_FALSE(d.zero_diagonal);
+  EXPECT_TRUE(d.boundaries_normalized);
+}
+
+TEST(Diagnose, PoissonIsExactlyBorderline) {
+  // Interior rows of the Poisson stencil have |b| = |a|+|c| = 2: the
+  // dominance ratio is exactly 1 (weakly, not strictly, dominant).
+  auto batch = make_poisson<double>(1, 32, 2);
+  auto d = diagnose(batch);
+  EXPECT_DOUBLE_EQ(d.dominance, 1.0);
+  EXPECT_FALSE(d.strictly_dominant);
+}
+
+TEST(Diagnose, FindsWorstRow) {
+  auto batch = make_diag_dominant<double>(2, 16, 3, 4.0);
+  // Sabotage one row.
+  batch.b()[16 + 5] = 0.01;
+  auto d = diagnose(batch);
+  EXPECT_EQ(d.worst_system, 1u);
+  EXPECT_EQ(d.worst_equation, 5u);
+  EXPECT_FALSE(d.strictly_dominant);
+}
+
+TEST(Diagnose, DetectsZeroDiagonal) {
+  auto batch = make_diag_dominant<double>(1, 8, 4);
+  batch.b()[3] = 0.0;
+  auto d = diagnose(batch);
+  EXPECT_TRUE(d.zero_diagonal);
+  EXPECT_FALSE(d.strictly_dominant);
+}
+
+TEST(Diagnose, DetectsUnnormalizedBoundaries) {
+  auto batch = make_diag_dominant<double>(1, 8, 5);
+  batch.a()[0] = 0.5;
+  auto d = diagnose(batch);
+  EXPECT_FALSE(d.boundaries_normalized);
+}
+
+TEST(Diagnose, ReportString) {
+  auto batch = make_diag_dominant<double>(1, 8, 6);
+  auto d = diagnose(batch);
+  const auto s = to_string(d);
+  EXPECT_NE(s.find("dominance="), std::string::npos);
+  EXPECT_NE(s.find("strictly dominant"), std::string::npos);
+}
+
+// ---------- condition estimation ----------
+
+TEST(Condition, IdentityIsPerfectlyConditioned) {
+  TridiagBatch<double> batch(1, 16);
+  for (auto& v : batch.b()) v = 1.0;
+  auto sys = batch.system(0);
+  SystemView<const double> csys{sys.a.as_const(), sys.b.as_const(),
+                                sys.c.as_const(), sys.d.as_const()};
+  EXPECT_NEAR(estimate_condition(csys), 1.0, 1e-12);
+}
+
+TEST(Condition, ScalingInvariant) {
+  // cond(alpha * A) == cond(A).
+  auto b1 = make_diag_dominant<double>(1, 64, 7);
+  auto b2 = b1;
+  for (auto& v : b2.a()) v *= 100.0;
+  for (auto& v : b2.b()) v *= 100.0;
+  for (auto& v : b2.c()) v *= 100.0;
+  auto s1 = b1.system(0);
+  auto s2 = b2.system(0);
+  const double c1 = estimate_condition(SystemView<const double>{
+      s1.a.as_const(), s1.b.as_const(), s1.c.as_const(), s1.d.as_const()});
+  const double c2 = estimate_condition(SystemView<const double>{
+      s2.a.as_const(), s2.b.as_const(), s2.c.as_const(), s2.d.as_const()});
+  EXPECT_NEAR(c1, c2, c1 * 1e-10);
+}
+
+TEST(Condition, PoissonGrowsQuadratically) {
+  // cond(Poisson_n) ~ (n/pi)^2 * 4: the estimate must reflect the growth.
+  auto small = make_poisson<double>(1, 16, 8);
+  auto large = make_poisson<double>(1, 64, 9);
+  auto ss = small.system(0);
+  auto sl = large.system(0);
+  const double cs = estimate_condition(SystemView<const double>{
+      ss.a.as_const(), ss.b.as_const(), ss.c.as_const(), ss.d.as_const()});
+  const double cl = estimate_condition(SystemView<const double>{
+      sl.a.as_const(), sl.b.as_const(), sl.c.as_const(), sl.d.as_const()});
+  EXPECT_GT(cl, 10.0 * cs);  // 16x growth expected for 4x the size
+  EXPECT_GT(cs, 50.0);       // (16/pi)^2 * 4 ~ 104
+  EXPECT_LT(cs, 250.0);
+}
+
+TEST(Condition, LowerBoundsTrueCondition) {
+  // The estimate is a lower bound on ||A||_1 ||A^{-1}||_1; for a
+  // well-conditioned dominant system it should land within a small
+  // factor of a dense computation. Sanity: it exceeds 1 always.
+  auto batch = make_diag_dominant<double>(1, 32, 10);
+  auto sys = batch.system(0);
+  const double c = estimate_condition(SystemView<const double>{
+      sys.a.as_const(), sys.b.as_const(), sys.c.as_const(),
+      sys.d.as_const()});
+  EXPECT_GE(c, 1.0);
+  EXPECT_LT(c, 1e4);  // dominant systems are well conditioned
+}
+
+TEST(Condition, SingularReportsInfinity) {
+  TridiagBatch<double> batch(1, 4);  // all-zero matrix
+  auto sys = batch.system(0);
+  const double c = estimate_condition(SystemView<const double>{
+      sys.a.as_const(), sys.b.as_const(), sys.c.as_const(),
+      sys.d.as_const()});
+  EXPECT_TRUE(std::isinf(c));
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Tests for the divide-and-conquer generalization (§VI-C): the
+// multi-stage auto-tuned merge sort over the simulated GPU.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dnc/mergesort.hpp"
+#include "gpusim/launch.hpp"
+
+namespace {
+
+using namespace tda;
+using namespace tda::dnc;
+
+std::vector<float> random_input(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1e3, 1e3));
+  return v;
+}
+
+// ---------- capacity / configuration ----------
+
+TEST(MergeSortConfig, MaxChunkSizesPerDevice) {
+  // 2 float arrays on chip, c/2 threads per block.
+  EXPECT_EQ(max_chunk_size(gpusim::geforce_8800_gtx().query(), 4), 1024u);
+  EXPECT_EQ(max_chunk_size(gpusim::geforce_gtx_280().query(), 4), 1024u);
+  EXPECT_EQ(max_chunk_size(gpusim::geforce_gtx_470().query(), 4), 2048u);
+}
+
+TEST(MergeSortConfig, RejectsBadChunkSizes) {
+  gpusim::Device dev(gpusim::geforce_gtx_280());
+  SortSwitchPoints sp;
+  sp.chunk_size = 3000;  // not a power of two
+  EXPECT_THROW(MultiStageSorter<float>(dev, sp), ContractError);
+  sp.chunk_size = 4096;  // beyond on-chip capacity for this device
+  EXPECT_THROW(MultiStageSorter<float>(dev, sp), ContractError);
+}
+
+TEST(MergeSortConfig, PlanCountsLevels) {
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  SortSwitchPoints sp;
+  sp.chunk_size = 1024;
+  sp.coop_threshold = 16;
+  MultiStageSorter<float> sorter(dev, sp);
+  auto plan = sorter.plan_for(1 << 20);  // 1024 chunks
+  EXPECT_EQ(plan.chunks, 1024u);
+  EXPECT_EQ(plan.independent_levels, 6u);  // 1024 -> 16
+  EXPECT_EQ(plan.cooperative_levels, 4u);  // 16 -> 1
+}
+
+// ---------- correctness ----------
+
+class MergeSortSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MergeSortSizes, SortsCorrectly) {
+  const std::size_t n = GetParam();
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  MultiStageSorter<float> sorter(dev, default_sort_points());
+  auto data = random_input(n, 1000 + n);
+  auto ref = data;
+  std::sort(ref.begin(), ref.end());
+  auto stats = sorter.sort(data);
+  EXPECT_EQ(data, ref) << "n=" << n;
+  if (n > 1) {
+    EXPECT_GT(stats.total_ms, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MergeSortSizes,
+                         ::testing::Values(0, 1, 2, 100, 1024, 1025, 4096,
+                                           100000, 1 << 18));
+
+TEST(MergeSort, SortsOnEveryDevice) {
+  for (const auto& spec : gpusim::device_registry()) {
+    gpusim::Device dev(spec);
+    MultiStageSorter<float> sorter(dev, default_sort_points());
+    auto data = random_input(50000, 77);
+    auto ref = data;
+    std::sort(ref.begin(), ref.end());
+    sorter.sort(data);
+    EXPECT_EQ(data, ref) << spec.name;
+  }
+}
+
+TEST(MergeSort, AlreadySortedAndReverse) {
+  gpusim::Device dev(gpusim::geforce_gtx_280());
+  MultiStageSorter<float> sorter(dev, default_sort_points());
+  std::vector<float> asc(10000);
+  for (std::size_t i = 0; i < asc.size(); ++i)
+    asc[i] = static_cast<float>(i);
+  auto expect = asc;
+  auto desc = asc;
+  std::reverse(desc.begin(), desc.end());
+  sorter.sort(asc);
+  EXPECT_EQ(asc, expect);
+  sorter.sort(desc);
+  EXPECT_EQ(desc, expect);
+}
+
+TEST(MergeSort, DuplicatesPreserved) {
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  MultiStageSorter<float> sorter(dev, default_sort_points());
+  Rng rng(5);
+  std::vector<float> data(20000);
+  for (auto& v : data) v = static_cast<float>(rng.below(8));
+  auto ref = data;
+  std::sort(ref.begin(), ref.end());
+  sorter.sort(data);
+  EXPECT_EQ(data, ref);
+}
+
+// ---------- cost behaviour mirrors the solver's tradeoffs ----------
+
+TEST(MergeSort, CostOnlyMatchesFullTime) {
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  MultiStageSorter<float> sorter(dev, default_sort_points());
+  auto data = random_input(1 << 18, 6);
+  const double full_ms = sorter.sort(data).total_ms;
+  const double sim_ms = sorter.simulate_ms(1 << 18);
+  EXPECT_DOUBLE_EQ(full_ms, sim_ms);
+}
+
+TEST(MergeSort, BothThresholdExtremesLoseToTheMiddle) {
+  // The same tension as the tridiagonal stage-1 target: never going
+  // cooperative ends with a single starved block merging everything;
+  // always going cooperative pays the grid-sync penalty on every level.
+  // A moderate threshold beats both extremes.
+  gpusim::Device dev(gpusim::geforce_gtx_280());
+  const std::size_t n = 1 << 20;
+  auto time_at = [&](std::size_t threshold) {
+    SortSwitchPoints sp;
+    sp.chunk_size = 1024;
+    sp.coop_threshold = threshold;
+    MultiStageSorter<float> s(dev, sp);
+    return s.simulate_ms(n);
+  };
+  const double never_coop = time_at(1);
+  const double always_coop = time_at(1 << 20);
+  const double middle = time_at(32);
+  EXPECT_LT(middle, never_coop);
+  EXPECT_LT(middle, always_coop);
+}
+
+TEST(MergeSort, TunedNeverWorseThanDefaultOrStatic) {
+  for (const auto& spec : gpusim::device_registry()) {
+    gpusim::Device dev(spec);
+    for (std::size_t n : {std::size_t{1} << 16, std::size_t{1} << 21}) {
+      auto tuned = tune_sorter<float>(dev, n);
+      MultiStageSorter<float> def(dev, default_sort_points());
+      MultiStageSorter<float> sta(
+          dev, static_sort_points<float>(dev.query()));
+      MultiStageSorter<float> dyn(dev, tuned.points);
+      const double t_dyn = dyn.simulate_ms(n);
+      EXPECT_LE(t_dyn, def.simulate_ms(n) * 1.0001)
+          << spec.name << " n=" << n;
+      EXPECT_LE(t_dyn, sta.simulate_ms(n) * 1.0001)
+          << spec.name << " n=" << n;
+    }
+  }
+}
+
+TEST(MergeSort, TunedSorterStillSorts) {
+  gpusim::Device dev(gpusim::geforce_8800_gtx());
+  auto tuned = tune_sorter<float>(dev, 1 << 18);
+  MultiStageSorter<float> sorter(dev, tuned.points);
+  auto data = random_input(1 << 18, 8);
+  auto ref = data;
+  std::sort(ref.begin(), ref.end());
+  sorter.sort(data);
+  EXPECT_EQ(data, ref);
+}
+
+TEST(MergeSort, TuningIsCheap) {
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  auto tuned = tune_sorter<float>(dev, 1 << 20);
+  // Two short ladders, additively.
+  EXPECT_LE(tuned.evaluations, 30u);
+  EXPECT_GE(tuned.evaluations, 10u);
+}
+
+}  // namespace

@@ -1,0 +1,338 @@
+// Tests for the GPU-sim kernels: splitting stages, the PCR-Thomas base
+// kernel (both load variants), the baseline shared-memory kernels and the
+// configuration helpers.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "gpusim/launch.hpp"
+#include "kernels/config.hpp"
+#include "kernels/device_batch.hpp"
+#include "kernels/pcr_thomas_kernel.hpp"
+#include "kernels/shared_kernels.hpp"
+#include "kernels/split_kernels.hpp"
+#include "tridiag/generators.hpp"
+#include "tridiag/verify.hpp"
+
+namespace {
+
+using namespace tda;
+using namespace tda::kernels;
+using tridiag::make_diag_dominant;
+using tridiag::make_poisson;
+
+// ---------- config helpers (the paper's per-device on-chip maxima) ----------
+
+TEST(Config, MaxSharedSystemSizesMatchPaper) {
+  // §V: "the largest systems that can be solved locally on-chip are of
+  // sizes 256, 512, and 1024 respectively for the GeForce 8800, 280, 470"
+  EXPECT_EQ(max_shared_system_size(gpusim::geforce_8800_gtx().query(), 4),
+            256u);
+  EXPECT_EQ(max_shared_system_size(gpusim::geforce_gtx_280().query(), 4),
+            512u);
+  EXPECT_EQ(max_shared_system_size(gpusim::geforce_gtx_470().query(), 4),
+            1024u);
+}
+
+TEST(Config, DoublePrecisionHalvesSharedCapacity) {
+  // 16K shared / (5 arrays * 8B) = 409 -> 256 on the GTX 280 (vs 512 in
+  // fp32); the GTX 470 stays thread-limited at 1024.
+  const auto q280 = gpusim::geforce_gtx_280().query();
+  EXPECT_EQ(max_shared_system_size(q280, 8), 256u);
+  const auto q470 = gpusim::geforce_gtx_470().query();
+  EXPECT_EQ(max_shared_system_size(q470, 8), 1024u);
+}
+
+TEST(Config, SharedBytesFormula) {
+  EXPECT_EQ(pcr_thomas_shared_bytes(256, 4), 5u * 256 * 4);
+}
+
+// ---------- DeviceBatch ----------
+
+TEST(DeviceBatch, UploadDownloadRoundTrip) {
+  auto host = make_diag_dominant<double>(3, 17, 61);
+  DeviceBatch<double> dev(host);
+  EXPECT_EQ(dev.num_systems(), 3u);
+  EXPECT_EQ(dev.system_size(), 17u);
+  auto sys = dev.cur_system(1);
+  auto href = host.system(1);
+  for (std::size_t i = 0; i < 17; ++i) {
+    EXPECT_EQ(sys.b[i], href.b[i]);
+  }
+  // Write a fake solution and download.
+  for (std::size_t k = 0; k < dev.x().size(); ++k)
+    dev.x()[k] = static_cast<double>(k);
+  dev.download(host);
+  EXPECT_EQ(host.x()[5], 5.0);
+}
+
+TEST(DeviceBatch, SwapFlipsBuffers) {
+  auto host = make_diag_dominant<double>(1, 8, 62);
+  DeviceBatch<double> dev(host);
+  dev.alt_system(0).b[0] = 123.0;
+  dev.swap_buffers();
+  EXPECT_EQ(dev.cur_system(0).b[0], 123.0);
+}
+
+TEST(DeviceBatch, ShapeOnlyConstructorIsInert) {
+  DeviceBatch<float> dev(2, 16);
+  EXPECT_EQ(dev.cur_system(0).b[3], 1.0f);  // unit diagonal
+  EXPECT_EQ(dev.cur_system(0).a[3], 0.0f);
+}
+
+// ---------- full split + solve pipeline, all devices ----------
+
+struct PipelineCase {
+  std::size_t m, n;
+  std::size_t stage1_steps;
+  std::size_t stage2_steps;
+  std::size_t thomas_switch;
+  LoadVariant variant;
+};
+
+class KernelPipeline
+    : public ::testing::TestWithParam<std::tuple<int, PipelineCase>> {};
+
+TEST_P(KernelPipeline, SolvesCorrectly) {
+  const auto [dev_idx, pc] = GetParam();
+  auto specs = gpusim::device_registry();
+  gpusim::Device dev(specs[static_cast<std::size_t>(dev_idx)]);
+
+  auto host = make_diag_dominant<double>(pc.m, pc.n, 70 + pc.m + pc.n);
+  auto pristine = host;
+  DeviceBatch<double> dbatch(host);
+  SplitState st;
+  for (std::size_t i = 0; i < pc.stage1_steps; ++i)
+    stage1_split_step(dev, dbatch, st);
+  if (pc.stage2_steps > 0) stage2_split(dev, dbatch, st, pc.stage2_steps);
+  pcr_thomas_stage(dev, dbatch, st, pc.thomas_switch, pc.variant);
+  dbatch.download(host);
+
+  EXPECT_LT(tridiag::batch_residual_inf(pristine, host.x()), 1e-9)
+      << "m=" << pc.m << " n=" << pc.n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, KernelPipeline,
+    ::testing::Combine(
+        ::testing::Values(0, 1, 2),
+        ::testing::Values(
+            // no splits: base kernel only
+            PipelineCase{4, 64, 0, 0, 16, LoadVariant::Strided},
+            // stage 2 only
+            PipelineCase{3, 512, 0, 2, 32, LoadVariant::Strided},
+            // stage 1 only
+            PipelineCase{1, 256, 2, 0, 16, LoadVariant::Strided},
+            // all stages
+            PipelineCase{2, 1024, 2, 2, 32, LoadVariant::Strided},
+            // coalesced variant
+            PipelineCase{2, 1024, 1, 3, 64, LoadVariant::Coalesced},
+            // non-power-of-two size
+            PipelineCase{3, 777, 1, 2, 16, LoadVariant::Strided},
+            // deep thomas switch
+            PipelineCase{1, 2048, 3, 1, 128, LoadVariant::Strided})));
+
+// ---------- stage semantics ----------
+
+TEST(SplitState, PartsAndSizes) {
+  SplitState st;
+  EXPECT_EQ(st.parts(), 1u);
+  st.splits = 3;
+  EXPECT_EQ(st.parts(), 8u);
+  EXPECT_EQ(st.max_sub_size(100), 13u);  // ceil(100/8)
+}
+
+TEST(Stage1, EachStepIsOneLaunch) {
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  auto host = make_diag_dominant<double>(1, 128, 81);
+  DeviceBatch<double> dbatch(host);
+  SplitState st;
+  stage1_split_step(dev, dbatch, st);
+  stage1_split_step(dev, dbatch, st);
+  EXPECT_EQ(dev.kernels_launched(), 2u);
+  EXPECT_EQ(st.splits, 2u);
+}
+
+TEST(Stage2, ManyStepsOneLaunch) {
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  auto host = make_diag_dominant<double>(4, 256, 82);
+  DeviceBatch<double> dbatch(host);
+  SplitState st;
+  stage2_split(dev, dbatch, st, 3);
+  EXPECT_EQ(dev.kernels_launched(), 1u);
+  EXPECT_EQ(st.splits, 3u);
+}
+
+TEST(Stage2, RefusesToSplitBelowOneEquation) {
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  auto host = make_diag_dominant<double>(1, 8, 83);
+  DeviceBatch<double> dbatch(host);
+  SplitState st;
+  EXPECT_THROW(stage2_split(dev, dbatch, st, 4), ContractError);
+}
+
+TEST(Stage1, RefusesWhenFullyDecoupled) {
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  auto host = make_diag_dominant<double>(1, 4, 84);
+  DeviceBatch<double> dbatch(host);
+  SplitState st;
+  stage1_split_step(dev, dbatch, st);
+  stage1_split_step(dev, dbatch, st);
+  EXPECT_THROW(stage1_split_step(dev, dbatch, st), ContractError);
+}
+
+TEST(Stage1And2, ProduceIdenticalCoefficients) {
+  // The two stages implement the same math with different launch
+  // structure: k splits via stage 1 must equal k splits via stage 2.
+  auto host = make_diag_dominant<double>(2, 64, 85);
+  gpusim::Device dev(gpusim::geforce_gtx_280());
+
+  DeviceBatch<double> d1(host);
+  SplitState s1;
+  stage1_split_step(dev, d1, s1);
+  stage1_split_step(dev, d1, s1);
+
+  DeviceBatch<double> d2(host);
+  SplitState s2;
+  stage2_split(dev, d2, s2, 2);
+
+  for (std::size_t s = 0; s < 2; ++s) {
+    auto v1 = d1.cur_system(s);
+    auto v2 = d2.cur_system(s);
+    for (std::size_t i = 0; i < 64; ++i) {
+      EXPECT_NEAR(v1.b[i], v2.b[i], 1e-12);
+      EXPECT_NEAR(v1.d[i], v2.d[i], 1e-12);
+      EXPECT_NEAR(v1.a[i], v2.a[i], 1e-12);
+      EXPECT_NEAR(v1.c[i], v2.c[i], 1e-12);
+    }
+  }
+}
+
+// ---------- cost-only mode ----------
+
+TEST(ExecMode, CostOnlyChargesIdenticalTime) {
+  auto host = make_diag_dominant<double>(4, 512, 86);
+  gpusim::Device dev_full(gpusim::geforce_gtx_470());
+  gpusim::Device dev_cost(gpusim::geforce_gtx_470());
+
+  DeviceBatch<double> f(host);
+  SplitState sf;
+  stage1_split_step(dev_full, f, sf, ExecMode::Full);
+  stage2_split(dev_full, f, sf, 1, ExecMode::Full);
+  pcr_thomas_stage(dev_full, f, sf, 32, LoadVariant::Strided,
+                   ExecMode::Full);
+
+  DeviceBatch<double> c(4, 512);
+  SplitState sc;
+  stage1_split_step(dev_cost, c, sc, ExecMode::CostOnly);
+  stage2_split(dev_cost, c, sc, 1, ExecMode::CostOnly);
+  pcr_thomas_stage(dev_cost, c, sc, 32, LoadVariant::Strided,
+                   ExecMode::CostOnly);
+
+  EXPECT_DOUBLE_EQ(dev_full.elapsed_seconds(), dev_cost.elapsed_seconds());
+}
+
+// ---------- variant cost behaviour ----------
+
+TEST(Variants, CoalescedCheaperAtSmallStride) {
+  // 2 splits -> stride 4: boundary leakage is small, the coalesced load
+  // beats the 4x-inflated strided gather.
+  auto host = make_diag_dominant<double>(8, 1024, 87);
+  gpusim::Device dev(gpusim::geforce_gtx_280());
+  double t[2];
+  int k = 0;
+  for (auto variant : {LoadVariant::Strided, LoadVariant::Coalesced}) {
+    DeviceBatch<double> d(host);
+    SplitState st;
+    stage2_split(dev, d, st, 2);
+    auto ks = pcr_thomas_stage(dev, d, st, 64, variant);
+    t[k++] = ks.seconds;
+  }
+  EXPECT_LT(t[1], t[0]);
+}
+
+TEST(Variants, StridedCheaperAtHugeStride) {
+  // Many splits -> huge stride: strided inflation caps while coalesced
+  // boundary traffic keeps growing.
+  auto host = make_diag_dominant<double>(1, 16384, 88);
+  gpusim::Device dev(gpusim::geforce_gtx_280());
+  double t[2];
+  int k = 0;
+  for (auto variant : {LoadVariant::Strided, LoadVariant::Coalesced}) {
+    DeviceBatch<double> d(host);
+    SplitState st;
+    stage2_split(dev, d, st, 7);  // stride 128
+    auto ks = pcr_thomas_stage(dev, d, st, 64, variant);
+    t[k++] = ks.seconds;
+  }
+  EXPECT_LT(t[0], t[1]);
+}
+
+// ---------- baseline shared-memory kernels ----------
+
+class BaselineKernels : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BaselineKernels, AllSolveCorrectly) {
+  const std::size_t n = GetParam();
+  auto host = make_diag_dominant<double>(5, n, 90 + n);
+  auto pristine = host;
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+
+  {
+    DeviceBatch<double> d(host);
+    pure_pcr_kernel(dev, d);
+    d.download(host);
+    EXPECT_LT(tridiag::batch_residual_inf(pristine, host.x()), 1e-9)
+        << "pure-pcr n=" << n;
+  }
+  {
+    DeviceBatch<double> d(host);
+    cr_kernel(dev, d);
+    d.download(host);
+    EXPECT_LT(tridiag::batch_residual_inf(pristine, host.x()), 1e-9)
+        << "cr n=" << n;
+  }
+  {
+    DeviceBatch<double> d(host);
+    cr_pcr_kernel(dev, d, 16);
+    d.download(host);
+    EXPECT_LT(tridiag::batch_residual_inf(pristine, host.x()), 1e-9)
+        << "cr-pcr n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BaselineKernels,
+                         ::testing::Values(2, 3, 16, 100, 128, 255, 512));
+
+TEST(BaselineKernels, CrSuffersBankConflicts) {
+  // On a 16-bank device, CR's power-of-two strides must cost more per
+  // element than the conflict-free PCR-Thomas kernel's shared phases.
+  auto host = make_poisson<double>(8, 256, 13);
+  gpusim::Device dev(gpusim::geforce_gtx_280());
+  DeviceBatch<double> d1(host);
+  auto t_cr = cr_kernel(dev, d1);
+  DeviceBatch<double> d2(host);
+  SplitState st;
+  auto t_hybrid = pcr_thomas_stage(dev, d2, st, 64, LoadVariant::Strided);
+  // CR is work-efficient, so this is not a foregone conclusion; the
+  // conflicts and the serial tail are what cost it (§III-A).
+  EXPECT_GT(t_cr.compute_seconds, t_hybrid.compute_seconds * 0.5);
+}
+
+// ---------- float path through the full pipeline ----------
+
+TEST(KernelPipelineFloat, SolvesLargeBatch) {
+  auto host = make_diag_dominant<float>(16, 2048, 91);
+  auto pristine = host;
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  DeviceBatch<float> dbatch(host);
+  SplitState st;
+  stage2_split(dev, dbatch, st, 2);
+  pcr_thomas_stage(dev, dbatch, st, 128, LoadVariant::Strided);
+  dbatch.download(host);
+  EXPECT_LT(tridiag::batch_residual_inf(pristine, host.x()), 1e-3);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Coverage for the remaining small utilities: the leveled logger, the
+// wall timer, and assorted API edges not covered elsewhere.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "gpusim/occupancy.hpp"
+#include "solver/plan.hpp"
+#include "tridiag/batch.hpp"
+
+namespace {
+
+using namespace tda;
+
+// ---------- logger ----------
+
+TEST(Log, LevelOverrideRoundTrip) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  set_log_level(before);
+}
+
+TEST(Log, MacrosRespectLevel) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Error);
+  // Must not evaluate the stream expression when filtered out.
+  bool evaluated = false;
+  auto touch = [&] {
+    evaluated = true;
+    return "x";
+  };
+  TDA_DEBUG(touch());
+  EXPECT_FALSE(evaluated);
+  set_log_level(LogLevel::Debug);
+  TDA_DEBUG(touch());
+  EXPECT_TRUE(evaluated);
+  set_log_level(before);
+}
+
+// ---------- timer ----------
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = t.millis();
+  EXPECT_GE(ms, 15.0);
+  EXPECT_LT(ms, 2000.0);
+  EXPECT_NEAR(t.seconds() * 1e3, t.millis(), 5.0);
+}
+
+TEST(Timer, ResetRestarts) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  t.reset();
+  EXPECT_LT(t.millis(), 10.0);
+}
+
+// ---------- misc API edges ----------
+
+TEST(Occupancy, QueryAndSpecOverloadsAgree) {
+  const auto spec = gpusim::geforce_gtx_280();
+  gpusim::LaunchConfig cfg;
+  cfg.threads_per_block = 128;
+  cfg.shared_bytes = 4096;
+  cfg.regs_per_thread = 20;
+  const auto a = gpusim::compute_occupancy(spec, cfg);
+  const auto b = gpusim::compute_occupancy(spec.query(), cfg);
+  EXPECT_EQ(a.blocks_per_sm, b.blocks_per_sm);
+  EXPECT_EQ(a.warps_per_sm, b.warps_per_sm);
+  EXPECT_DOUBLE_EQ(a.fraction, b.fraction);
+}
+
+TEST(Plan, SplitsNeededRejectsZeroLimit) {
+  EXPECT_THROW((void)solver::splits_needed(100, 0), ContractError);
+}
+
+TEST(Plan, DescribeIsStableAndReadable) {
+  solver::SwitchPoints sp;
+  sp.stage1_target_systems = 7;
+  sp.stage3_system_size = 512;
+  sp.thomas_switch = 64;
+  sp.variant = kernels::LoadVariant::Coalesced;
+  const auto s = solver::describe(sp);
+  EXPECT_NE(s.find("stage1_target=7"), std::string::npos);
+  EXPECT_NE(s.find("stage3_size=512"), std::string::npos);
+  EXPECT_NE(s.find("thomas_switch=64"), std::string::npos);
+  EXPECT_NE(s.find("coalesced"), std::string::npos);
+}
+
+TEST(SystemView, SplitAndSubsystemConsistent) {
+  tridiag::TridiagBatch<double> batch(1, 12);
+  for (std::size_t i = 0; i < 12; ++i) batch.b()[i] = double(i);
+  auto sys = batch.system(0);
+  auto [even, odd] = sys.split();
+  auto sub0 = sys.subsystem(1, 0);
+  auto sub1 = sys.subsystem(1, 1);
+  ASSERT_EQ(even.size(), sub0.size());
+  ASSERT_EQ(odd.size(), sub1.size());
+  for (std::size_t i = 0; i < even.size(); ++i) {
+    EXPECT_EQ(even.b[i], sub0.b[i]);
+  }
+  for (std::size_t i = 0; i < odd.size(); ++i) {
+    EXPECT_EQ(odd.b[i], sub1.b[i]);
+  }
+}
+
+TEST(StridedViewConst, AsConstSharesStorage) {
+  std::vector<int> data{1, 2, 3, 4};
+  StridedView<int> v(data.data(), 2, 2);
+  auto cv = v.as_const();
+  EXPECT_EQ(cv[0], 1);
+  EXPECT_EQ(cv[1], 3);
+  v[1] = 42;
+  EXPECT_EQ(cv[1], 42);
+}
+
+}  // namespace

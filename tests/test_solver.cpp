@@ -1,0 +1,236 @@
+// Tests for the multi-stage solver: plan construction (Figure 1 workflow),
+// end-to-end correctness over a workload grid, switch-point edge cases and
+// the simulate/cost-only path.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gpusim/launch.hpp"
+#include "solver/gpu_solver.hpp"
+#include "solver/plan.hpp"
+#include "tridiag/generators.hpp"
+#include "tridiag/verify.hpp"
+#include "tuning/tuners.hpp"
+
+namespace {
+
+using namespace tda;
+using namespace tda::solver;
+using tridiag::make_diag_dominant;
+
+// ---------- splits_needed ----------
+
+TEST(Plan, SplitsNeeded) {
+  EXPECT_EQ(splits_needed(256, 256), 0u);
+  EXPECT_EQ(splits_needed(257, 256), 1u);
+  EXPECT_EQ(splits_needed(512, 256), 1u);
+  EXPECT_EQ(splits_needed(1024, 256), 2u);
+  EXPECT_EQ(splits_needed(2 * 1024 * 1024, 1024), 11u);
+  EXPECT_EQ(splits_needed(1, 256), 0u);
+  EXPECT_EQ(splits_needed(1000, 256), 2u);  // ceil(1000/4)=250 <= 256
+}
+
+// ---------- plan construction ----------
+
+TEST(Plan, SmallSystemsSkipSplitting) {
+  SwitchPoints sp;
+  sp.stage3_system_size = 256;
+  auto plan = make_plan({1024, 256}, sp);
+  EXPECT_EQ(plan.stage1_steps, 0u);
+  EXPECT_EQ(plan.stage2_steps, 0u);
+  EXPECT_EQ(plan.stage3_sub_size, 256u);
+}
+
+TEST(Plan, ManySystemsUseStageTwoOnly) {
+  SwitchPoints sp;
+  sp.stage1_target_systems = 16;
+  sp.stage3_system_size = 256;
+  auto plan = make_plan({1024, 1024}, sp);  // already 1024 systems
+  EXPECT_EQ(plan.stage1_steps, 0u);
+  EXPECT_EQ(plan.stage2_steps, 2u);
+}
+
+TEST(Plan, SingleHugeSystemStartsCooperative) {
+  SwitchPoints sp;
+  sp.stage1_target_systems = 16;
+  sp.stage3_system_size = 1024;
+  auto plan = make_plan({1, 2 * 1024 * 1024}, sp);
+  EXPECT_EQ(plan.stage1_steps, 4u);  // 2^4 = 16 independent systems
+  EXPECT_EQ(plan.stage2_steps, 7u);  // total 11 splits to reach 1024
+  EXPECT_EQ(plan.stage3_sub_size, 1024u);
+}
+
+TEST(Plan, StageOneCappedByTotalSplits) {
+  SwitchPoints sp;
+  sp.stage1_target_systems = 1024;  // unreachable
+  sp.stage3_system_size = 256;
+  auto plan = make_plan({1, 1024}, sp);
+  EXPECT_EQ(plan.stage1_steps, 2u);  // only 2 splits exist in total
+  EXPECT_EQ(plan.stage2_steps, 0u);
+}
+
+TEST(Plan, NonPowerOfTwoSizes) {
+  SwitchPoints sp;
+  sp.stage3_system_size = 100;
+  auto plan = make_plan({20, 777}, sp);
+  // 777 -> 389 -> 195 -> 98
+  EXPECT_EQ(plan.total_splits, 3u);
+  EXPECT_EQ(plan.stage3_sub_size, 98u);
+}
+
+TEST(Plan, RejectsDegenerateInputs) {
+  SwitchPoints sp;
+  sp.stage3_system_size = 0;
+  EXPECT_THROW((void)make_plan({1, 16}, sp), ContractError);
+  SwitchPoints sp2;
+  EXPECT_THROW((void)make_plan({0, 16}, sp2), ContractError);
+}
+
+// ---------- solver end-to-end over a workload grid ----------
+
+class SolverGrid
+    : public ::testing::TestWithParam<
+          std::tuple<int, std::size_t, std::size_t>> {};
+
+TEST_P(SolverGrid, ResidualTiny) {
+  const auto [dev_idx, m, n] = GetParam();
+  auto specs = gpusim::device_registry();
+  gpusim::Device dev(specs[static_cast<std::size_t>(dev_idx)]);
+  auto points = tuning::default_switch_points<double>();
+  GpuTridiagonalSolver<double> solver(dev, points);
+
+  auto batch = make_diag_dominant<double>(m, n, 100 + m * 7 + n);
+  auto pristine = batch;
+  auto stats = solver.solve(batch);
+  EXPECT_GT(stats.total_ms, 0.0);
+  EXPECT_LT(tridiag::batch_residual_inf(pristine, batch.x()), 1e-9)
+      << "device=" << dev_idx << " m=" << m << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, SolverGrid,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1, 2, 17),
+                       ::testing::Values(1, 2, 3, 100, 256, 1000, 4096)));
+
+TEST(Solver, LargeSingleSystem) {
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  auto points = tuning::static_switch_points<double>(dev.query());
+  GpuTridiagonalSolver<double> solver(dev, points);
+  const std::size_t n = 1 << 17;  // 131072 equations
+  auto batch = make_diag_dominant<double>(1, n, 555);
+  auto pristine = batch;
+  auto stats = solver.solve(batch);
+  EXPECT_GT(stats.plan.stage1_steps, 0u);
+  EXPECT_GT(stats.plan.stage2_steps, 0u);
+  EXPECT_LT(tridiag::batch_residual_inf(pristine, batch.x()), 1e-9);
+}
+
+TEST(Solver, StatsBreakdownSumsToTotal) {
+  gpusim::Device dev(gpusim::geforce_gtx_280());
+  GpuTridiagonalSolver<double> solver(
+      dev, tuning::default_switch_points<double>());
+  auto batch = make_diag_dominant<double>(4, 4096, 7);
+  auto stats = solver.solve(batch);
+  EXPECT_NEAR(stats.total_ms,
+              stats.stage1_ms + stats.stage2_ms + stats.stage3_ms, 1e-12);
+  EXPECT_EQ(stats.kernel_launches,
+            stats.plan.stage1_steps + (stats.plan.stage2_steps ? 1 : 0) + 1);
+}
+
+TEST(Solver, CoefficientArraysPreserved) {
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  GpuTridiagonalSolver<double> solver(
+      dev, tuning::default_switch_points<double>());
+  auto batch = make_diag_dominant<double>(2, 512, 8);
+  const double b0 = batch.b()[100];
+  const double d0 = batch.d()[100];
+  solver.solve(batch);
+  EXPECT_EQ(batch.b()[100], b0);
+  EXPECT_EQ(batch.d()[100], d0);
+}
+
+TEST(Solver, RejectsOversizedStage3) {
+  gpusim::Device dev(gpusim::geforce_8800_gtx());
+  SwitchPoints sp;
+  sp.stage3_system_size = 4096;  // way beyond 8800 capacity
+  EXPECT_THROW(GpuTridiagonalSolver<double> solver(dev, sp), ContractError);
+}
+
+TEST(Solver, MaxOnChipSizeMatchesConfigHelper) {
+  gpusim::Device dev(gpusim::geforce_gtx_280());
+  GpuTridiagonalSolver<float> solver(
+      dev, tuning::default_switch_points<float>());
+  EXPECT_EQ(solver.max_on_chip_size(), 512u);
+}
+
+// ---------- switch-point extremes still give correct answers ----------
+
+class SwitchPointExtremes
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(SwitchPointExtremes, CorrectAnywhereInParameterSpace) {
+  const auto [stage3, thomas] = GetParam();
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  SwitchPoints sp;
+  sp.stage3_system_size = stage3;
+  sp.thomas_switch = thomas;
+  sp.stage1_target_systems = 8;
+  GpuTridiagonalSolver<double> solver(dev, sp);
+  auto batch = make_diag_dominant<double>(3, 1500, stage3 * 31 + thomas);
+  auto pristine = batch;
+  solver.solve(batch);
+  EXPECT_LT(tridiag::batch_residual_inf(pristine, batch.x()), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Extremes, SwitchPointExtremes,
+    ::testing::Combine(::testing::Values(2, 16, 256, 512),  // fp64 cap on 470
+                       ::testing::Values(1, 2, 64, 1024)));
+
+// ---------- simulate path ----------
+
+TEST(Solver, SimulateMatchesFullSolveTime) {
+  gpusim::Device dev(gpusim::geforce_gtx_280());
+  GpuTridiagonalSolver<double> solver(
+      dev, tuning::default_switch_points<double>());
+  auto batch = make_diag_dominant<double>(8, 2048, 9);
+  const double full_ms = solver.solve(batch).total_ms;
+  const double sim_ms = solver.simulate_ms({8, 2048});
+  EXPECT_DOUBLE_EQ(full_ms, sim_ms);
+}
+
+TEST(Solver, VariantChangesTimeNotResult) {
+  gpusim::Device dev(gpusim::geforce_gtx_280());
+  SwitchPoints sp = tuning::default_switch_points<double>();
+  auto batch1 = make_diag_dominant<double>(4, 4096, 10);
+  auto batch2 = batch1;
+  auto pristine = batch1;
+
+  sp.variant = kernels::LoadVariant::Strided;
+  GpuTridiagonalSolver<double> s1(dev, sp);
+  auto t1 = s1.solve(batch1);
+
+  sp.variant = kernels::LoadVariant::Coalesced;
+  GpuTridiagonalSolver<double> s2(dev, sp);
+  auto t2 = s2.solve(batch2);
+
+  EXPECT_NE(t1.total_ms, t2.total_ms);
+  for (std::size_t k = 0; k < batch1.total_equations(); ++k)
+    EXPECT_EQ(batch1.x()[k], batch2.x()[k]);
+  EXPECT_LT(tridiag::batch_residual_inf(pristine, batch1.x()), 1e-9);
+}
+
+// ---------- double precision capacity is respected ----------
+
+TEST(Solver, DoublePrecisionUsesSmallerOnChipSystems) {
+  gpusim::Device dev(gpusim::geforce_gtx_280());
+  auto spf = tuning::static_switch_points<float>(dev.query());
+  auto spd = tuning::static_switch_points<double>(dev.query());
+  EXPECT_EQ(spf.stage3_system_size, 512u);
+  EXPECT_EQ(spd.stage3_system_size, 256u);
+}
+
+}  // namespace
