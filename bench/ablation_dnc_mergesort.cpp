@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
 
   for (const auto& spec : gpusim::device_registry()) {
     gpusim::Device dev(spec);
+    bench::TelemetryScope telemetry_scope(dev, spec.name);
     for (std::size_t n : sizes) {
       dnc::MultiStageSorter<float> def(dev, dnc::default_sort_points());
       dnc::MultiStageSorter<float> sta(
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
   // Functional validation on one configuration.
   {
     gpusim::Device dev(gpusim::geforce_gtx_470());
+    bench::TelemetryScope telemetry_scope(dev, "sweep");
     auto tuned = dnc::tune_sorter<float>(dev, 1 << 20);
     dnc::MultiStageSorter<float> sorter(dev, tuned.points);
     Rng rng(99);

@@ -29,6 +29,7 @@ void run_precision(const char* label, std::size_t m, std::size_t n_req) {
                     "PCR-Thomas", "hybrid vs CR-PCR"});
   for (const auto& spec : gpusim::device_registry()) {
     gpusim::Device dev(spec);
+    bench::TelemetryScope telemetry_scope(dev, spec.name);
     const std::size_t cap =
         kernels::max_shared_system_size(dev.query(), sizeof(T));
     const std::size_t n = std::min(n_req, cap);

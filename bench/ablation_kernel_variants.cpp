@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
 
   for (const auto& spec : gpusim::device_registry()) {
     gpusim::Device dev(spec);
+    bench::TelemetryScope telemetry_scope(dev, spec.name);
     std::vector<std::string> row{bench::short_name(spec.name)};
     std::size_t crossover = 0;
     bool crossed = false;

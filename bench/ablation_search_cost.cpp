@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
 
   for (const auto& spec : gpusim::device_registry()) {
     gpusim::Device dev(spec);
+    bench::TelemetryScope telemetry_scope(dev, spec.name);
     WallTimer t1;
     tuning::DynamicTuner<float> tuner(dev);
     auto dyn = tuner.tune({m, n});

@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
 
   for (const auto& spec : gpusim::device_registry()) {
     gpusim::Device dev(spec);
+    bench::TelemetryScope telemetry_scope(dev, spec.name);
     kernels::DeviceBatch<float> scratch(1, n);
     // Group-A parameters from the tuner so only stage 1 varies.
     tuning::DynamicTuner<float> tuner(dev);

@@ -4,6 +4,7 @@
 #include <iostream>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.hpp"
@@ -11,10 +12,39 @@
 #include "gpusim/launch.hpp"
 #include "kernels/device_batch.hpp"
 #include "solver/gpu_solver.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 #include "tuning/dynamic_tuner.hpp"
 #include "tuning/tuners.hpp"
 
 namespace tda::bench {
+
+/// Env-gated telemetry for a bench run: with TDA_TRACE / TDA_METRICS
+/// set, every solve the scoped device performs records spans + metrics,
+/// and the machine-readable files are written at scope exit — each
+/// figure table gains a per-stage timing sidecar for free. `suffix`
+/// keeps multi-device sweeps from clobbering one file (it is inserted
+/// before the extension, e.g. "out.Geforce_GTX_280.json").
+class TelemetryScope {
+ public:
+  explicit TelemetryScope(gpusim::Device& dev, std::string suffix = {})
+      : env_(tel_, std::move(suffix)), dev_(&dev) {
+    if (env_.active()) dev_->set_telemetry(&tel_);
+  }
+  ~TelemetryScope() {
+    if (env_.active()) dev_->set_telemetry(nullptr);
+  }
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+  [[nodiscard]] bool active() const { return env_.active(); }
+  [[nodiscard]] tda::telemetry::Telemetry& telemetry() { return tel_; }
+
+ private:
+  tda::telemetry::Telemetry tel_;
+  tda::telemetry::EnvExport env_;
+  gpusim::Device* dev_;
+};
 
 /// Short device labels used in the paper's figures.
 inline std::string short_name(const std::string& full) {

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   int di = 0;
   for (const auto& spec : gpusim::device_registry()) {
     gpusim::Device dev(spec);
+    bench::TelemetryScope telemetry_scope(dev, spec.name);
     kernels::DeviceBatch<float> scratch(m, n);
     const std::size_t cap =
         kernels::max_shared_system_size(dev.query(), sizeof(float));

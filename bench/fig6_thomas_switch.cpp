@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   int di = 0;
   for (const auto& spec : gpusim::device_registry()) {
     gpusim::Device dev(spec);
+    bench::TelemetryScope telemetry_scope(dev, spec.name);
     // Tune the stage-3 size first (the decoupling the paper prescribes),
     // then sweep the Thomas switch at that size.
     tuning::DynamicTuner<float> tuner(dev);

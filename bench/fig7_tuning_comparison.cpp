@@ -75,6 +75,7 @@ int run_fig7(const Cli& cli) {
   int di = 0;
   for (const auto& spec : gpusim::device_registry()) {
     gpusim::Device dev(spec);
+    bench::TelemetryScope telemetry_scope(dev, spec.name);
     int wi = 0;
     for (const auto& w : workloads) {
       if (quick && w.n > 2048 && w.m > 1) {
@@ -118,6 +119,7 @@ int run_fig7(const Cli& cli) {
   // Functional spot-check: the dynamically tuned solver must still solve.
   {
     gpusim::Device dev(gpusim::geforce_gtx_470());
+    bench::TelemetryScope telemetry_scope(dev, "search");
     tuning::DynamicTuner<T> tuner(dev);
     auto dyn = tuner.tune({1024, 1024});
     solver::GpuTridiagonalSolver<T> s(dev, dyn.points);

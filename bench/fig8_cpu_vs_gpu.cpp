@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
                "(Core i5 MKL model), fp32\n\n";
 
   gpusim::Device dev(gpusim::geforce_gtx_470());
+  bench::TelemetryScope telemetry_scope(dev);
   const auto cpu_spec = cpu::paper_core_i5();
 
   TextTable table("GPU vs CPU");

@@ -44,6 +44,7 @@ int main() {
     t.set_header(header);
     for (const auto& spec : gpusim::device_registry()) {
       gpusim::Device dev(spec);
+      bench::TelemetryScope telemetry_scope(dev, spec.name);
       std::vector<std::string> row{bench::short_name(spec.name)};
       for (auto g : grid_sizes) {
         const double bw = gpusim::probe_bandwidth(dev, g, 256, 1 << 20);
@@ -63,6 +64,7 @@ int main() {
                   "probe seg stride", "true seg/elem"});
     for (const auto& spec : gpusim::device_registry()) {
       gpusim::Device dev(spec);
+      bench::TelemetryScope telemetry_scope(dev, spec.name);
       auto rep = gpusim::run_probes(dev);
       t.add_row({bench::short_name(spec.name),
                  TextTable::num(rep.peak_bandwidth_gb_s, 1),

@@ -8,6 +8,7 @@
 #include "common/cli.hpp"
 #include "gpusim/launch.hpp"
 #include "solver/gpu_solver.hpp"
+#include "telemetry/export.hpp"
 #include "tridiag/generators.hpp"
 #include "tridiag/verify.hpp"
 #include "tuning/dynamic_tuner.hpp"
@@ -30,6 +31,13 @@ int main(int argc, char** argv) {
   std::cout << "device: " << spec->name << " (" << spec->sm_count
             << " processors, " << spec->shared_mem_per_sm / 1024
             << " KB shared)\n";
+
+  // Env-gated telemetry: TDA_TRACE=<path> writes a Chrome trace of the
+  // tune + solve below, TDA_METRICS=<path> a metrics JSON, both when
+  // this scope unwinds at the end of main.
+  telemetry::Telemetry tel;
+  telemetry::EnvExport tel_export(tel);
+  if (tel_export.active()) dev.set_telemetry(&tel);
 
   // 2. Build a workload: m diagonally dominant systems of n equations.
   auto batch = tridiag::make_diag_dominant<float>(m, n, /*seed=*/42);

@@ -8,6 +8,7 @@
 //   ./tridiag_cli --save-device="GeForce GTX 470" --out=profile.txt
 
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "common/cli.hpp"
@@ -16,6 +17,8 @@
 #include "gpusim/device_file.hpp"
 #include "gpusim/launch.hpp"
 #include "solver/gpu_solver.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/json.hpp"
 #include "tridiag/diagnostics.hpp"
 #include "tridiag/generators.hpp"
 #include "tridiag/verify.hpp"
@@ -40,14 +43,25 @@ device:     --device=<registry name>        (default GeForce GTX 470)
 tuning:     --tuner=dynamic|static|default  (default dynamic)
             --cache=<file>                  persistent tuning cache
 output:     --trace                         print the kernel timeline
+            --json=<path>                   dump solve result + metrics JSON
             --cpu                           also run the CPU baseline
             --fp32                          solve in single precision
+telemetry:  TDA_TRACE=<path>                write a Chrome trace (Perfetto)
+            TDA_METRICS=<path>              write a metrics JSON
 )";
   return 0;
 }
 
 template <typename T>
 int run(const Cli& cli, gpusim::Device& dev) {
+  // Telemetry: activated by TDA_TRACE / TDA_METRICS (files written on
+  // scope exit) and by --json (which needs the metrics registry).
+  telemetry::Telemetry tel;
+  telemetry::EnvExport tel_export(tel);
+  const std::string json_path = cli.get("json", "");
+  if (!json_path.empty()) tel.metrics.enable();
+  if (tel.any_enabled()) dev.set_telemetry(&tel);
+
   const std::size_t m = static_cast<std::size_t>(cli.get_int("m", 64));
   const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 4096));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
@@ -101,7 +115,8 @@ int run(const Cli& cli, gpusim::Device& dev) {
     std::cerr << "unknown tuner: " << tuner_kind << "\n";
     return 1;
   }
-  std::cout << "points   : " << solver::describe(points) << "\n";
+  const std::string points_desc = solver::describe(points);
+  std::cout << "points   : " << points_desc << "\n";
 
   // Solve.
   if (cli.has("trace")) dev.enable_trace();
@@ -124,10 +139,11 @@ int run(const Cli& cli, gpusim::Device& dev) {
   if (cli.has("trace")) {
     std::cout << "\nkernel trace:\n";
     TextTable t;
-    t.set_header({"kernel", "blocks", "threads", "ms", "mem ms",
+    t.set_header({"kernel", "phase", "blocks", "threads", "ms", "mem ms",
                   "compute ms", "occupancy", "bw-hiding"});
     for (const auto& rec : dev.trace()) {
-      t.add_row({rec.name, std::to_string(rec.blocks),
+      t.add_row({rec.name, rec.label.empty() ? "-" : rec.label,
+                 std::to_string(rec.blocks),
                  std::to_string(rec.threads_per_block),
                  TextTable::num(rec.stats.seconds * 1e3, 4),
                  TextTable::num(rec.stats.mem_seconds * 1e3, 4),
@@ -136,6 +152,29 @@ int run(const Cli& cli, gpusim::Device& dev) {
                  TextTable::num(rec.stats.hiding_factor, 2)});
     }
     t.print(std::cout);
+  }
+
+  if (!json_path.empty()) {
+    std::ostringstream js;
+    js << "{\"device\":\"" << telemetry::json_escape(dev.spec().name)
+       << "\",\"workload\":{\"m\":" << m << ",\"n\":" << n
+       << ",\"generator\":\"" << telemetry::json_escape(gen)
+       << "\",\"precision_bits\":" << sizeof(T) * 8 << "},\"points\":\""
+       << telemetry::json_escape(points_desc) << "\",\"result\":{"
+       << "\"total_ms\":" << telemetry::json_number(stats.total_ms)
+       << ",\"stage1_ms\":" << telemetry::json_number(stats.stage1_ms)
+       << ",\"stage2_ms\":" << telemetry::json_number(stats.stage2_ms)
+       << ",\"stage3_ms\":" << telemetry::json_number(stats.stage3_ms)
+       << ",\"kernel_launches\":" << stats.kernel_launches
+       << ",\"residual\":" << telemetry::json_number(residual)
+       << "},\"metrics\":" << telemetry::to_metrics_json(tel.metrics)
+       << "}";
+    if (telemetry::write_text_file(json_path, js.str())) {
+      std::cout << "json     : wrote " << json_path << "\n";
+    } else {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
   }
 
   if (cli.has("cpu")) {

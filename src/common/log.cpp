@@ -1,9 +1,13 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <iomanip>
 #include <iostream>
+#include <mutex>
+#include <sstream>
 
 namespace tda {
 
@@ -46,7 +50,21 @@ void set_log_level(LogLevel level) {
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
-  std::cerr << "[tda:" << level_name(level) << "] " << msg << '\n';
+  // Monotonic seconds since the first emission; pinned at first use so
+  // the prefix reads as "time into this run".
+  static const auto t0 = std::chrono::steady_clock::now();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // Format the whole line first and write it under a mutex: concurrent
+  // emitters (the CPU baseline solver is multi-threaded) must not
+  // interleave partial lines.
+  std::ostringstream line;
+  line << "[tda:" << level_name(level) << " +" << std::fixed
+       << std::setprecision(3) << secs << "s] " << msg << '\n';
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::cerr << line.str();
 }
 }  // namespace detail
 

@@ -18,6 +18,7 @@ KernelStats kernel_time(const DeviceSpec& spec, const LaunchConfig& cfg,
 
   const double clock_hz = spec.clock_ghz * 1e9;
   st.launch_seconds = spec.launch_overhead_us * 1e-6;
+  st.bytes_moved = cost.total.global_bytes_eff;
 
   if (cost.blocks == 0) {
     st.seconds = st.launch_seconds;

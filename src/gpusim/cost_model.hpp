@@ -60,6 +60,7 @@ struct KernelStats {
   double compute_seconds = 0.0;
   double launch_seconds = 0.0;
   double hiding_factor = 1.0;  ///< achieved fraction of peak bandwidth
+  double bytes_moved = 0.0;    ///< effective global bytes charged
   Occupancy occupancy;
   std::size_t waves = 0;
 };

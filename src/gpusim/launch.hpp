@@ -24,6 +24,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/memory_model.hpp"
 #include "gpusim/occupancy.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace tda::gpusim {
 
@@ -114,6 +115,7 @@ class BlockContext {
 /// One record of the optional kernel trace.
 struct TraceRecord {
   std::string name;
+  std::string label;  ///< span path ("solve/stage1") when telemetry is attached
   std::size_t blocks = 0;
   int threads_per_block = 0;
   KernelStats stats;
@@ -150,23 +152,52 @@ class Device {
       body(ctx);
       agg.add_block(ctx.cost());
     }
+    const double t0 = elapsed_seconds_;
     KernelStats st = kernel_time(spec_, cfg, agg);
     elapsed_seconds_ += st.seconds;
     ++kernels_launched_;
+    if (telemetry_ != nullptr) {
+      record_launch_telemetry(name, cfg, agg, st, t0);
+    }
     if (tracing_) {
-      trace_.push_back(
-          TraceRecord{name, cfg.blocks, cfg.threads_per_block, st});
+      TraceRecord rec{name, {}, cfg.blocks, cfg.threads_per_block, st};
+      if (telemetry_ != nullptr && telemetry_->tracer.enabled()) {
+        rec.label = telemetry_->tracer.current_path();
+      }
+      trace_.push_back(std::move(rec));
     }
     return st;
   }
 
+  /// Attaches (or detaches, with nullptr) a telemetry session. Every
+  /// launch then emits a child span under the caller's open span and
+  /// updates launch counters; the tracer's clock is pointed at this
+  /// device's simulated timeline. The device does not own the session.
+  void set_telemetry(tda::telemetry::Telemetry* tel) {
+    telemetry_ = tel;
+    if (tel != nullptr) {
+      tel->tracer.set_clock([this] { return elapsed_seconds_; });
+    }
+  }
+  [[nodiscard]] tda::telemetry::Telemetry* telemetry() const {
+    return telemetry_;
+  }
+
   /// Enables per-launch trace recording (off by default; recording a
-  /// tuning search produces thousands of records).
-  void enable_trace(bool on = true) { tracing_ = on; }
+  /// tuning search produces thousands of records). Disabling also frees
+  /// the accumulated records — a tuning sweep with tracing left on
+  /// would otherwise silently retain thousands of them.
+  void enable_trace(bool on = true) {
+    tracing_ = on;
+    if (!on) clear_trace();
+  }
   [[nodiscard]] const std::vector<TraceRecord>& trace() const {
     return trace_;
   }
-  void clear_trace() { trace_.clear(); }
+  void clear_trace() {
+    trace_.clear();
+    trace_.shrink_to_fit();
+  }
 
   /// Total simulated time since construction / last reset.
   [[nodiscard]] double elapsed_seconds() const { return elapsed_seconds_; }
@@ -181,12 +212,36 @@ class Device {
   }
 
  private:
+  void record_launch_telemetry(const char* name, const LaunchConfig& cfg,
+                               const KernelCost& agg, const KernelStats& st,
+                               double t0) {
+    auto& tracer = telemetry_->tracer;
+    if (tracer.enabled()) {
+      const auto span = tracer.emit(name, "kernel", t0, elapsed_seconds_);
+      tracer.attr(span, "blocks", static_cast<double>(cfg.blocks));
+      tracer.attr(span, "threads",
+                  static_cast<double>(cfg.threads_per_block));
+      tracer.attr(span, "ms", st.seconds * 1e3);
+      tracer.attr(span, "mem_ms", st.mem_seconds * 1e3);
+      tracer.attr(span, "compute_ms", st.compute_seconds * 1e3);
+      tracer.attr(span, "occupancy", st.occupancy.fraction);
+      tracer.attr(span, "bytes", agg.total.global_bytes_eff);
+    }
+    auto& metrics = telemetry_->metrics;
+    if (metrics.enabled()) {
+      metrics.add("device.kernel_launches");
+      metrics.add("device.bytes_moved", agg.total.global_bytes_eff);
+      metrics.observe("device.launch_ms", st.seconds * 1e3);
+    }
+  }
+
   DeviceSpec spec_;
   AlignedBuffer<std::byte> arena_;
   double elapsed_seconds_ = 0.0;
   std::size_t kernels_launched_ = 0;
   bool tracing_ = false;
   std::vector<TraceRecord> trace_;
+  tda::telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace tda::gpusim

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace tda::gpusim {
 
@@ -34,25 +35,42 @@ double probe_launch_overhead(Device& dev) {
 ProbeReport run_probes(Device& dev, std::size_t elem_bytes) {
   ProbeReport rep;
   const auto q = dev.query();
+  telemetry::Telemetry* tel = dev.telemetry();
+  telemetry::ScopedSpan probes_span(telemetry::tracer_of(tel), "probes",
+                                    "probe");
 
   // Saturating configuration: many medium blocks.
   const std::size_t fat_blocks = 64ull * q.sm_count;
   const int threads = 256;
   const double per_block = 1 << 20;  // 1 MiB per block
 
-  rep.peak_bandwidth_gb_s =
-      probe_bandwidth(dev, fat_blocks, threads, per_block, 1, elem_bytes);
-  rep.starved_bandwidth_gb_s =
-      probe_bandwidth(dev, 1, threads, per_block, 1, elem_bytes);
+  {
+    telemetry::ScopedSpan span(telemetry::tracer_of(tel),
+                               "probe.peak_bandwidth", "probe");
+    rep.peak_bandwidth_gb_s =
+        probe_bandwidth(dev, fat_blocks, threads, per_block, 1, elem_bytes);
+    span.attr("gb_s", rep.peak_bandwidth_gb_s);
+  }
+  {
+    telemetry::ScopedSpan span(telemetry::tracer_of(tel),
+                               "probe.starved_bandwidth", "probe");
+    rep.starved_bandwidth_gb_s =
+        probe_bandwidth(dev, 1, threads, per_block, 1, elem_bytes);
+    span.attr("gb_s", rep.starved_bandwidth_gb_s);
+  }
 
   const double base =
       probe_bandwidth(dev, fat_blocks, threads, per_block, 1, elem_bytes);
   double prev_inflation = 1.0;
   rep.inflation_saturation_stride = 0;
   for (std::size_t s = 2; s <= 256; s *= 2) {
+    telemetry::ScopedSpan span(telemetry::tracer_of(tel),
+                               "probe.stride_inflation", "probe");
+    span.attr("stride", static_cast<double>(s));
     const double bw =
         probe_bandwidth(dev, fat_blocks, threads, per_block, s, elem_bytes);
     const double inflation = (bw > 0.0) ? base / bw : 0.0;
+    span.attr("inflation", inflation);
     rep.stride_inflation.emplace_back(s, inflation);
     if (rep.inflation_saturation_stride == 0 &&
         inflation < prev_inflation * 1.01 && s > 2) {
@@ -64,11 +82,18 @@ ProbeReport run_probes(Device& dev, std::size_t elem_bytes) {
     rep.inflation_saturation_stride = 256;
   }
 
-  rep.launch_overhead_us = probe_launch_overhead(dev);
+  {
+    telemetry::ScopedSpan span(telemetry::tracer_of(tel),
+                               "probe.launch_overhead", "probe");
+    rep.launch_overhead_us = probe_launch_overhead(dev);
+    span.attr("us", rep.launch_overhead_us);
+  }
 
   // Latency sensitivity: one long dependent chain vs the same
   // instructions spread over parallel threads.
   {
+    telemetry::ScopedSpan span(telemetry::tracer_of(tel),
+                               "probe.dependency_penalty", "probe");
     LaunchConfig cfg;
     cfg.blocks = static_cast<std::size_t>(q.sm_count);
     cfg.threads_per_block = 256;
@@ -82,6 +107,18 @@ ProbeReport run_probes(Device& dev, std::size_t elem_bytes) {
     const double tw = wide.compute_seconds;
     const double td = deep.compute_seconds;
     rep.dependency_penalty = (tw > 0.0) ? td / tw : 1.0;
+    span.attr("penalty", rep.dependency_penalty);
+  }
+
+  if (tel != nullptr && tel->metrics.enabled()) {
+    auto& mx = tel->metrics;
+    mx.add("probes.runs");
+    mx.set("probe.peak_bandwidth_gb_s", rep.peak_bandwidth_gb_s);
+    mx.set("probe.starved_bandwidth_gb_s", rep.starved_bandwidth_gb_s);
+    mx.set("probe.launch_overhead_us", rep.launch_overhead_us);
+    mx.set("probe.dependency_penalty", rep.dependency_penalty);
+    mx.set("probe.inflation_saturation_stride",
+           static_cast<double>(rep.inflation_saturation_stride));
   }
   return rep;
 }

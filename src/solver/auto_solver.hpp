@@ -15,6 +15,8 @@
 #include "gpusim/launch.hpp"
 #include "solver/gpu_solver.hpp"
 #include "solver/ragged.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 #include "tridiag/batch.hpp"
 #include "tuning/cache.hpp"
 #include "tuning/dynamic_tuner.hpp"
@@ -25,13 +27,24 @@ template <typename T>
 class AutoSolver {
  public:
   /// `cache_path` (optional) persists tuning results across processes.
+  ///
+  /// The solver owns a telemetry session. It activates when the
+  /// TDA_TRACE / TDA_METRICS env vars are set (files written on
+  /// destruction) or programmatically via `telemetry().enable_all()`;
+  /// otherwise it stays disabled and free. The session is attached to
+  /// the device unless the caller already attached their own.
   explicit AutoSolver(gpusim::Device& dev, std::string cache_path = {})
       : dev_(&dev), cache_path_(std::move(cache_path)) {
     if (!cache_path_.empty()) cache_.load(cache_path_);
+    if (dev_->telemetry() == nullptr) {
+      dev_->set_telemetry(&telemetry_);
+      attached_telemetry_ = true;
+    }
   }
 
   ~AutoSolver() {
     if (!cache_path_.empty()) cache_.save(cache_path_);
+    if (attached_telemetry_) dev_->set_telemetry(nullptr);
   }
 
   AutoSolver(const AutoSolver&) = delete;
@@ -71,11 +84,33 @@ class AutoSolver {
   }
   [[nodiscard]] gpusim::Device& device() { return *dev_; }
 
+  /// The owned telemetry session (spans + metrics of every solve/tune
+  /// on this solver while enabled).
+  [[nodiscard]] tda::telemetry::Telemetry& telemetry() {
+    return telemetry_;
+  }
+  [[nodiscard]] const tda::telemetry::Telemetry& telemetry() const {
+    return telemetry_;
+  }
+
+  /// Programmatic exports; false on I/O failure.
+  bool export_trace(const std::string& path) const {
+    return tda::telemetry::write_text_file(
+        path, tda::telemetry::to_chrome_trace(telemetry_.tracer));
+  }
+  bool export_metrics(const std::string& path) const {
+    return tda::telemetry::write_text_file(
+        path, tda::telemetry::to_metrics_json(telemetry_.metrics));
+  }
+
  private:
   gpusim::Device* dev_;
   std::string cache_path_;
   tuning::TuningCache cache_;
   std::size_t tunes_performed_ = 0;
+  tda::telemetry::Telemetry telemetry_;
+  tda::telemetry::EnvExport env_export_{telemetry_};
+  bool attached_telemetry_ = false;
 };
 
 }  // namespace tda::solver

@@ -12,6 +12,7 @@
 //   std::cout << stats.total_ms << " simulated ms\n";
 
 #include <cstddef>
+#include <string>
 
 #include "common/check.hpp"
 #include "gpusim/launch.hpp"
@@ -21,6 +22,7 @@
 #include "kernels/split_kernels.hpp"
 #include "solver/plan.hpp"
 #include "solver/switch_points.hpp"
+#include "telemetry/telemetry.hpp"
 #include "tridiag/batch.hpp"
 
 namespace tda::solver {
@@ -79,25 +81,72 @@ class GpuTridiagonalSolver {
     SolveStats stats;
     stats.plan = plan;
 
+    telemetry::Telemetry* tel = dev_->telemetry();
+    telemetry::ScopedSpan solve_span(telemetry::tracer_of(tel), "solve",
+                                     "solver");
+    solve_span.attr("m", static_cast<double>(w.num_systems));
+    solve_span.attr("n", static_cast<double>(w.system_size));
+    solve_span.attr("mode", mode == kernels::ExecMode::Full ? "full"
+                                                            : "cost_only");
+
+    double stage1_bytes = 0.0, stage2_bytes = 0.0, stage3_bytes = 0.0;
     kernels::SplitState st;
-    for (std::size_t i = 0; i < plan.stage1_steps; ++i) {
-      auto ks = kernels::stage1_split_step(*dev_, dbatch, st, mode);
-      stats.stage1_ms += ks.seconds * 1e3;
-      ++stats.kernel_launches;
+    if (plan.stage1_steps > 0) {
+      telemetry::ScopedSpan span(telemetry::tracer_of(tel), "stage1",
+                                 "solver");
+      for (std::size_t i = 0; i < plan.stage1_steps; ++i) {
+        auto ks = kernels::stage1_split_step(*dev_, dbatch, st, mode);
+        stats.stage1_ms += ks.seconds * 1e3;
+        stage1_bytes += ks.bytes_moved;
+        ++stats.kernel_launches;
+      }
+      span.attr("steps", static_cast<double>(plan.stage1_steps));
+      span.attr("ms", stats.stage1_ms);
     }
     if (plan.stage2_steps > 0) {
+      telemetry::ScopedSpan span(telemetry::tracer_of(tel), "stage2",
+                                 "solver");
       auto ks =
           kernels::stage2_split(*dev_, dbatch, st, plan.stage2_steps, mode);
       stats.stage2_ms += ks.seconds * 1e3;
+      stage2_bytes += ks.bytes_moved;
       ++stats.kernel_launches;
+      span.attr("steps", static_cast<double>(plan.stage2_steps));
+      span.attr("ms", stats.stage2_ms);
     }
     {
+      telemetry::ScopedSpan span(telemetry::tracer_of(tel), "stage3_4",
+                                 "solver");
       auto ks = kernels::pcr_thomas_stage(
           *dev_, dbatch, st, plan.thomas_switch, plan.variant, mode);
       stats.stage3_ms += ks.seconds * 1e3;
+      stage3_bytes += ks.bytes_moved;
       ++stats.kernel_launches;
+      span.attr("thomas_switch", static_cast<double>(plan.thomas_switch));
+      span.attr("variant", kernels::to_string(plan.variant));
+      span.attr("ms", stats.stage3_ms);
     }
     stats.total_ms = stats.stage1_ms + stats.stage2_ms + stats.stage3_ms;
+    solve_span.attr("total_ms", stats.total_ms);
+
+    if (tel != nullptr && tel->metrics.enabled()) {
+      auto& mx = tel->metrics;
+      mx.add(mode == kernels::ExecMode::Full ? "solver.solves"
+                                             : "solver.cost_only_runs");
+      mx.observe("solve.total_ms", stats.total_ms);
+      const auto stage_bw = [&mx](const char* stage, double ms,
+                                  double bytes) {
+        if (ms <= 0.0) return;
+        mx.observe(std::string("solve.") + stage + "_ms", ms);
+        if (bytes > 0.0) {
+          mx.observe(std::string("solve.") + stage + ".bandwidth_gb_s",
+                     bytes / (ms * 1e-3) / 1e9);
+        }
+      };
+      stage_bw("stage1", stats.stage1_ms, stage1_bytes);
+      stage_bw("stage2", stats.stage2_ms, stage2_bytes);
+      stage_bw("stage3", stats.stage3_ms, stage3_bytes);
+    }
     return stats;
   }
 

@@ -1,0 +1,155 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "common/log.hpp"
+#include "telemetry/json.hpp"
+
+namespace tda::telemetry {
+
+std::string to_chrome_trace(const Tracer& tracer) {
+  const auto& spans = tracer.spans();
+  // Order: begin ascending, then longer (enclosing) spans first, then
+  // shallower first — so viewers that break ties by record order still
+  // nest a stage span around its same-timestamp first kernel launch.
+  std::vector<std::size_t> order(spans.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (spans[a].begin_s != spans[b].begin_s)
+                       return spans[a].begin_s < spans[b].begin_s;
+                     const double da = spans[a].end_s - spans[a].begin_s;
+                     const double db = spans[b].end_s - spans[b].begin_s;
+                     if (da != db) return da > db;
+                     return spans[a].depth < spans[b].depth;
+                   });
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const std::size_t i : order) {
+    const SpanRecord& sp = spans[i];
+    if (!first) os << ',';
+    first = false;
+    const double dur_us = std::max(0.0, sp.end_s - sp.begin_s) * 1e6;
+    os << "{\"name\":\"" << json_escape(sp.name) << "\",\"cat\":\""
+       << json_escape(sp.category.empty() ? "tda" : sp.category)
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":"
+       << json_number(sp.begin_s * 1e6) << ",\"dur\":"
+       << json_number(dur_us);
+    if (!sp.attrs.empty()) {
+      os << ",\"args\":{";
+      bool afirst = true;
+      for (const auto& [k, v] : sp.attrs) {
+        if (!afirst) os << ',';
+        afirst = false;
+        os << '"' << json_escape(k) << "\":\"" << json_escape(v) << '"';
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string to_metrics_json(const MetricsRegistry& metrics) {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : metrics.counters()) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << json_number(value);
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : metrics.gauges()) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << json_number(value);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, samples] : metrics.histograms()) {
+    (void)samples;
+    const HistogramSummary h = metrics.histogram(name);
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":{\"count\":"
+       << json_number(static_cast<double>(h.count))
+       << ",\"min\":" << json_number(h.min)
+       << ",\"max\":" << json_number(h.max)
+       << ",\"mean\":" << json_number(h.mean)
+       << ",\"p50\":" << json_number(h.p50)
+       << ",\"p95\":" << json_number(h.p95) << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+namespace {
+std::string env_or_empty(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : std::string();
+}
+
+std::string with_suffix(std::string path, const std::string& suffix) {
+  if (path.empty() || suffix.empty()) return path;
+  std::string clean;
+  for (const char c : suffix) {
+    clean += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos || dot == 0) return path + "." + clean;
+  return path.substr(0, dot) + "." + clean + path.substr(dot);
+}
+}  // namespace
+
+std::string trace_env_path() { return env_or_empty("TDA_TRACE"); }
+std::string metrics_env_path() { return env_or_empty("TDA_METRICS"); }
+
+EnvExport::EnvExport(Telemetry& tel, std::string suffix)
+    : tel_(&tel),
+      trace_path_(with_suffix(trace_env_path(), suffix)),
+      metrics_path_(with_suffix(metrics_env_path(), suffix)) {
+  if (!trace_path_.empty()) tel_->tracer.enable();
+  if (!metrics_path_.empty()) tel_->metrics.enable();
+}
+
+EnvExport::~EnvExport() {
+  if (!flushed_) flush();
+}
+
+void EnvExport::flush() {
+  flushed_ = true;
+  if (!trace_path_.empty()) {
+    if (write_text_file(trace_path_, to_chrome_trace(tel_->tracer))) {
+      TDA_INFO("telemetry: wrote Chrome trace to " << trace_path_);
+    } else {
+      TDA_WARN("telemetry: cannot write trace to " << trace_path_);
+    }
+  }
+  if (!metrics_path_.empty()) {
+    if (write_text_file(metrics_path_, to_metrics_json(tel_->metrics))) {
+      TDA_INFO("telemetry: wrote metrics to " << metrics_path_);
+    } else {
+      TDA_WARN("telemetry: cannot write metrics to " << metrics_path_);
+    }
+  }
+}
+
+}  // namespace tda::telemetry

@@ -1,0 +1,63 @@
+#pragma once
+// Exporters: Chrome trace-event JSON (open in chrome://tracing or
+// https://ui.perfetto.dev) for the span tracer, and a flat JSON dump
+// for the metrics registry. EnvExport is the env-var gate: with
+// TDA_TRACE=<path> and/or TDA_METRICS=<path> set it enables the
+// corresponding telemetry half and writes the file(s) when it goes out
+// of scope.
+
+#include <string>
+
+#include "telemetry/telemetry.hpp"
+
+namespace tda::telemetry {
+
+/// Chrome trace-event JSON ("X" complete events, simulated-time
+/// timestamps in microseconds). Events are ordered so that a parent
+/// precedes its children even when they share a begin timestamp.
+std::string to_chrome_trace(const Tracer& tracer);
+
+/// Flat metrics JSON: {"counters":{..},"gauges":{..},"histograms":
+/// {name:{count,min,max,mean,p50,p95}}}.
+std::string to_metrics_json(const MetricsRegistry& metrics);
+
+/// Writes `content` to `path`; false on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+/// $TDA_TRACE / $TDA_METRICS, empty when unset.
+std::string trace_env_path();
+std::string metrics_env_path();
+
+/// Env-gated export scope. `suffix` (optional) is sanitized and
+/// inserted before the file extension so multi-device runs don't
+/// clobber one file ("out.json" + "GTX 280" -> "out.GTX_280.json").
+class EnvExport {
+ public:
+  explicit EnvExport(Telemetry& tel, std::string suffix = {});
+  ~EnvExport();
+
+  EnvExport(const EnvExport&) = delete;
+  EnvExport& operator=(const EnvExport&) = delete;
+
+  /// True when at least one of the env vars is set.
+  [[nodiscard]] bool active() const {
+    return !trace_path_.empty() || !metrics_path_.empty();
+  }
+  [[nodiscard]] const std::string& trace_path() const {
+    return trace_path_;
+  }
+  [[nodiscard]] const std::string& metrics_path() const {
+    return metrics_path_;
+  }
+
+  /// Writes the export files now (the destructor then skips them).
+  void flush();
+
+ private:
+  Telemetry* tel_;
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool flushed_ = false;
+};
+
+}  // namespace tda::telemetry

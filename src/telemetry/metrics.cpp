@@ -1,0 +1,111 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tda::telemetry {
+
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = std::ceil(q * static_cast<double>(samples.size()));
+  const std::size_t idx = static_cast<std::size_t>(
+      std::clamp(rank, 1.0, static_cast<double>(samples.size())));
+  return samples[idx - 1];
+}
+
+void MetricsRegistry::add(std::string_view name, double delta) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::set(std::string_view name, double value) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::observe(std::string_view name, double sample) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    histograms_.emplace(std::string(name),
+                        std::vector<double>{sample});
+  } else {
+    it->second.push_back(sample);
+  }
+}
+
+double MetricsRegistry::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+HistogramSummary MetricsRegistry::histogram(std::string_view name) const {
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) return {};
+    samples = it->second;
+  }
+  HistogramSummary s;
+  s.count = samples.size();
+  s.min = *std::min_element(samples.begin(), samples.end());
+  s.max = *std::max_element(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (const double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  s.p50 = percentile(samples, 0.50);
+  s.p95 = percentile(samples, 0.95);
+  return s;
+}
+
+std::map<std::string, double> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::map<std::string, double> MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+std::map<std::string, std::vector<double>> MetricsRegistry::histograms()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {histograms_.begin(), histograms_.end()};
+}
+
+bool MetricsRegistry::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace tda::telemetry

@@ -1,0 +1,72 @@
+#pragma once
+// Metrics registry: named counters, gauges and histograms. Counters
+// accumulate (solves, tunes, cache hits, kernel launches, bytes moved),
+// gauges hold the latest value (probe results), histograms keep raw
+// samples and summarize to count/min/max/mean/p50/p95 — the shape of
+// the paper's per-stage timing tables.
+//
+// Thread-safe behind a single mutex (the CPU baseline solver is
+// multi-threaded); the enabled check is taken before the lock so a
+// disabled registry costs one branch and allocates nothing.
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tda::telemetry {
+
+/// Percentile summary of one histogram.
+struct HistogramSummary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Nearest-rank percentile (q in [0,1]) of an unsorted sample; 0 when
+/// empty. Exposed for tests.
+double percentile(std::vector<double> samples, double q);
+
+class MetricsRegistry {
+ public:
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Adds `delta` to a counter (creating it at 0).
+  void add(std::string_view name, double delta = 1.0);
+  /// Sets a gauge to `value`.
+  void set(std::string_view name, double value);
+  /// Appends one sample to a histogram.
+  void observe(std::string_view name, double sample);
+
+  /// Reads a counter / gauge; 0 for names never written.
+  [[nodiscard]] double counter(std::string_view name) const;
+  [[nodiscard]] double gauge(std::string_view name) const;
+  /// Summarizes a histogram; all-zero for names never observed.
+  [[nodiscard]] HistogramSummary histogram(std::string_view name) const;
+
+  /// Snapshot accessors (copies, so callers need no lock discipline).
+  [[nodiscard]] std::map<std::string, double> counters() const;
+  [[nodiscard]] std::map<std::string, double> gauges() const;
+  [[nodiscard]] std::map<std::string, std::vector<double>> histograms()
+      const;
+
+  /// True when nothing has been recorded.
+  [[nodiscard]] bool empty() const;
+
+  void clear();
+
+ private:
+  bool enabled_ = false;
+  mutable std::mutex mu_;
+  std::map<std::string, double, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, std::vector<double>, std::less<>> histograms_;
+};
+
+}  // namespace tda::telemetry

@@ -1,0 +1,41 @@
+#pragma once
+// Telemetry session: one Tracer + one MetricsRegistry, attached to a
+// gpusim::Device (Device::set_telemetry) and shared by every component
+// that touches the device — solver stages, the dynamic tuner, the
+// micro-benchmark probes. Both halves are disabled by default; an
+// attached-but-disabled session costs one pointer test per launch and
+// records nothing.
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace tda::telemetry {
+
+struct Telemetry {
+  Tracer tracer;
+  MetricsRegistry metrics;
+
+  void enable_all() {
+    tracer.enable();
+    metrics.enable();
+  }
+  void disable_all() {
+    tracer.enable(false);
+    metrics.enable(false);
+  }
+  [[nodiscard]] bool any_enabled() const {
+    return tracer.enabled() || metrics.enabled();
+  }
+  void clear() {
+    tracer.clear();
+    metrics.clear();
+  }
+};
+
+/// Null-safe accessor used at span call sites:
+/// `ScopedSpan s(tracer_of(tel), "solve")`.
+inline Tracer* tracer_of(Telemetry* tel) {
+  return tel != nullptr ? &tel->tracer : nullptr;
+}
+
+}  // namespace tda::telemetry

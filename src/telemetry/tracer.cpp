@@ -1,0 +1,91 @@
+#include "telemetry/tracer.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace tda::telemetry {
+
+namespace {
+std::string format_number(double value) {
+  if (!std::isfinite(value)) return "0";
+  // Integral values print without a decimal point (span attrs carry a
+  // lot of counts: blocks, threads, steps).
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::ostringstream os;
+    os << static_cast<long long>(value);
+    return os.str();
+  }
+  std::ostringstream os;
+  os.precision(9);
+  os << value;
+  return os.str();
+}
+}  // namespace
+
+SpanId Tracer::begin(std::string_view name, std::string_view category) {
+  if (!enabled_) return kInvalidSpan;
+  SpanRecord rec;
+  rec.name.assign(name);
+  rec.category.assign(category);
+  rec.begin_s = rec.end_s = now();
+  rec.parent = stack_.empty() ? kInvalidSpan : stack_.back();
+  rec.depth = static_cast<int>(stack_.size());
+  spans_.push_back(std::move(rec));
+  const SpanId id = spans_.size() - 1;
+  stack_.push_back(id);
+  return id;
+}
+
+void Tracer::end(SpanId id) {
+  if (id == kInvalidSpan || id >= spans_.size()) return;
+  const double ts = now();
+  spans_[id].end_s = ts;
+  // Unwind to the ended span, closing any descendants whose end calls
+  // were skipped (e.g. an exception unwound past their ScopedSpan).
+  while (!stack_.empty()) {
+    const SpanId top = stack_.back();
+    stack_.pop_back();
+    if (top == id) break;
+    spans_[top].end_s = ts;
+  }
+}
+
+SpanId Tracer::emit(std::string_view name, std::string_view category,
+                    double begin_s, double end_s) {
+  if (!enabled_) return kInvalidSpan;
+  SpanRecord rec;
+  rec.name.assign(name);
+  rec.category.assign(category);
+  rec.begin_s = begin_s;
+  rec.end_s = end_s;
+  rec.parent = stack_.empty() ? kInvalidSpan : stack_.back();
+  rec.depth = static_cast<int>(stack_.size());
+  spans_.push_back(std::move(rec));
+  return spans_.size() - 1;
+}
+
+void Tracer::attr(SpanId id, std::string_view key, std::string_view value) {
+  if (id == kInvalidSpan || id >= spans_.size()) return;
+  spans_[id].attrs.emplace_back(std::string(key), std::string(value));
+}
+
+void Tracer::attr(SpanId id, std::string_view key, double value) {
+  if (id == kInvalidSpan || id >= spans_.size()) return;
+  spans_[id].attrs.emplace_back(std::string(key), format_number(value));
+}
+
+std::string Tracer::current_path() const {
+  std::string path;
+  for (const SpanId id : stack_) {
+    if (!path.empty()) path += '/';
+    path += spans_[id].name;
+  }
+  return path;
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  stack_.clear();
+}
+
+}  // namespace tda::telemetry

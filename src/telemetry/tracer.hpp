@@ -1,0 +1,129 @@
+#pragma once
+// Span tracer — the observability substrate the paper's stage-timing
+// figures (5–8) need: nestable, attributed spans over the *simulated*
+// timeline. A span is opened/closed explicitly (begin/end), by RAII
+// (ScopedSpan), or emitted whole with pre-measured timestamps (emit —
+// what Device::launch uses, since a launch's duration is only known
+// after the cost model runs).
+//
+// Zero overhead when disabled: begin()/emit() return kInvalidSpan and
+// allocate nothing, attribute calls no-op. The time source is pluggable
+// (set_clock); Device::set_telemetry wires it to the device's simulated
+// timeline so spans line up with kernel-launch records.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tda::telemetry {
+
+using SpanId = std::size_t;
+inline constexpr SpanId kInvalidSpan = ~static_cast<SpanId>(0);
+
+/// One closed (or still-open) span.
+struct SpanRecord {
+  std::string name;
+  std::string category;
+  double begin_s = 0.0;  ///< simulated seconds
+  double end_s = 0.0;
+  SpanId parent = kInvalidSpan;
+  int depth = 0;  ///< nesting depth at open time (0 = root)
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+class Tracer {
+ public:
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Installs the time source (seconds). Device::set_telemetry points
+  /// this at the device's simulated timeline; without a clock all
+  /// timestamps are 0 (spans still nest correctly).
+  void set_clock(std::function<double()> clock) {
+    clock_ = std::move(clock);
+  }
+  [[nodiscard]] double now() const { return clock_ ? clock_() : 0.0; }
+
+  /// Opens a nested span; returns kInvalidSpan when disabled.
+  SpanId begin(std::string_view name, std::string_view category = {});
+
+  /// Closes a span (and any still-open descendants). No-op for
+  /// kInvalidSpan.
+  void end(SpanId id);
+
+  /// Records a complete span with externally measured timestamps,
+  /// parented at the innermost open span. Returns kInvalidSpan when
+  /// disabled.
+  SpanId emit(std::string_view name, std::string_view category,
+              double begin_s, double end_s);
+
+  /// Attaches a key/value attribute to a span. Numeric overloads print
+  /// integers without a decimal point. No-ops for kInvalidSpan.
+  void attr(SpanId id, std::string_view key, std::string_view value);
+  void attr(SpanId id, std::string_view key, double value);
+
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const {
+    return spans_;
+  }
+  [[nodiscard]] std::size_t open_spans() const { return stack_.size(); }
+
+  /// Slash-joined names of the open-span stack ("solve/stage1"); what
+  /// Device::launch stamps on TraceRecords as the phase label.
+  [[nodiscard]] std::string current_path() const;
+
+  void clear();
+
+ private:
+  bool enabled_ = false;
+  std::function<double()> clock_;
+  std::vector<SpanRecord> spans_;
+  std::vector<SpanId> stack_;
+};
+
+/// RAII span: closes on scope exit. Safe on a null tracer or a disabled
+/// one — every member degrades to a no-op.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string_view name,
+             std::string_view category = {})
+      : tracer_(tracer),
+        id_(tracer != nullptr ? tracer->begin(name, category)
+                              : kInvalidSpan) {}
+  ScopedSpan(Tracer& tracer, std::string_view name,
+             std::string_view category = {})
+      : ScopedSpan(&tracer, name, category) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() { finish(); }
+
+  /// Closes the span early (idempotent).
+  void finish() {
+    if (tracer_ != nullptr && id_ != kInvalidSpan) {
+      tracer_->end(id_);
+      id_ = kInvalidSpan;
+    }
+  }
+
+  void attr(std::string_view key, std::string_view value) {
+    if (tracer_ != nullptr && id_ != kInvalidSpan)
+      tracer_->attr(id_, key, value);
+  }
+  void attr(std::string_view key, double value) {
+    if (tracer_ != nullptr && id_ != kInvalidSpan)
+      tracer_->attr(id_, key, value);
+  }
+
+  [[nodiscard]] bool active() const { return id_ != kInvalidSpan; }
+  [[nodiscard]] SpanId id() const { return id_; }
+
+ private:
+  Tracer* tracer_;
+  SpanId id_;
+};
+
+}  // namespace tda::telemetry

@@ -29,6 +29,7 @@
 #include "kernels/device_batch.hpp"
 #include "solver/gpu_solver.hpp"
 #include "solver/switch_points.hpp"
+#include "telemetry/telemetry.hpp"
 #include "tuning/cache.hpp"
 #include "tuning/tuners.hpp"
 
@@ -51,10 +52,17 @@ class DynamicTuner {
 
   /// Tunes switch points for the given workload shape.
   TuneResult tune(const solver::Workload& w) {
+    telemetry::Telemetry* tel = dev_->telemetry();
+    telemetry::ScopedSpan span(telemetry::tracer_of(tel), "tune", "tuner");
+    span.attr("m", static_cast<double>(w.num_systems));
+    span.attr("n", static_cast<double>(w.system_size));
+
     const std::string key = TuningCache::make_key(
         dev_->spec().name, sizeof(T), w.num_systems, w.system_size);
     if (cache_ != nullptr) {
       if (auto hit = cache_->find(key)) {
+        if (tel != nullptr) tel->metrics.add("tuner.cache_hits");
+        span.attr("cache", "hit");
         TuneResult r;
         r.points = hit->points;
         r.best_ms = hit->tuned_ms;
@@ -62,11 +70,18 @@ class DynamicTuner {
         return r;
       }
     }
+    if (tel != nullptr && cache_ != nullptr) {
+      tel->metrics.add("tuner.cache_misses");
+    }
 
     TuneResult r = search(w);
     if (cache_ != nullptr) {
       cache_->store(key, CacheEntry{r.points, r.best_ms});
     }
+    if (tel != nullptr) tel->metrics.add("tuner.tunes");
+    span.attr("evaluations", static_cast<double>(r.evaluations));
+    span.attr("best_ms", r.best_ms);
+    span.attr("points", solver::describe(r.points));
     return r;
   }
 
@@ -106,13 +121,25 @@ class DynamicTuner {
     // Real-workload scratch for group B / final scoring.
     kernels::DeviceBatch<T> scratch(w.num_systems, w.system_size);
 
+    telemetry::Telemetry* tel = dev_->telemetry();
     std::map<std::string, double> memo;
     auto eval_on = [&](kernels::DeviceBatch<T>& batch, const char* tag,
                        const solver::SwitchPoints& sp) {
       const std::string k = std::string(tag) + "|" + solver::describe(sp);
       if (auto it = memo.find(k); it != memo.end()) return it->second;
+      // One span per candidate actually simulated (memo hits above are
+      // free): the §IV-D search trajectory, inspectable in a trace.
+      telemetry::ScopedSpan span(telemetry::tracer_of(tel), "tune.eval",
+                                 "tuner");
+      span.attr("workload", tag);
+      span.attr("points", solver::describe(sp));
       solver::GpuTridiagonalSolver<T> s(*dev_, sp);
       const double ms = s.run(batch, kernels::ExecMode::CostOnly).total_ms;
+      span.attr("ms", ms);
+      if (tel != nullptr && tel->metrics.enabled()) {
+        tel->metrics.add("tuner.evaluations");
+        tel->metrics.observe("tuner.eval_ms", ms);
+      }
       memo[k] = ms;
       ++r.evaluations;
       TDA_DEBUG("tune eval " << k << " -> " << ms << " ms");
