@@ -1,0 +1,52 @@
+#pragma once
+// Solve-service configuration: admission control (bounded queue +
+// backpressure policy), flush triggers for shape-bucketed coalescing,
+// and the multi-device dispatch policy.
+
+#include <cstddef>
+#include <string>
+
+namespace tda::service {
+
+/// What submit() does when the admission queue is full.
+enum class BackpressurePolicy {
+  Block,      ///< caller blocks until a slot frees (or shutdown)
+  Reject,     ///< the new request is refused immediately
+  ShedOldest  ///< the oldest queued request is shed to admit the new one
+};
+
+/// How flushed buckets are spread across the worker devices.
+enum class DispatchPolicy {
+  RoundRobin,  ///< workers take turns
+  LeastLoaded  ///< bucket goes to the worker with fewest queued systems
+};
+
+const char* to_string(BackpressurePolicy p);
+const char* to_string(DispatchPolicy p);
+
+struct ServiceConfig {
+  /// Max requests admitted but not yet dispatched to a device.
+  std::size_t queue_capacity = 4096;
+  BackpressurePolicy backpressure = BackpressurePolicy::Block;
+  DispatchPolicy dispatch = DispatchPolicy::LeastLoaded;
+
+  /// Size trigger: a (n, dtype) bucket flushes once it holds this many
+  /// systems. 1 disables coalescing (one solve per request).
+  std::size_t flush_systems = 64;
+  /// Deadline trigger: a bucket flushes once its oldest request has
+  /// waited this long, however few systems it holds.
+  double flush_interval_ms = 2.0;
+
+  /// Deadline applied to requests that don't carry their own
+  /// (milliseconds from admission; 0 = no deadline). A request whose
+  /// deadline lapses before its bucket is picked up by a worker
+  /// completes with SolveStatus::TimedOut; once a worker starts solving
+  /// it, it runs to completion.
+  double default_deadline_ms = 0.0;
+
+  /// Shared persistent tuning cache: loaded at start-up, merge-saved on
+  /// shutdown. Empty = in-memory only.
+  std::string cache_path;
+};
+
+}  // namespace tda::service

@@ -1,0 +1,52 @@
+#pragma once
+// Request/response types of the solve service. A request is one
+// tridiagonal system (the service coalesces many of them into batched
+// solves); the response carries the solution plus enough scheduling
+// detail — wait time, batch occupancy, device — for callers and benches
+// to see what the service did with it.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tda::service {
+
+/// Terminal state of a submitted request.
+enum class SolveStatus {
+  Ok,        ///< solved; x holds the solution
+  Rejected,  ///< refused at admission (queue full, or service shut down)
+  Shed,      ///< evicted from the queue by BackpressurePolicy::ShedOldest
+  TimedOut,  ///< deadline lapsed before a worker picked the request up
+  Failed     ///< the solve itself threw; `error` holds the message
+};
+
+const char* to_string(SolveStatus s);
+
+/// One tridiagonal system: diagonals a/b/c and right-hand side d, all of
+/// equal length n >= 1 (a[0] and c[n-1] are 0 by convention).
+template <typename T>
+struct SolveRequest {
+  std::vector<T> a, b, c, d;
+  /// Per-request deadline in ms from admission; 0 = use the config
+  /// default (which may itself be "none").
+  double deadline_ms = 0.0;
+
+  [[nodiscard]] std::size_t size() const { return b.size(); }
+};
+
+template <typename T>
+struct SolveResponse {
+  SolveStatus status = SolveStatus::Ok;
+  std::vector<T> x;  ///< solution (empty unless status == Ok)
+
+  // --- scheduling detail ---
+  std::size_t batch_systems = 0;  ///< systems coalesced into the solve
+  double wait_ms = 0.0;           ///< admission -> dispatch wall time
+  double solve_ms = 0.0;          ///< simulated ms of the whole batch
+  std::string device;             ///< worker device that ran the batch
+  std::string error;              ///< diagnostic for Failed
+
+  [[nodiscard]] bool ok() const { return status == SolveStatus::Ok; }
+};
+
+}  // namespace tda::service

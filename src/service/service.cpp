@@ -1,0 +1,44 @@
+#include "service/config.hpp"
+#include "service/request.hpp"
+
+namespace tda::service {
+
+const char* to_string(BackpressurePolicy p) {
+  switch (p) {
+    case BackpressurePolicy::Block:
+      return "block";
+    case BackpressurePolicy::Reject:
+      return "reject";
+    case BackpressurePolicy::ShedOldest:
+      return "shed-oldest";
+  }
+  return "?";
+}
+
+const char* to_string(DispatchPolicy p) {
+  switch (p) {
+    case DispatchPolicy::RoundRobin:
+      return "round-robin";
+    case DispatchPolicy::LeastLoaded:
+      return "least-loaded";
+  }
+  return "?";
+}
+
+const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::Ok:
+      return "ok";
+    case SolveStatus::Rejected:
+      return "rejected";
+    case SolveStatus::Shed:
+      return "shed";
+    case SolveStatus::TimedOut:
+      return "timed-out";
+    case SolveStatus::Failed:
+      return "failed";
+  }
+  return "?";
+}
+
+}  // namespace tda::service

@@ -1,0 +1,656 @@
+#pragma once
+// SolveService — the serving layer in front of the auto-tuned solver.
+//
+// The paper's deployment model (tune once per shape, amortize the tuned
+// switch points over many solves) pays off at scale when many
+// independent callers funnel their systems through one warm solver.
+// This service is that funnel:
+//
+//   * callers submit() single systems (or ragged batches, one request
+//     per system) and get std::futures back;
+//   * a scheduler thread buckets pending requests by (n, dtype) shape
+//     and coalesces each bucket into ONE batched solve per flush —
+//     triggered by size (flush_systems) or deadline (flush_interval_ms);
+//   * flushed buckets are dispatched across one or more simulated
+//     devices (round-robin or least-loaded), each owned by a worker
+//     thread;
+//   * all workers share a single thread-safe tuning cache, so a shape
+//     tuned on one device/worker is a cache hit for every later solve;
+//   * admission is bounded (queue_capacity) with a configurable
+//     backpressure policy: Block / Reject / ShedOldest;
+//   * per-request deadlines produce TimedOut responses instead of
+//     unbounded queueing; shutdown() drains in-flight work.
+//
+// Telemetry: the service owns a session. Metrics record queue depth,
+// wait time, batch occupancy and solve times; the tracer gets whole
+// enqueue -> flush -> solve -> complete spans per coalesced batch
+// (emitted with wall-clock timestamps, serialized by an internal mutex
+// since workers run concurrently).
+//
+// Thread-safety model: one service mutex guards the buckets, the
+// admission count and every worker's job queue; each simulated Device
+// is touched only by its owning worker thread; the tuning cache and the
+// metrics registry have their own internal locks.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <future>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "gpusim/launch.hpp"
+#include "service/config.hpp"
+#include "service/request.hpp"
+#include "solver/gpu_solver.hpp"
+#include "solver/ragged.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
+#include "tridiag/batch.hpp"
+#include "tuning/cache.hpp"
+#include "tuning/dynamic_tuner.hpp"
+
+namespace tda::service {
+
+template <typename T>
+class SolveService {
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+
+ public:
+  /// Aggregate request accounting (monotonic since construction).
+  struct Counters {
+    std::size_t submitted = 0;   ///< submit() calls
+    std::size_t completed = 0;   ///< requests solved (status Ok)
+    std::size_t rejected = 0;    ///< refused at admission
+    std::size_t shed = 0;        ///< evicted by ShedOldest
+    std::size_t timed_out = 0;   ///< deadline lapsed before solve
+    std::size_t failed = 0;      ///< solve threw
+    std::size_t flushes = 0;     ///< coalesced batches dispatched
+    std::size_t coalesced_systems = 0;  ///< systems across all flushes
+    std::size_t max_batch_systems = 0;  ///< largest single flush
+    std::size_t tunes = 0;       ///< tuning runs not served from cache
+    double device_ms = 0.0;      ///< total simulated solve ms, all devices
+  };
+
+  explicit SolveService(const std::vector<gpusim::DeviceSpec>& devices,
+                        ServiceConfig cfg = {})
+      : cfg_(std::move(cfg)), start_tp_(Clock::now()) {
+    TDA_REQUIRE(!devices.empty(), "service needs at least one device");
+    TDA_REQUIRE(cfg_.queue_capacity >= 1, "queue capacity must be positive");
+    TDA_REQUIRE(cfg_.flush_systems >= 1, "flush size must be positive");
+    TDA_REQUIRE(cfg_.flush_interval_ms >= 0.0,
+                "flush interval must be non-negative");
+    if (!cfg_.cache_path.empty()) cache_.load(cfg_.cache_path);
+    telemetry_.tracer.set_clock([this] { return wall_s(Clock::now()); });
+    if (telemetry_.metrics.enabled()) {
+      telemetry_.metrics.set("service.workers",
+                             static_cast<double>(devices.size()));
+      telemetry_.metrics.set("service.queue_capacity",
+                             static_cast<double>(cfg_.queue_capacity));
+    }
+    workers_.reserve(devices.size());
+    for (const auto& spec : devices) {
+      workers_.push_back(std::make_unique<Worker>(spec));
+    }
+    for (auto& w : workers_) {
+      w->thread = std::thread([this, wp = w.get()] { worker_loop(*wp); });
+    }
+    scheduler_ = std::thread([this] { scheduler_loop(); });
+  }
+
+  ~SolveService() { shutdown(); }
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Submits one system; the future resolves when the request reaches a
+  /// terminal state (see SolveStatus). Never blocks except under
+  /// BackpressurePolicy::Block with a full queue.
+  std::future<SolveResponse<T>> submit(SolveRequest<T> req) {
+    const std::size_t n = req.size();
+    TDA_REQUIRE(n >= 1, "solve request needs at least one equation");
+    TDA_REQUIRE(req.a.size() == n && req.c.size() == n && req.d.size() == n,
+                "request diagonals must have equal length");
+    std::promise<SolveResponse<T>> promise;
+    auto future = promise.get_future();
+
+    std::unique_lock lk(mu_);
+    counters_submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (!accepting_) {
+      lk.unlock();
+      count_terminal(SolveStatus::Rejected);
+      finish(std::move(promise), SolveStatus::Rejected);
+      return future;
+    }
+    if (pending_ >= cfg_.queue_capacity) {
+      switch (cfg_.backpressure) {
+        case BackpressurePolicy::Block:
+          cv_space_.wait(lk, [this] {
+            return pending_ < cfg_.queue_capacity || !accepting_;
+          });
+          if (!accepting_) {
+            lk.unlock();
+            count_terminal(SolveStatus::Rejected);
+            finish(std::move(promise), SolveStatus::Rejected);
+            return future;
+          }
+          break;
+        case BackpressurePolicy::Reject:
+          lk.unlock();
+          count_terminal(SolveStatus::Rejected);
+          finish(std::move(promise), SolveStatus::Rejected);
+          return future;
+        case BackpressurePolicy::ShedOldest:
+          shed_oldest_locked();
+          break;
+      }
+    }
+
+    const TimePoint now = Clock::now();
+    Pending p;
+    p.a = std::move(req.a);
+    p.b = std::move(req.b);
+    p.c = std::move(req.c);
+    p.d = std::move(req.d);
+    p.promise = std::move(promise);
+    p.enqueue_tp = now;
+    p.deadline_tp = deadline_of(now, req.deadline_ms);
+    p.seq = next_seq_++;
+    buckets_[n].push_back(std::move(p));
+    ++pending_;
+    if (telemetry_.metrics.enabled()) {
+      telemetry_.metrics.add("service.submitted");
+      telemetry_.metrics.observe("service.queue_depth",
+                                 static_cast<double>(pending_));
+    }
+    lk.unlock();
+    cv_sched_.notify_one();
+    return future;
+  }
+
+  /// Submits every system of a ragged batch (one request each); the
+  /// scheduler re-coalesces equal sizes — possibly together with other
+  /// callers' systems. Futures are in system order.
+  std::vector<std::future<SolveResponse<T>>> submit_ragged(
+      const solver::RaggedBatch<T>& rb) {
+    std::vector<std::future<SolveResponse<T>>> futures;
+    futures.reserve(rb.num_systems());
+    for (std::size_t s = 0; s < rb.num_systems(); ++s) {
+      const std::size_t n = rb.system_size(s);
+      const std::size_t off = rb.offset(s);
+      SolveRequest<T> req;
+      req.a.assign(rb.a().begin() + off, rb.a().begin() + off + n);
+      req.b.assign(rb.b().begin() + off, rb.b().begin() + off + n);
+      req.c.assign(rb.c().begin() + off, rb.c().begin() + off + n);
+      req.d.assign(rb.d().begin() + off, rb.d().begin() + off + n);
+      futures.push_back(submit(std::move(req)));
+    }
+    return futures;
+  }
+
+  /// Stops admission, drains every queued and in-flight request, joins
+  /// all threads and merge-saves the tuning cache. Idempotent; called by
+  /// the destructor.
+  void shutdown() {
+    {
+      std::lock_guard lk(mu_);
+      if (stopped_) return;
+      accepting_ = false;
+      draining_ = true;
+    }
+    cv_sched_.notify_all();
+    cv_space_.notify_all();
+    if (scheduler_.joinable()) scheduler_.join();
+    {
+      std::lock_guard lk(mu_);
+      for (auto& w : workers_) w->stop = true;
+    }
+    for (auto& w : workers_) w->cv.notify_all();
+    for (auto& w : workers_) {
+      if (w->thread.joinable()) w->thread.join();
+    }
+    if (!cfg_.cache_path.empty()) cache_.save_merged(cfg_.cache_path);
+    std::lock_guard lk(mu_);
+    stopped_ = true;
+  }
+
+  [[nodiscard]] bool accepting() const {
+    std::lock_guard lk(mu_);
+    return accepting_;
+  }
+  /// Requests admitted but not yet dispatched to a device.
+  [[nodiscard]] std::size_t queue_depth() const {
+    std::lock_guard lk(mu_);
+    return pending_;
+  }
+  [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
+  [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
+  [[nodiscard]] const tuning::TuningCache& cache() const { return cache_; }
+
+  [[nodiscard]] Counters counters() const {
+    Counters c;
+    c.submitted = counters_submitted_.load(std::memory_order_relaxed);
+    c.completed = counters_completed_.load(std::memory_order_relaxed);
+    c.rejected = counters_rejected_.load(std::memory_order_relaxed);
+    c.shed = counters_shed_.load(std::memory_order_relaxed);
+    c.timed_out = counters_timed_out_.load(std::memory_order_relaxed);
+    c.failed = counters_failed_.load(std::memory_order_relaxed);
+    c.flushes = counters_flushes_.load(std::memory_order_relaxed);
+    c.coalesced_systems =
+        counters_coalesced_.load(std::memory_order_relaxed);
+    c.max_batch_systems = counters_max_batch_.load(std::memory_order_relaxed);
+    c.tunes = counters_tunes_.load(std::memory_order_relaxed);
+    c.device_ms = counters_device_ms_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+  /// The service telemetry session (enable via enable_all() before
+  /// submitting, or through TDA_TRACE / TDA_METRICS which export with a
+  /// ".service" suffix at destruction).
+  [[nodiscard]] telemetry::Telemetry& telemetry() { return telemetry_; }
+  [[nodiscard]] const telemetry::Telemetry& telemetry() const {
+    return telemetry_;
+  }
+
+  bool export_trace(const std::string& path) const {
+    std::lock_guard lk(tel_mu_);
+    return telemetry::write_text_file(
+        path, telemetry::to_chrome_trace(telemetry_.tracer));
+  }
+  bool export_metrics(const std::string& path) const {
+    return telemetry::write_text_file(
+        path, telemetry::to_metrics_json(telemetry_.metrics));
+  }
+
+ private:
+  struct Pending {
+    std::vector<T> a, b, c, d;
+    std::promise<SolveResponse<T>> promise;
+    TimePoint enqueue_tp{};
+    TimePoint deadline_tp = TimePoint::max();
+    std::uint64_t seq = 0;
+  };
+
+  struct Job {
+    std::size_t n = 0;
+    std::vector<Pending> members;
+    TimePoint oldest_enqueue_tp{};
+    TimePoint flush_tp{};
+    const char* trigger = "size";
+  };
+
+  struct Worker {
+    explicit Worker(const gpusim::DeviceSpec& spec) : dev(spec) {}
+    gpusim::Device dev;
+    std::thread thread;
+    std::condition_variable cv;       // waits on the service mutex
+    std::deque<Job> jobs;             // guarded by the service mutex
+    std::size_t queued_systems = 0;   // guarded by the service mutex
+    bool stop = false;                // guarded by the service mutex
+  };
+
+  [[nodiscard]] double wall_s(TimePoint tp) const {
+    return std::chrono::duration<double>(tp - start_tp_).count();
+  }
+  [[nodiscard]] TimePoint deadline_of(TimePoint now, double req_ms) const {
+    const double ms = req_ms > 0.0 ? req_ms : cfg_.default_deadline_ms;
+    if (ms <= 0.0) return TimePoint::max();
+    return now + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double, std::milli>(ms));
+  }
+
+  static void finish(std::promise<SolveResponse<T>> promise,
+                     SolveStatus status, std::string error = {}) {
+    SolveResponse<T> resp;
+    resp.status = status;
+    resp.error = std::move(error);
+    promise.set_value(std::move(resp));
+  }
+
+  void count_terminal(SolveStatus status, std::size_t n = 1) {
+    switch (status) {
+      case SolveStatus::Ok:
+        counters_completed_.fetch_add(n, std::memory_order_relaxed);
+        break;
+      case SolveStatus::Rejected:
+        counters_rejected_.fetch_add(n, std::memory_order_relaxed);
+        if (telemetry_.metrics.enabled())
+          telemetry_.metrics.add("service.rejected", static_cast<double>(n));
+        break;
+      case SolveStatus::Shed:
+        counters_shed_.fetch_add(n, std::memory_order_relaxed);
+        if (telemetry_.metrics.enabled())
+          telemetry_.metrics.add("service.shed", static_cast<double>(n));
+        break;
+      case SolveStatus::TimedOut:
+        counters_timed_out_.fetch_add(n, std::memory_order_relaxed);
+        if (telemetry_.metrics.enabled())
+          telemetry_.metrics.add("service.timed_out",
+                                 static_cast<double>(n));
+        break;
+      case SolveStatus::Failed:
+        counters_failed_.fetch_add(n, std::memory_order_relaxed);
+        if (telemetry_.metrics.enabled())
+          telemetry_.metrics.add("service.failed", static_cast<double>(n));
+        break;
+    }
+  }
+
+  /// Evicts the globally oldest queued request. Caller holds mu_.
+  void shed_oldest_locked() {
+    auto oldest_bucket = buckets_.end();
+    std::uint64_t oldest_seq = std::numeric_limits<std::uint64_t>::max();
+    for (auto it = buckets_.begin(); it != buckets_.end(); ++it) {
+      if (!it->second.empty() && it->second.front().seq < oldest_seq) {
+        oldest_seq = it->second.front().seq;
+        oldest_bucket = it;
+      }
+    }
+    if (oldest_bucket == buckets_.end()) return;
+    Pending victim = std::move(oldest_bucket->second.front());
+    oldest_bucket->second.pop_front();
+    if (oldest_bucket->second.empty()) buckets_.erase(oldest_bucket);
+    --pending_;
+    count_terminal(SolveStatus::Shed);
+    finish(std::move(victim.promise), SolveStatus::Shed);
+  }
+
+  /// Times out every queued request whose deadline lapsed. Caller holds
+  /// mu_.
+  void expire_overdue_locked(TimePoint now) {
+    for (auto it = buckets_.begin(); it != buckets_.end();) {
+      auto& dq = it->second;
+      for (auto p = dq.begin(); p != dq.end();) {
+        if (p->deadline_tp <= now) {
+          count_terminal(SolveStatus::TimedOut);
+          finish(std::move(p->promise), SolveStatus::TimedOut);
+          p = dq.erase(p);
+          --pending_;
+        } else {
+          ++p;
+        }
+      }
+      it = dq.empty() ? buckets_.erase(it) : std::next(it);
+    }
+  }
+
+  /// Earliest instant at which a trigger can fire (bucket age reaching
+  /// flush_interval_ms, or a request deadline). Caller holds mu_.
+  [[nodiscard]] TimePoint next_event_locked() const {
+    TimePoint wake = TimePoint::max();
+    const auto interval = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(cfg_.flush_interval_ms));
+    for (const auto& [n, dq] : buckets_) {
+      if (dq.empty()) continue;
+      wake = std::min(wake, dq.front().enqueue_tp + interval);
+      for (const auto& p : dq) wake = std::min(wake, p.deadline_tp);
+    }
+    return wake;
+  }
+
+  /// Picks the worker for a flush of `systems` systems. Caller holds mu_.
+  [[nodiscard]] Worker* pick_worker_locked(std::size_t systems) {
+    Worker* chosen = nullptr;
+    if (cfg_.dispatch == DispatchPolicy::RoundRobin) {
+      chosen = workers_[rr_next_ % workers_.size()].get();
+      ++rr_next_;
+    } else {
+      for (auto& w : workers_) {
+        if (chosen == nullptr || w->queued_systems < chosen->queued_systems)
+          chosen = w.get();
+      }
+    }
+    chosen->queued_systems += systems;
+    return chosen;
+  }
+
+  /// Flushes every triggered bucket to a worker. Caller holds mu_.
+  void dispatch_ready_locked(TimePoint now) {
+    const auto interval = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(cfg_.flush_interval_ms));
+    bool freed = false;
+    for (auto it = buckets_.begin(); it != buckets_.end();) {
+      auto& dq = it->second;
+      // Carve jobs of at most flush_systems while a trigger holds:
+      // flush_systems is both the size trigger and the batch-size cap, so
+      // a deep bucket spreads over the worker pool instead of landing as
+      // one oversized batch on a single device.
+      for (;;) {
+        const char* trigger = nullptr;
+        if (dq.empty()) {
+          break;
+        } else if (draining_) {
+          trigger = "drain";
+        } else if (dq.size() >= cfg_.flush_systems) {
+          trigger = "size";
+        } else if (dq.front().enqueue_tp + interval <= now) {
+          trigger = "interval";
+        }
+        if (trigger == nullptr) break;
+        Job job;
+        job.n = it->first;
+        job.trigger = trigger;
+        job.flush_tp = now;
+        job.oldest_enqueue_tp = dq.front().enqueue_tp;
+        const std::size_t take = std::min(dq.size(), cfg_.flush_systems);
+        job.members.reserve(take);
+        for (std::size_t i = 0; i < take; ++i) {
+          job.members.push_back(std::move(dq.front()));
+          dq.pop_front();
+        }
+        pending_ -= take;
+        freed = true;
+        counters_flushes_.fetch_add(1, std::memory_order_relaxed);
+        counters_coalesced_.fetch_add(take, std::memory_order_relaxed);
+        std::size_t prev =
+            counters_max_batch_.load(std::memory_order_relaxed);
+        while (prev < take && !counters_max_batch_.compare_exchange_weak(
+                                  prev, take, std::memory_order_relaxed)) {
+        }
+        if (telemetry_.metrics.enabled()) {
+          telemetry_.metrics.add("service.flushes");
+          telemetry_.metrics.add(std::string("service.flush.") + trigger);
+          telemetry_.metrics.observe("service.batch_occupancy",
+                                     static_cast<double>(take));
+          telemetry_.metrics.observe("service.queue_depth",
+                                     static_cast<double>(pending_));
+        }
+        Worker* w = pick_worker_locked(take);
+        w->jobs.push_back(std::move(job));
+        w->cv.notify_one();
+      }
+      it = dq.empty() ? buckets_.erase(it) : std::next(it);
+    }
+    if (freed) cv_space_.notify_all();
+  }
+
+  void scheduler_loop() {
+    std::unique_lock lk(mu_);
+    for (;;) {
+      expire_overdue_locked(Clock::now());
+      dispatch_ready_locked(Clock::now());
+      if (draining_ && pending_ == 0) return;
+      const TimePoint wake = next_event_locked();
+      if (wake == TimePoint::max()) {
+        cv_sched_.wait(lk, [this] { return draining_ || pending_ > 0; });
+      } else {
+        cv_sched_.wait_until(lk, wake);
+      }
+    }
+  }
+
+  void worker_loop(Worker& w) {
+    std::unique_lock lk(mu_);
+    for (;;) {
+      w.cv.wait(lk, [&w] { return w.stop || !w.jobs.empty(); });
+      if (w.jobs.empty() && w.stop) return;
+      Job job = std::move(w.jobs.front());
+      w.jobs.pop_front();
+      const std::size_t systems = job.members.size();
+      lk.unlock();
+      process(w, job);
+      lk.lock();
+      w.queued_systems -= systems;
+    }
+  }
+
+  /// Runs one coalesced batch on the worker's device and fulfils every
+  /// member promise. No service lock held.
+  void process(Worker& w, Job& job) {
+    const TimePoint t_pickup = Clock::now();
+
+    // Requests whose deadline lapsed while queued behind this flush time
+    // out here; everything picked up in time runs to completion.
+    std::vector<Pending> live;
+    live.reserve(job.members.size());
+    for (auto& p : job.members) {
+      if (p.deadline_tp <= t_pickup) {
+        count_terminal(SolveStatus::TimedOut);
+        finish(std::move(p.promise), SolveStatus::TimedOut);
+      } else {
+        live.push_back(std::move(p));
+      }
+    }
+    if (live.empty()) return;
+
+    const std::size_t m = live.size();
+    const std::size_t n = job.n;
+    tridiag::TridiagBatch<T> batch(m, n);
+    for (std::size_t i = 0; i < m; ++i) {
+      std::copy(live[i].a.begin(), live[i].a.end(),
+                batch.a().data() + i * n);
+      std::copy(live[i].b.begin(), live[i].b.end(),
+                batch.b().data() + i * n);
+      std::copy(live[i].c.begin(), live[i].c.end(),
+                batch.c().data() + i * n);
+      std::copy(live[i].d.begin(), live[i].d.end(),
+                batch.d().data() + i * n);
+    }
+
+    const TimePoint t_solve0 = Clock::now();
+    solver::SolveStats stats;
+    std::string error;
+    try {
+      tuning::DynamicTuner<T> tuner(w.dev, &cache_);
+      const auto tuned = tuner.tune({m, n});
+      if (!tuned.from_cache)
+        counters_tunes_.fetch_add(1, std::memory_order_relaxed);
+      solver::GpuTridiagonalSolver<T> solver(w.dev, tuned.points);
+      stats = solver.solve(batch);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    const TimePoint t_solve1 = Clock::now();
+
+    if (!error.empty()) {
+      count_terminal(SolveStatus::Failed, m);
+      for (auto& p : live) {
+        finish(std::move(p.promise), SolveStatus::Failed, error);
+      }
+      return;
+    }
+
+    counters_device_ms_.fetch_add(stats.total_ms,
+                                  std::memory_order_relaxed);
+    // Account BEFORE fulfilling promises: anyone who has observed a
+    // future resolve must see counters that include that request.
+    count_terminal(SolveStatus::Ok, m);
+    if (telemetry_.metrics.enabled()) {
+      telemetry_.metrics.observe("service.solve_ms", stats.total_ms);
+      telemetry_.metrics.add("service.solved_systems",
+                             static_cast<double>(m));
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      SolveResponse<T> resp;
+      resp.status = SolveStatus::Ok;
+      resp.x.assign(batch.x().begin() + i * n,
+                    batch.x().begin() + (i + 1) * n);
+      resp.batch_systems = m;
+      resp.wait_ms = std::chrono::duration<double, std::milli>(
+                         job.flush_tp - live[i].enqueue_tp)
+                         .count();
+      resp.solve_ms = stats.total_ms;
+      resp.device = w.dev.spec().name;
+      if (telemetry_.metrics.enabled()) {
+        telemetry_.metrics.observe("service.wait_ms", resp.wait_ms);
+        telemetry_.metrics.observe(
+            "service.e2e_ms", std::chrono::duration<double, std::milli>(
+                                  t_solve1 - live[i].enqueue_tp)
+                                  .count());
+      }
+      live[i].promise.set_value(std::move(resp));
+    }
+    const TimePoint t_done = Clock::now();
+
+    if (telemetry_.tracer.enabled()) {
+      // Whole spans with pre-measured wall timestamps; emit() never
+      // touches the tracer's open-span stack, so a mutex is all the
+      // cross-thread discipline the tracer needs.
+      std::lock_guard tl(tel_mu_);
+      auto& tr = telemetry_.tracer;
+      const auto span = [&](const char* name, TimePoint b, TimePoint e) {
+        const auto id = tr.emit(name, "service", wall_s(b), wall_s(e));
+        tr.attr(id, "n", static_cast<double>(n));
+        tr.attr(id, "systems", static_cast<double>(m));
+        tr.attr(id, "device", w.dev.spec().name);
+        return id;
+      };
+      const auto enq =
+          span("enqueue", job.oldest_enqueue_tp, job.flush_tp);
+      tr.attr(enq, "trigger", job.trigger);
+      span("flush", job.flush_tp, t_solve0);
+      const auto slv = span("solve", t_solve0, t_solve1);
+      tr.attr(slv, "sim_ms", stats.total_ms);
+      span("complete", t_solve1, t_done);
+    }
+  }
+
+  ServiceConfig cfg_;
+  TimePoint start_tp_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_sched_;
+  std::condition_variable cv_space_;
+  std::map<std::size_t, std::deque<Pending>> buckets_;  // keyed by n
+  std::size_t pending_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t rr_next_ = 0;
+  bool accepting_ = true;
+  bool draining_ = false;
+  bool stopped_ = false;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::thread scheduler_;
+
+  tuning::TuningCache cache_;
+
+  telemetry::Telemetry telemetry_;
+  mutable std::mutex tel_mu_;
+  telemetry::EnvExport env_export_{telemetry_, "service"};
+
+  std::atomic<std::size_t> counters_submitted_{0};
+  std::atomic<std::size_t> counters_completed_{0};
+  std::atomic<std::size_t> counters_rejected_{0};
+  std::atomic<std::size_t> counters_shed_{0};
+  std::atomic<std::size_t> counters_timed_out_{0};
+  std::atomic<std::size_t> counters_failed_{0};
+  std::atomic<std::size_t> counters_flushes_{0};
+  std::atomic<std::size_t> counters_coalesced_{0};
+  std::atomic<std::size_t> counters_max_batch_{0};
+  std::atomic<std::size_t> counters_tunes_{0};
+  std::atomic<double> counters_device_ms_{0.0};
+};
+
+}  // namespace tda::service

@@ -43,7 +43,10 @@ class AutoSolver {
   }
 
   ~AutoSolver() {
-    if (!cache_path_.empty()) cache_.save(cache_path_);
+    // Merge-on-save: another solver pointed at the same cache_path may
+    // have persisted entries since we loaded — keep those instead of
+    // clobbering the file with only our view.
+    if (!cache_path_.empty()) cache_.save_merged(cache_path_);
     if (attached_telemetry_) dev_->set_telemetry(nullptr);
   }
 

@@ -21,9 +21,11 @@ namespace tda::solver {
 template <typename T>
 class RaggedBatch {
  public:
+  /// An empty `sizes` list is allowed (zero systems): the service layer
+  /// routinely materialises ragged views of whatever happens to be
+  /// pending, which may be nothing.
   explicit RaggedBatch(std::vector<std::size_t> sizes)
       : sizes_(std::move(sizes)) {
-    TDA_REQUIRE(!sizes_.empty(), "ragged batch needs at least one system");
     offsets_.reserve(sizes_.size() + 1);
     offsets_.push_back(0);
     for (std::size_t n : sizes_) {

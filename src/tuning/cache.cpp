@@ -1,9 +1,23 @@
 #include "tuning/cache.hpp"
 
+#include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
 namespace tda::tuning {
+
+namespace {
+/// Serialises the read-merge-rename window of save_merged across every
+/// cache instance in this process, so two solvers sharing a cache_path
+/// cannot lose each other's freshly merged records. (Cross-process
+/// writers still race on that window; each still produces a complete,
+/// parseable file thanks to the atomic rename.)
+std::mutex& file_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+}  // namespace
 
 std::string TuningCache::make_key(const std::string& device_name,
                                   std::size_t elem_bytes, std::size_t m,
@@ -14,18 +28,34 @@ std::string TuningCache::make_key(const std::string& device_name,
 }
 
 std::optional<CacheEntry> TuningCache::find(const std::string& key) const {
+  std::lock_guard lk(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return std::nullopt;
   return it->second;
 }
 
 void TuningCache::store(const std::string& key, const CacheEntry& entry) {
+  std::lock_guard lk(mu_);
   entries_[key] = entry;
 }
 
-std::size_t TuningCache::load(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return 0;
+std::size_t TuningCache::size() const {
+  std::lock_guard lk(mu_);
+  return entries_.size();
+}
+
+void TuningCache::clear() {
+  std::lock_guard lk(mu_);
+  entries_.clear();
+}
+
+std::map<std::string, CacheEntry> TuningCache::snapshot() const {
+  std::lock_guard lk(mu_);
+  return entries_;
+}
+
+std::size_t TuningCache::parse_stream(
+    std::istream& in, std::map<std::string, CacheEntry>& out) {
   std::size_t count = 0;
   std::string line;
   while (std::getline(in, line)) {
@@ -43,23 +73,60 @@ std::size_t TuningCache::load(const std::string& path) {
     e.points.variant = (variant == "coalesced")
                            ? kernels::LoadVariant::Coalesced
                            : kernels::LoadVariant::Strided;
-    entries_[key] = e;
+    out[key] = e;
     ++count;
   }
   return count;
 }
 
-bool TuningCache::save(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << "# tridiag_autotune tuning cache v1\n";
-  for (const auto& [key, e] : entries_) {
-    out << key << '\t' << e.points.stage1_target_systems << ' '
-        << e.points.stage3_system_size << ' ' << e.points.thomas_switch
-        << ' ' << kernels::to_string(e.points.variant) << ' ' << e.tuned_ms
-        << '\n';
+bool TuningCache::write_atomic(
+    const std::string& path,
+    const std::map<std::string, CacheEntry>& entries) {
+  // Unique temp name per call: concurrent saves to one path each write
+  // their own staging file, and the renames land whole snapshots.
+  static std::atomic<unsigned> counter{0};
+  const std::string tmp =
+      path + ".tmp" + std::to_string(counter.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << "# tridiag_autotune tuning cache v1\n";
+    for (const auto& [key, e] : entries) {
+      out << key << '\t' << e.points.stage1_target_systems << ' '
+          << e.points.stage3_system_size << ' ' << e.points.thomas_switch
+          << ' ' << kernels::to_string(e.points.variant) << ' ' << e.tuned_ms
+          << '\n';
+    }
+    if (!out) return false;
   }
-  return static_cast<bool>(out);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::size_t TuningCache::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::lock_guard lk(mu_);
+  return parse_stream(in, entries_);
+}
+
+bool TuningCache::save(const std::string& path) const {
+  std::lock_guard lk(mu_);
+  return write_atomic(path, entries_);
+}
+
+bool TuningCache::save_merged(const std::string& path) const {
+  std::lock_guard file_lk(file_mutex());
+  std::map<std::string, CacheEntry> merged;
+  if (std::ifstream in(path); in) parse_stream(in, merged);
+  {
+    std::lock_guard lk(mu_);
+    for (const auto& [key, e] : entries_) merged[key] = e;
+  }
+  return write_atomic(path, merged);
 }
 
 }  // namespace tda::tuning

@@ -2,9 +2,19 @@
 // Persistent store for tuned switch points, keyed by
 // (device, precision, workload shape) — the paper's "save those results
 // for future runs". Plain text, one record per line.
+//
+// Thread-safe: every member takes an internal mutex, so one cache can be
+// shared by concurrent solver workers (the solve service shares a single
+// cache across all its devices). Saves are atomic — contents are written
+// to a temp file and renamed into place — so a reader never observes a
+// half-written cache. save_merged() additionally folds in records that
+// another process/instance has persisted since we loaded, keeping
+// multiple writers of one cache_path from clobbering each other.
 
 #include <cstddef>
+#include <iosfwd>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -27,15 +37,30 @@ class TuningCache {
 
   [[nodiscard]] std::optional<CacheEntry> find(const std::string& key) const;
   void store(const std::string& key, const CacheEntry& entry);
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
-  void clear() { entries_.clear(); }
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  /// Snapshot of every record (copy; callers need no lock discipline).
+  [[nodiscard]] std::map<std::string, CacheEntry> snapshot() const;
 
   /// Serialisation. load() merges into the current contents and returns
-  /// the number of records read (0 for a missing file).
+  /// the number of records read (0 for a missing file). save() replaces
+  /// the file atomically (temp file + rename).
   std::size_t load(const std::string& path);
   bool save(const std::string& path) const;
 
+  /// Atomic save that first merges records already on disk: keys we hold
+  /// win, keys only the file holds are kept. This is what lets two
+  /// solvers pointed at the same cache_path both persist their tunings.
+  bool save_merged(const std::string& path) const;
+
  private:
+  static std::size_t parse_stream(std::istream& in,
+                                  std::map<std::string, CacheEntry>& out);
+  static bool write_atomic(const std::string& path,
+                           const std::map<std::string, CacheEntry>& entries);
+
+  mutable std::mutex mu_;
   std::map<std::string, CacheEntry> entries_;
 };
 

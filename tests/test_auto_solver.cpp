@@ -71,9 +71,18 @@ TEST(RaggedBatch, OffsetsAndSizes) {
   EXPECT_EQ(rb.system_size(1), 5u);
 }
 
-TEST(RaggedBatch, RejectsEmptyAndZeroSizes) {
-  EXPECT_THROW(RaggedBatch<double>({}), ContractError);
+TEST(RaggedBatch, RejectsZeroSizes) {
   EXPECT_THROW(RaggedBatch<double>({4, 0, 2}), ContractError);
+}
+
+// The service layer materialises ragged views of whatever is pending,
+// which may be nothing — zero systems is a valid (empty) batch.
+TEST(RaggedBatch, EmptyBatchIsAllowed) {
+  RaggedBatch<double> rb{std::vector<std::size_t>{}};
+  EXPECT_EQ(rb.num_systems(), 0u);
+  EXPECT_EQ(rb.total_equations(), 0u);
+  EXPECT_TRUE(rb.groups_by_size().empty());
+  EXPECT_TRUE(rb.a().empty());
 }
 
 TEST(RaggedBatch, GroupsBySize) {
@@ -135,6 +144,43 @@ TEST(AutoSolver, SolvesRaggedBatch) {
   EXPECT_LT(ragged_residual(rb), 1e-10);
   // 4 distinct sizes -> 4 tuning runs.
   EXPECT_EQ(solver.tunes_performed(), 4u);
+}
+
+// ---------- ragged edge cases the service layer exercises ----------
+
+TEST(AutoSolver, SolvesEmptyRaggedBatch) {
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  AutoSolver<double> solver(dev);
+  RaggedBatch<double> rb{std::vector<std::size_t>{}};
+  EXPECT_EQ(solver.solve(rb), 0.0);
+  EXPECT_EQ(solver.tunes_performed(), 0u);
+}
+
+TEST(AutoSolver, SolvesSingleOneEquationSystem) {
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  AutoSolver<double> solver(dev);
+  RaggedBatch<double> rb{{1}};
+  rb.a()[0] = 0.0;
+  rb.b()[0] = 4.0;
+  rb.c()[0] = 0.0;
+  rb.d()[0] = 2.0;
+  solver.solve(rb);
+  EXPECT_NEAR(rb.x()[0], 0.5, 1e-12);
+}
+
+TEST(AutoSolver, SolvesMixedSizesSpanningSwitchPoints) {
+  // Sizes straddle every regime of the tuned pipeline: trivial (1),
+  // sub-Thomas-switch tails (3, 17), on-chip stage-3 sizes (64, 300),
+  // and systems large enough to need stage-1/2 splitting first (4096,
+  // 10000) — on the device whose tuned stage-3 size they must cross.
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  AutoSolver<double> solver(dev);
+  auto rb = make_ragged({1, 3, 17, 64, 300, 1, 4096, 10000, 64}, 606);
+  const double ms = solver.solve(rb);
+  EXPECT_GT(ms, 0.0);
+  EXPECT_LT(ragged_residual(rb), 1e-9);
+  // 7 distinct sizes -> 7 tuning runs; repeats hit the cache.
+  EXPECT_EQ(solver.tunes_performed(), 7u);
 }
 
 TEST(AutoSolver, PersistsCacheAcrossInstances) {

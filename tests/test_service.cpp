@@ -1,0 +1,501 @@
+// Tests for the solve service: shape-bucketed coalescing, admission
+// control (block / reject / shed-oldest), deadlines, multi-device
+// dispatch, the shared tuning cache, graceful shutdown, and the
+// telemetry wiring. The Hammer tests are the ones the CI TSan job runs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gpusim/device.hpp"
+#include "service/solve_service.hpp"
+
+namespace {
+
+using namespace tda;
+using namespace tda::service;
+
+SolveRequest<double> make_request(std::size_t n, std::uint64_t seed,
+                                  double deadline_ms = 0.0) {
+  SolveRequest<double> req;
+  req.a.resize(n);
+  req.b.resize(n);
+  req.c.resize(n);
+  req.d.resize(n);
+  req.deadline_ms = deadline_ms;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    req.a[i] = (i == 0) ? 0.0 : rng.uniform(-1, 1);
+    req.c[i] = (i == n - 1) ? 0.0 : rng.uniform(-1, 1);
+    req.b[i] = (std::abs(req.a[i]) + std::abs(req.c[i])) * 2.0 + 0.5;
+    req.d[i] = rng.uniform(-1, 1);
+  }
+  return req;
+}
+
+double request_residual(const SolveRequest<double>& req,
+                        const std::vector<double>& x) {
+  const std::size_t n = req.size();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = req.b[i] * x[i] - req.d[i];
+    if (i > 0) acc += req.a[i] * x[i - 1];
+    if (i + 1 < n) acc += req.c[i] * x[i + 1];
+    worst = std::max(worst, std::abs(acc));
+  }
+  return worst;
+}
+
+std::vector<gpusim::DeviceSpec> one_device() {
+  return {gpusim::geforce_gtx_470()};
+}
+
+// ---------- basic solving ----------
+
+TEST(SolveService, SolvesSingleRequest) {
+  SolveService<double> svc(one_device());
+  auto req = make_request(257, 1);
+  auto copy = req;
+  auto fut = svc.submit(std::move(req));
+  auto resp = fut.get();
+  ASSERT_EQ(resp.status, SolveStatus::Ok) << to_string(resp.status);
+  ASSERT_EQ(resp.x.size(), 257u);
+  EXPECT_LT(request_residual(copy, resp.x), 1e-8);
+  EXPECT_EQ(resp.device, "GeForce GTX 470");
+  EXPECT_GE(resp.batch_systems, 1u);
+}
+
+TEST(SolveService, CoalescesSameShapeIntoOneBatch) {
+  ServiceConfig cfg;
+  cfg.flush_systems = 8;
+  cfg.flush_interval_ms = 10'000.0;  // only the size trigger can fire
+  SolveService<double> svc(one_device(), cfg);
+
+  std::vector<std::future<SolveResponse<double>>> futs;
+  for (int i = 0; i < 8; ++i)
+    futs.push_back(svc.submit(make_request(128, 100 + i)));
+  for (auto& f : futs) {
+    auto resp = f.get();
+    ASSERT_EQ(resp.status, SolveStatus::Ok);
+    EXPECT_EQ(resp.batch_systems, 8u);  // all eight rode one solve
+  }
+  const auto c = svc.counters();
+  EXPECT_EQ(c.flushes, 1u);
+  EXPECT_EQ(c.coalesced_systems, 8u);
+  EXPECT_EQ(c.max_batch_systems, 8u);
+  EXPECT_EQ(c.completed, 8u);
+}
+
+TEST(SolveService, BucketsDistinctShapesSeparately) {
+  ServiceConfig cfg;
+  cfg.flush_systems = 4;
+  cfg.flush_interval_ms = 10'000.0;
+  SolveService<double> svc(one_device(), cfg);
+
+  std::vector<std::future<SolveResponse<double>>> small, large;
+  for (int i = 0; i < 4; ++i)
+    small.push_back(svc.submit(make_request(64, 200 + i)));
+  for (int i = 0; i < 4; ++i)
+    large.push_back(svc.submit(make_request(512, 300 + i)));
+  for (auto& f : small) EXPECT_EQ(f.get().batch_systems, 4u);
+  for (auto& f : large) EXPECT_EQ(f.get().batch_systems, 4u);
+  EXPECT_EQ(svc.counters().flushes, 2u);
+}
+
+TEST(SolveService, IntervalTriggerFlushesPartialBucket) {
+  ServiceConfig cfg;
+  cfg.flush_systems = 1000;       // size trigger unreachable
+  cfg.flush_interval_ms = 5.0;    // deadline trigger does the work
+  SolveService<double> svc(one_device(), cfg);
+  auto resp = svc.submit(make_request(96, 7)).get();
+  EXPECT_EQ(resp.status, SolveStatus::Ok);
+  EXPECT_EQ(resp.batch_systems, 1u);
+}
+
+TEST(SolveService, RaggedSubmissionRecoalesces) {
+  ServiceConfig cfg;
+  cfg.flush_systems = 100;
+  cfg.flush_interval_ms = 10'000.0;
+  SolveService<double> svc(one_device(), cfg);
+
+  solver::RaggedBatch<double> rb({64, 96, 64, 96, 64});
+  Rng rng(5);
+  auto a = rb.a(), b = rb.b(), c = rb.c(), d = rb.d();
+  for (std::size_t s = 0; s < rb.num_systems(); ++s) {
+    const std::size_t off = rb.offset(s), n = rb.system_size(s);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[off + i] = (i == 0) ? 0.0 : rng.uniform(-1, 1);
+      c[off + i] = (i == n - 1) ? 0.0 : rng.uniform(-1, 1);
+      b[off + i] =
+          (std::abs(a[off + i]) + std::abs(c[off + i])) * 2.0 + 0.5;
+      d[off + i] = rng.uniform(-1, 1);
+    }
+  }
+  auto futs = svc.submit_ragged(rb);
+  ASSERT_EQ(futs.size(), 5u);
+  svc.shutdown();  // drain flushes both buckets
+  // three 64s coalesced together, two 96s coalesced together
+  EXPECT_EQ(futs[0].get().batch_systems, 3u);
+  EXPECT_EQ(futs[1].get().batch_systems, 2u);
+  EXPECT_EQ(futs[2].get().batch_systems, 3u);
+  EXPECT_EQ(futs[3].get().batch_systems, 2u);
+  EXPECT_EQ(futs[4].get().batch_systems, 3u);
+}
+
+TEST(SolveService, EmptyRaggedSubmitIsEmpty) {
+  SolveService<double> svc(one_device());
+  solver::RaggedBatch<double> rb(std::vector<std::size_t>{});
+  EXPECT_TRUE(svc.submit_ragged(rb).empty());
+}
+
+// ---------- admission control ----------
+
+ServiceConfig stalled_config() {
+  // Nothing ever flushes on its own: requests pile up in the queue.
+  ServiceConfig cfg;
+  cfg.queue_capacity = 2;
+  cfg.flush_systems = 1000;
+  cfg.flush_interval_ms = 10'000.0;
+  return cfg;
+}
+
+TEST(SolveService, RejectPolicyRefusesWhenFull) {
+  auto cfg = stalled_config();
+  cfg.backpressure = BackpressurePolicy::Reject;
+  SolveService<double> svc(one_device(), cfg);
+  auto f1 = svc.submit(make_request(64, 1));
+  auto f2 = svc.submit(make_request(64, 2));
+  auto f3 = svc.submit(make_request(64, 3));  // queue full -> rejected
+  EXPECT_EQ(f3.get().status, SolveStatus::Rejected);
+  svc.shutdown();  // drains the two admitted requests
+  EXPECT_EQ(f1.get().status, SolveStatus::Ok);
+  EXPECT_EQ(f2.get().status, SolveStatus::Ok);
+  EXPECT_EQ(svc.counters().rejected, 1u);
+}
+
+TEST(SolveService, ShedOldestEvictsToAdmit) {
+  auto cfg = stalled_config();
+  cfg.backpressure = BackpressurePolicy::ShedOldest;
+  SolveService<double> svc(one_device(), cfg);
+  auto f1 = svc.submit(make_request(64, 1));
+  auto f2 = svc.submit(make_request(128, 2));
+  auto f3 = svc.submit(make_request(64, 3));  // f1 (oldest) is shed
+  EXPECT_EQ(f1.get().status, SolveStatus::Shed);
+  svc.shutdown();
+  EXPECT_EQ(f2.get().status, SolveStatus::Ok);
+  EXPECT_EQ(f3.get().status, SolveStatus::Ok);
+  EXPECT_EQ(svc.counters().shed, 1u);
+}
+
+TEST(SolveService, BlockPolicyWaitsForSpace) {
+  ServiceConfig cfg;
+  cfg.queue_capacity = 1;
+  cfg.backpressure = BackpressurePolicy::Block;
+  cfg.flush_systems = 1000;
+  cfg.flush_interval_ms = 5.0;  // scheduler frees the slot shortly
+  SolveService<double> svc(one_device(), cfg);
+  auto f1 = svc.submit(make_request(64, 1));
+  auto f2 = svc.submit(make_request(64, 2));  // blocks until f1 flushes
+  EXPECT_EQ(f1.get().status, SolveStatus::Ok);
+  EXPECT_EQ(f2.get().status, SolveStatus::Ok);
+}
+
+// ---------- deadlines ----------
+
+TEST(SolveService, DeadlineTimesOutQueuedRequest) {
+  auto cfg = stalled_config();
+  cfg.queue_capacity = 16;
+  SolveService<double> svc(one_device(), cfg);
+  auto fut = svc.submit(make_request(64, 1, /*deadline_ms=*/2.0));
+  auto resp = fut.get();  // scheduler wakes at the deadline
+  EXPECT_EQ(resp.status, SolveStatus::TimedOut);
+  EXPECT_EQ(svc.counters().timed_out, 1u);
+}
+
+TEST(SolveService, DefaultDeadlineApplies) {
+  auto cfg = stalled_config();
+  cfg.queue_capacity = 16;
+  cfg.default_deadline_ms = 2.0;
+  SolveService<double> svc(one_device(), cfg);
+  EXPECT_EQ(svc.submit(make_request(64, 1)).get().status,
+            SolveStatus::TimedOut);
+}
+
+// ---------- multi-device dispatch ----------
+
+TEST(SolveService, RoundRobinSpreadsAcrossDevices) {
+  ServiceConfig cfg;
+  cfg.flush_systems = 1;  // every request is its own flush
+  cfg.dispatch = DispatchPolicy::RoundRobin;
+  SolveService<double> svc(
+      {gpusim::geforce_gtx_470(), gpusim::geforce_gtx_280()}, cfg);
+  ASSERT_EQ(svc.num_workers(), 2u);
+  std::set<std::string> devices;
+  std::vector<std::future<SolveResponse<double>>> futs;
+  for (int i = 0; i < 8; ++i)
+    futs.push_back(svc.submit(make_request(64, 400 + i)));
+  for (auto& f : futs) {
+    auto resp = f.get();
+    ASSERT_EQ(resp.status, SolveStatus::Ok);
+    devices.insert(resp.device);
+  }
+  EXPECT_EQ(devices.size(), 2u);
+}
+
+TEST(SolveService, LeastLoadedUsesBothDevices) {
+  ServiceConfig cfg;
+  cfg.flush_systems = 1;
+  cfg.dispatch = DispatchPolicy::LeastLoaded;
+  SolveService<double> svc(
+      {gpusim::geforce_gtx_470(), gpusim::geforce_gtx_470()}, cfg);
+  std::vector<std::future<SolveResponse<double>>> futs;
+  for (int i = 0; i < 32; ++i)
+    futs.push_back(svc.submit(make_request(256, 500 + i)));
+  for (auto& f : futs) EXPECT_EQ(f.get().status, SolveStatus::Ok);
+  EXPECT_EQ(svc.counters().completed, 32u);
+}
+
+// ---------- shared tuning cache ----------
+
+TEST(SolveService, SharesOneTuningAcrossManySolves) {
+  ServiceConfig cfg;
+  cfg.flush_systems = 4;
+  cfg.flush_interval_ms = 10'000.0;
+  SolveService<double> svc(one_device(), cfg);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::future<SolveResponse<double>>> futs;
+    for (int i = 0; i < 4; ++i)
+      futs.push_back(svc.submit(make_request(128, 600 + i)));
+    for (auto& f : futs) ASSERT_EQ(f.get().status, SolveStatus::Ok);
+  }
+  // Three identical (4, 128) flushes: one tuning run, two cache hits.
+  EXPECT_EQ(svc.counters().tunes, 1u);
+  EXPECT_EQ(svc.cache().size(), 1u);
+}
+
+TEST(SolveService, PersistsTuningCacheAcrossInstances) {
+  const std::string path = "test_service_cache.txt";
+  std::remove(path.c_str());
+  ServiceConfig cfg;
+  cfg.cache_path = path;
+  cfg.flush_systems = 2;
+  cfg.flush_interval_ms = 10'000.0;
+  {
+    SolveService<double> svc(one_device(), cfg);
+    auto f1 = svc.submit(make_request(128, 1));
+    auto f2 = svc.submit(make_request(128, 2));
+    ASSERT_EQ(f1.get().status, SolveStatus::Ok);
+    ASSERT_EQ(f2.get().status, SolveStatus::Ok);
+  }  // shutdown merge-saves the cache
+  {
+    SolveService<double> svc(one_device(), cfg);
+    EXPECT_EQ(svc.cache().size(), 1u);  // loaded from disk
+    auto f1 = svc.submit(make_request(128, 3));
+    auto f2 = svc.submit(make_request(128, 4));
+    ASSERT_EQ(f1.get().status, SolveStatus::Ok);
+    ASSERT_EQ(f2.get().status, SolveStatus::Ok);
+    EXPECT_EQ(svc.counters().tunes, 0u);  // warm from the previous run
+  }
+  std::remove(path.c_str());
+}
+
+// ---------- shutdown ----------
+
+TEST(SolveService, ShutdownDrainsQueuedWork) {
+  auto cfg = stalled_config();
+  cfg.queue_capacity = 64;
+  SolveService<double> svc(one_device(), cfg);
+  std::vector<std::future<SolveResponse<double>>> futs;
+  for (int i = 0; i < 10; ++i)
+    futs.push_back(svc.submit(make_request(64 + 32 * (i % 3), 700 + i)));
+  svc.shutdown();
+  for (auto& f : futs) EXPECT_EQ(f.get().status, SolveStatus::Ok);
+  EXPECT_EQ(svc.counters().completed, 10u);
+}
+
+TEST(SolveService, SubmitAfterShutdownIsRejected) {
+  SolveService<double> svc(one_device());
+  svc.shutdown();
+  EXPECT_FALSE(svc.accepting());
+  EXPECT_EQ(svc.submit(make_request(64, 1)).get().status,
+            SolveStatus::Rejected);
+  svc.shutdown();  // idempotent
+}
+
+// ---------- validation ----------
+
+TEST(SolveService, RejectsMalformedRequests) {
+  SolveService<double> svc(one_device());
+  SolveRequest<double> empty;
+  EXPECT_THROW(svc.submit(std::move(empty)), ContractError);
+  SolveRequest<double> ragged_diags;
+  ragged_diags.a = {0.0};
+  ragged_diags.b = {1.0, 1.0};
+  ragged_diags.c = {0.0, 0.0};
+  ragged_diags.d = {1.0, 1.0};
+  EXPECT_THROW(svc.submit(std::move(ragged_diags)), ContractError);
+}
+
+// ---------- telemetry ----------
+
+TEST(SolveService, ExportsQueueAndOccupancyMetrics) {
+  ServiceConfig cfg;
+  cfg.flush_systems = 4;
+  cfg.flush_interval_ms = 10'000.0;
+  SolveService<double> svc(one_device(), cfg);
+  svc.telemetry().enable_all();
+  std::vector<std::future<SolveResponse<double>>> futs;
+  for (int i = 0; i < 8; ++i)
+    futs.push_back(svc.submit(make_request(128, 800 + i)));
+  for (auto& f : futs) ASSERT_EQ(f.get().status, SolveStatus::Ok);
+
+  const auto& mx = svc.telemetry().metrics;
+  EXPECT_GE(mx.histogram("service.queue_depth").count, 8u);
+  EXPECT_EQ(mx.histogram("service.batch_occupancy").count, 2u);
+  EXPECT_DOUBLE_EQ(mx.histogram("service.batch_occupancy").max, 4.0);
+  EXPECT_EQ(mx.counter("service.submitted"), 8.0);
+  EXPECT_GT(mx.histogram("service.wait_ms").count, 0u);
+  EXPECT_GT(mx.histogram("service.solve_ms").count, 0u);
+
+  const std::string path = "test_service_metrics.json";
+  ASSERT_TRUE(svc.export_metrics(path));
+  std::stringstream ss;
+  ss << std::ifstream(path).rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("service.queue_depth"), std::string::npos);
+  EXPECT_NE(json.find("service.batch_occupancy"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SolveService, EmitsLifecycleSpans) {
+  ServiceConfig cfg;
+  cfg.flush_systems = 2;
+  cfg.flush_interval_ms = 10'000.0;
+  SolveService<double> svc(one_device(), cfg);
+  svc.telemetry().enable_all();
+  auto f1 = svc.submit(make_request(64, 1));
+  auto f2 = svc.submit(make_request(64, 2));
+  ASSERT_EQ(f1.get().status, SolveStatus::Ok);
+  ASSERT_EQ(f2.get().status, SolveStatus::Ok);
+  svc.shutdown();
+
+  std::set<std::string> names;
+  for (const auto& span : svc.telemetry().tracer.spans())
+    names.insert(span.name);
+  for (const char* expected : {"enqueue", "flush", "solve", "complete"})
+    EXPECT_TRUE(names.count(expected)) << "missing span " << expected;
+}
+
+// ---------- coalescing beats one-solve-per-request ----------
+
+TEST(SolveService, CoalescingBeatsPerRequestThroughput) {
+  // Same many-small-systems workload through both configurations; the
+  // coalesced service must spend less simulated device time (launch
+  // overhead and fill amortized across the batch).
+  const auto run = [](std::size_t flush_systems) {
+    ServiceConfig cfg;
+    cfg.flush_systems = flush_systems;
+    cfg.flush_interval_ms = 50.0;
+    SolveService<double> svc(one_device(), cfg);
+    std::vector<std::future<SolveResponse<double>>> futs;
+    for (int i = 0; i < 64; ++i) {
+      futs.push_back(svc.submit(make_request(128, 900 + i)));
+      // The per-request baseline waits for each response before
+      // submitting the next, so nothing can ride along.
+      if (flush_systems == 1) {
+        EXPECT_EQ(futs.back().get().status, SolveStatus::Ok);
+      }
+    }
+    if (flush_systems != 1) {
+      for (auto& f : futs) EXPECT_EQ(f.get().status, SolveStatus::Ok);
+    }
+    svc.shutdown();
+    EXPECT_EQ(svc.counters().completed, 64u);
+    return svc.counters().device_ms;
+  };
+  const double per_request_ms = run(1);
+  const double coalesced_ms = run(64);
+  EXPECT_LT(coalesced_ms, per_request_ms);
+}
+
+// ---------- concurrency hammer (run under TSan in CI) ----------
+
+TEST(SolveServiceHammer, ManyClientsManyShapes) {
+  ServiceConfig cfg;
+  cfg.flush_systems = 16;
+  cfg.flush_interval_ms = 1.0;
+  cfg.queue_capacity = 256;
+  SolveService<double> svc(
+      {gpusim::geforce_gtx_470(), gpusim::geforce_gtx_280()}, cfg);
+  svc.telemetry().enable_all();
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 32;
+  const std::size_t shapes[] = {33, 64, 100, 128};
+  std::atomic<int> ok{0};
+  std::atomic<int> residual_fail{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      // Fire every request before collecting, so same-shape requests
+      // are pending together and the scheduler can coalesce them.
+      std::vector<SolveRequest<double>> copies;
+      std::vector<std::future<SolveResponse<double>>> futs;
+      for (int i = 0; i < kPerClient; ++i) {
+        auto req = make_request(shapes[i % 4], 1000 + t * 100 + i);
+        copies.push_back(req);
+        futs.push_back(svc.submit(std::move(req)));
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        auto resp = futs[i].get();
+        if (resp.status == SolveStatus::Ok) {
+          ok.fetch_add(1);
+          if (request_residual(copies[i], resp.x) > 1e-8)
+            residual_fail.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  svc.shutdown();
+  EXPECT_EQ(ok.load(), kClients * kPerClient);
+  EXPECT_EQ(residual_fail.load(), 0);
+  EXPECT_EQ(svc.counters().completed,
+            static_cast<std::size_t>(kClients * kPerClient));
+  EXPECT_GT(svc.counters().max_batch_systems, 1u);
+}
+
+TEST(SolveServiceHammer, ShutdownRacesWithSubmitters) {
+  for (int round = 0; round < 3; ++round) {
+    ServiceConfig cfg;
+    cfg.flush_systems = 8;
+    cfg.flush_interval_ms = 0.5;
+    SolveService<double> svc(one_device(), cfg);
+    std::vector<std::thread> clients;
+    std::atomic<int> terminal{0};
+    for (int t = 0; t < 3; ++t) {
+      clients.emplace_back([&] {
+        for (int i = 0; i < 20; ++i) {
+          auto resp = svc.submit(make_request(64, i)).get();
+          (void)to_string(resp.status);  // any terminal status is legal
+          terminal.fetch_add(1);
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    svc.shutdown();  // must not deadlock or drop futures
+    for (auto& c : clients) c.join();
+    EXPECT_EQ(terminal.load(), 60);
+  }
+}
+
+}  // namespace

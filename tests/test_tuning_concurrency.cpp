@@ -1,0 +1,215 @@
+// Concurrency tests for the tuning cache: many threads hammering
+// lookup/insert/save on one shared cache, atomic save-to-temp-then-
+// rename, and merge-on-save semantics (two caches / two AutoSolvers
+// pointed at one cache_path must not clobber each other's entries).
+// The CI TSan job runs this suite.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gpusim/launch.hpp"
+#include "solver/auto_solver.hpp"
+#include "tridiag/generators.hpp"
+#include "tuning/cache.hpp"
+
+namespace {
+
+using namespace tda;
+using tuning::CacheEntry;
+using tuning::TuningCache;
+
+CacheEntry entry_for(std::size_t i) {
+  CacheEntry e;
+  e.points.stage1_target_systems = 1 + i % 7;
+  e.points.stage3_system_size = 64 << (i % 3);
+  e.points.thomas_switch = 16 << (i % 2);
+  e.points.variant = (i % 2 == 0) ? kernels::LoadVariant::Strided
+                                  : kernels::LoadVariant::Coalesced;
+  e.tuned_ms = 0.25 * static_cast<double>(i + 1);
+  return e;
+}
+
+std::string key_for(std::size_t i) {
+  return TuningCache::make_key("HammerCard", 4, i % 16, 1024);
+}
+
+// ---------- concurrent lookup/insert ----------
+
+TEST(TuningCacheConcurrency, HammerFindStore) {
+  TuningCache cache;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::size_t k = static_cast<std::size_t>(t * kOps + i);
+        cache.store(key_for(k), entry_for(k));
+        auto hit = cache.find(key_for(k));
+        ASSERT_TRUE(hit.has_value());
+        (void)cache.size();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(cache.size(), 16u);  // 16 distinct keys, last writer wins
+  for (std::size_t i = 0; i < 16; ++i)
+    EXPECT_TRUE(cache.find(key_for(i)).has_value());
+}
+
+TEST(TuningCacheConcurrency, HammerSaveLoadStore) {
+  const std::string path = "test_cache_hammer.txt";
+  std::remove(path.c_str());
+  TuningCache cache;
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &path, t] {
+      for (int i = 0; i < 200; ++i) {
+        const std::size_t k = static_cast<std::size_t>(t * 200 + i);
+        switch (i % 4) {
+          case 0:
+            cache.store(key_for(k), entry_for(k));
+            break;
+          case 1:
+            (void)cache.find(key_for(k));
+            break;
+          case 2:
+            (void)cache.save(path);
+            break;
+          default:
+            (void)cache.load(path);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Whatever interleaving happened, the file is a complete, parseable
+  // snapshot (atomic rename: no torn writes).
+  TuningCache loaded;
+  EXPECT_GT(loaded.load(path), 0u);
+  std::remove(path.c_str());
+}
+
+// ---------- atomic + merged saves ----------
+
+TEST(TuningCacheConcurrency, SaveLeavesNoTempFile) {
+  const std::string path = "test_cache_atomic.txt";
+  std::remove(path.c_str());
+  TuningCache cache;
+  cache.store(key_for(1), entry_for(1));
+  ASSERT_TRUE(cache.save(path));
+  EXPECT_TRUE(std::ifstream(path).good());
+  for (const auto& e : std::filesystem::directory_iterator(".")) {
+    EXPECT_EQ(e.path().filename().string().rfind(path + ".tmp", 0),
+              std::string::npos)
+        << "stray staging file: " << e.path();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TuningCacheConcurrency, SaveMergedKeepsForeignEntries) {
+  const std::string path = "test_cache_merge.txt";
+  std::remove(path.c_str());
+
+  TuningCache a, b;
+  a.store(TuningCache::make_key("CardA", 4, 8, 1024), entry_for(1));
+  b.store(TuningCache::make_key("CardB", 8, 16, 2048), entry_for(2));
+
+  // Plain save would make the second writer clobber the first.
+  ASSERT_TRUE(a.save_merged(path));
+  ASSERT_TRUE(b.save_merged(path));
+
+  TuningCache loaded;
+  EXPECT_EQ(loaded.load(path), 2u);
+  EXPECT_TRUE(
+      loaded.find(TuningCache::make_key("CardA", 4, 8, 1024)).has_value());
+  EXPECT_TRUE(
+      loaded.find(TuningCache::make_key("CardB", 8, 16, 2048)).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TuningCacheConcurrency, SaveMergedPrefersOwnEntries) {
+  const std::string path = "test_cache_merge_pref.txt";
+  std::remove(path.c_str());
+  const std::string key = TuningCache::make_key("CardA", 4, 8, 1024);
+
+  TuningCache stale, fresh;
+  stale.store(key, entry_for(3));
+  ASSERT_TRUE(stale.save(path));
+  CacheEntry mine = entry_for(4);
+  mine.tuned_ms = 0.001;
+  fresh.store(key, mine);
+  ASSERT_TRUE(fresh.save_merged(path));
+
+  TuningCache loaded;
+  ASSERT_EQ(loaded.load(path), 1u);
+  EXPECT_DOUBLE_EQ(loaded.find(key)->tuned_ms, 0.001);
+  std::remove(path.c_str());
+}
+
+// ---------- AutoSolver merge-on-save ----------
+
+TEST(AutoSolverConcurrency, TwoSolversSharingCachePathMerge) {
+  const std::string path = "test_auto_solver_shared_cache.txt";
+  std::remove(path.c_str());
+  {
+    // Both solvers load (empty) up front; each tunes a different shape.
+    // Without merge-on-save, whichever destructs last would erase the
+    // other's entry from the file.
+    gpusim::Device dev_a(gpusim::geforce_gtx_470());
+    gpusim::Device dev_b(gpusim::geforce_gtx_470());
+    solver::AutoSolver<float> sa(dev_a, path);
+    solver::AutoSolver<float> sb(dev_b, path);
+    auto batch_a = tridiag::make_diag_dominant<float>(8, 512, 1);
+    auto batch_b = tridiag::make_diag_dominant<float>(4, 2048, 2);
+    sa.solve(batch_a);
+    sb.solve(batch_b);
+    EXPECT_EQ(sa.tunes_performed(), 1u);
+    EXPECT_EQ(sb.tunes_performed(), 1u);
+  }
+  TuningCache merged;
+  EXPECT_EQ(merged.load(path), 2u);
+  EXPECT_TRUE(merged
+                  .find(TuningCache::make_key("GeForce GTX 470", 4, 8, 512))
+                  .has_value());
+  EXPECT_TRUE(merged
+                  .find(TuningCache::make_key("GeForce GTX 470", 4, 4, 2048))
+                  .has_value());
+  std::remove(path.c_str());
+}
+
+TEST(AutoSolverConcurrency, ConcurrentSolversOnSeparateDevices) {
+  // One AutoSolver per thread, each with its own device but the same
+  // cache file — the save path is exercised from multiple threads in
+  // sequence (destructors), the solve path concurrently.
+  const std::string path = "test_auto_solver_threads_cache.txt";
+  std::remove(path.c_str());
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&path, t] {
+      gpusim::Device dev(gpusim::geforce_gtx_280());
+      solver::AutoSolver<float> solver(dev, path);
+      auto batch = tridiag::make_diag_dominant<float>(
+          4 + static_cast<std::size_t>(t), 1024, 7);
+      solver.solve(batch);
+    });
+  }
+  for (auto& th : threads) th.join();
+  TuningCache merged;
+  EXPECT_EQ(merged.load(path), static_cast<std::size_t>(kThreads));
+  std::remove(path.c_str());
+}
+
+}  // namespace
