@@ -4,6 +4,13 @@
 //   ./bench_service [--systems=1024] [--clients=1,2,4,8] [--devices=2]
 //                   [--flush=64] [--flush-ms=2] [--csv]
 //                   [--metrics=service_metrics.json]
+//                   [--faults] [--fault-rates=0,0.01,0.05,0.1]
+//
+// --faults switches to the resilience degradation curve: the coalesced
+// configuration is re-run under injected device launch failures at each
+// rate (plus mild worker stalls), and the sweep reports completion,
+// retry/failover work and the throughput degradation relative to the
+// clean run. Every request must still complete at every rate.
 //
 // The workload is many SMALL systems (the regime Gloster et al. show
 // benefits most from interleaved batching): shapes drawn from a pool of
@@ -29,6 +36,7 @@
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "faults/faults.hpp"
 #include "gpusim/device.hpp"
 #include "service/solve_service.hpp"
 
@@ -60,6 +68,11 @@ struct RunResult {
   double mean_occupancy = 0.0;
   std::size_t completed = 0;
   double wait_p95_ms = 0.0;
+  std::size_t retries = 0;
+  std::size_t failovers = 0;
+  std::size_t cpu_failovers = 0;
+  std::size_t fallbacks = 0;
+  std::size_t worker_restarts = 0;
 };
 
 /// Pushes `systems` requests through a service from `clients` threads.
@@ -117,8 +130,76 @@ RunResult run(std::size_t systems, int clients, int num_devices,
                           static_cast<double>(c.flushes)
                     : 0.0;
   r.wait_p95_ms = svc.telemetry().metrics.histogram("service.wait_ms").p95;
+  r.retries = c.retries;
+  r.failovers = c.failovers;
+  r.cpu_failovers = c.cpu_failovers;
+  r.fallbacks = c.fallbacks;
+  r.worker_restarts = c.worker_restarts;
   if (!metrics_path.empty()) svc.export_metrics(metrics_path);
   return r;
+}
+
+/// Resilience degradation curve: the coalesced configuration re-run
+/// under injected device launch failures (plus a mild worker stall) at
+/// each rate. Returns false if any request fails to complete.
+bool run_faults_sweep(std::size_t systems, int clients, int num_devices,
+                      std::size_t flush, double flush_ms,
+                      const std::vector<double>& rates,
+                      const std::string& metrics_path, bool csv) {
+  std::cout << "Solve service — degradation under injected device faults\n"
+            << "workload: " << systems << " small systems, " << clients
+            << " client(s), " << num_devices << " device(s)\n\n";
+
+  TextTable table("throughput vs injected launch-failure rate");
+  table.set_header({"fault_rate", "completed", "retries", "failovers",
+                    "cpu_failovers", "fallbacks", "device_ms",
+                    "ksys_per_dev_s", "rel_throughput"});
+
+  bool all_completed = true;
+  double clean_throughput = 0.0;
+  for (const double rate : rates) {
+    faults::FaultConfig fc;
+    fc.seed = 42;
+    fc.rate_of(faults::Site::DeviceLaunch) = rate;
+    if (rate > 0.0) {
+      fc.rate_of(faults::Site::WorkerStall) = rate / 2.0;
+      fc.stall_ms = 0.5;
+    }
+    faults::ScopedFaultConfig scoped(fc);
+
+    // Export the metrics JSON of the highest-rate run: the interesting
+    // one for the counters (service.retries, service.faults.device, …).
+    const bool last = rate == rates.back();
+    const auto r = run(systems, clients, num_devices, flush, flush_ms,
+                       /*per_request=*/false,
+                       last ? metrics_path : std::string());
+    all_completed = all_completed && r.completed == systems;
+    const double throughput =
+        r.device_ms > 0.0 ? static_cast<double>(r.completed) / r.device_ms
+                          : 0.0;
+    if (rate == 0.0) clean_throughput = throughput;
+    const double rel =
+        clean_throughput > 0.0 ? throughput / clean_throughput : 0.0;
+    table.add_row({TextTable::num(rate, 3),
+                   TextTable::num(static_cast<long long>(r.completed)),
+                   TextTable::num(static_cast<long long>(r.retries)),
+                   TextTable::num(static_cast<long long>(r.failovers)),
+                   TextTable::num(static_cast<long long>(r.cpu_failovers)),
+                   TextTable::num(static_cast<long long>(r.fallbacks)),
+                   TextTable::num(r.device_ms, 2),
+                   TextTable::num(throughput, 2), TextTable::num(rel, 3)});
+  }
+  table.print(std::cout);
+  if (csv) {
+    std::cout << "\n";
+    table.print_csv(std::cout);
+  }
+  if (!metrics_path.empty())
+    std::cout << "\nmetrics JSON of the highest-rate run written to "
+              << metrics_path << "\n";
+  std::cout << "\nevery request completed at every fault rate: "
+            << (all_completed ? "yes  [OK]" : "NO  [FAIL]") << "\n";
+  return all_completed;
 }
 
 }  // namespace
@@ -138,6 +219,18 @@ int main(int argc, char** argv) {
     std::stringstream ss(cli.get("clients", "1,2,4,8"));
     for (std::string tok; std::getline(ss, tok, ',');)
       client_counts.push_back(std::stoi(tok));
+  }
+
+  if (cli.has("faults")) {
+    std::vector<double> rates;
+    std::stringstream ss(cli.get("fault-rates", "0,0.01,0.05,0.1"));
+    for (std::string tok; std::getline(ss, tok, ',');)
+      rates.push_back(std::stod(tok));
+    const int clients = client_counts.empty() ? 4 : client_counts.back();
+    return run_faults_sweep(systems, clients, num_devices, flush, flush_ms,
+                            rates, metrics_path, cli.has("csv"))
+               ? 0
+               : 1;
   }
 
   std::cout << "Solve service — coalescing gain over one-solve-per-request\n"

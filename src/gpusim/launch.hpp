@@ -20,6 +20,7 @@
 
 #include "common/aligned_buffer.hpp"
 #include "common/check.hpp"
+#include "faults/faults.hpp"
 #include "gpusim/cost_model.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/memory_model.hpp"
@@ -137,6 +138,11 @@ class Device {
   template <typename F>
   KernelStats launch(const LaunchConfig& cfg, F&& body,
                      const char* name = "kernel") {
+    if (faults_armed_) {
+      auto& inj = faults::FaultInjector::global();
+      inj.maybe_device_fault(faults::Site::DeviceAlloc, name);
+      inj.maybe_device_fault(faults::Site::DeviceLaunch, name);
+    }
     TDA_REQUIRE(cfg.blocks >= 1, "grid must contain at least one block");
     TDA_REQUIRE(cfg.blocks <=
                     static_cast<std::size_t>(spec_.max_grid_blocks),
@@ -211,6 +217,14 @@ class Device {
     kernels_launched_ = 0;
   }
 
+  /// Arms the device-level fault sites (DeviceLaunch/DeviceAlloc) on this
+  /// device. Off by default: only callers with a recovery story — the
+  /// service's retry/failover path, fault tests, the resilience bench —
+  /// opt in, so a stray TDA_FAULTS env var cannot crash a bare solver
+  /// run that has no way to handle a DeviceFault.
+  void arm_faults(bool on = true) { faults_armed_ = on; }
+  [[nodiscard]] bool faults_armed() const { return faults_armed_; }
+
  private:
   void record_launch_telemetry(const char* name, const LaunchConfig& cfg,
                                const KernelCost& agg, const KernelStats& st,
@@ -240,6 +254,7 @@ class Device {
   double elapsed_seconds_ = 0.0;
   std::size_t kernels_launched_ = 0;
   bool tracing_ = false;
+  bool faults_armed_ = false;
   std::vector<TraceRecord> trace_;
   tda::telemetry::Telemetry* telemetry_ = nullptr;
 };

@@ -24,6 +24,44 @@ enum class DispatchPolicy {
 const char* to_string(BackpressurePolicy p);
 const char* to_string(DispatchPolicy p);
 
+/// Fault-tolerance policy of the service (docs/ROBUSTNESS.md). Defaults
+/// are the production setting: guards on, retries with failover, breaker
+/// armed — with injection disabled none of it touches the hot path
+/// beyond one O(n) screening pass per system.
+struct ResilienceConfig {
+  /// Route solves through solver::GuardedSolver (prescreen, quarantine
+  /// bisect, residual postcheck, pivoting CPU fallback). Off restores
+  /// the legacy all-or-nothing batch behavior.
+  bool guards = true;
+  /// Dominance floor / residual tolerance forwarded to the guards
+  /// (see solver::GuardConfig).
+  double dominance_floor = 0.0;
+  double residual_tol = 0.0;
+
+  /// Device-fault retries on the same worker before failing over.
+  int max_retries = 2;
+  /// Base of the exponential retry backoff (wall-clock ms): attempt k
+  /// sleeps retry_backoff_ms * 2^k.
+  double retry_backoff_ms = 0.25;
+  /// After retries are exhausted, hand the batch to up to
+  /// (num_workers - 1) other workers before the CPU path.
+  bool device_failover = true;
+  /// Last resort: solve the batch with the pivoting CPU solver instead
+  /// of failing it when every device attempt was exhausted.
+  bool cpu_failover = true;
+
+  /// Consecutive device failures that open a worker's circuit breaker.
+  int breaker_threshold = 3;
+  /// How long an open breaker keeps the worker out of dispatch before a
+  /// half-open probe is allowed (wall-clock ms).
+  double breaker_cooldown_ms = 25.0;
+
+  /// Arm the TDA_FAULTS device-level sites (launch/alloc failures) on
+  /// the service's devices. The service has a recovery story, so it
+  /// opts in by default; bare solver runs stay unarmed.
+  bool arm_device_faults = true;
+};
+
 struct ServiceConfig {
   /// Max requests admitted but not yet dispatched to a device.
   std::size_t queue_capacity = 4096;
@@ -47,6 +85,8 @@ struct ServiceConfig {
   /// Shared persistent tuning cache: loaded at start-up, merge-saved on
   /// shutdown. Empty = in-memory only.
   std::string cache_path;
+
+  ResilienceConfig resilience;
 };
 
 }  // namespace tda::service

@@ -13,11 +13,13 @@ namespace tda::service {
 
 /// Terminal state of a submitted request.
 enum class SolveStatus {
-  Ok,        ///< solved; x holds the solution
-  Rejected,  ///< refused at admission (queue full, or service shut down)
-  Shed,      ///< evicted from the queue by BackpressurePolicy::ShedOldest
-  TimedOut,  ///< deadline lapsed before a worker picked the request up
-  Failed     ///< the solve itself threw; `error` holds the message
+  Ok,         ///< solved; x holds the solution
+  Rejected,   ///< refused at admission (queue full, or service shut down)
+  Shed,       ///< evicted from the queue by BackpressurePolicy::ShedOldest
+  TimedOut,   ///< deadline lapsed before a worker picked the request up
+  Failed,     ///< the solve itself threw; `error` holds the message
+  Singular,   ///< this system is numerically singular (batchmates solved)
+  NonFinite   ///< this system carried NaN/Inf coefficients
 };
 
 const char* to_string(SolveStatus s);
@@ -45,6 +47,13 @@ struct SolveResponse {
   double solve_ms = 0.0;          ///< simulated ms of the whole batch
   std::string device;             ///< worker device that ran the batch
   std::string error;              ///< diagnostic for Failed
+
+  // --- resilience detail ---
+  /// True when the solution came from the pivoting CPU fallback (the
+  /// result is still correct; status stays Ok).
+  bool fallback_used = false;
+  /// Device-fault retries spent on the batch that carried this request.
+  std::size_t retries = 0;
 
   [[nodiscard]] bool ok() const { return status == SolveStatus::Ok; }
 };

@@ -37,6 +37,10 @@ const char* to_string(SolveStatus s) {
       return "timed-out";
     case SolveStatus::Failed:
       return "failed";
+    case SolveStatus::Singular:
+      return "singular";
+    case SolveStatus::NonFinite:
+      return "nonfinite";
   }
   return "?";
 }

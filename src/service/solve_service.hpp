@@ -21,6 +21,17 @@
 //   * per-request deadlines produce TimedOut responses instead of
 //     unbounded queueing; shutdown() drains in-flight work.
 //
+// Resilience (docs/ROBUSTNESS.md): solves run through the numerical
+// guards (solver/guards.hpp), so one singular or NaN system returns a
+// typed Singular/NonFinite response while its batchmates complete.
+// Device faults (faults::DeviceFault, injectable via TDA_FAULTS) are
+// retried with exponential backoff, then failed over to another worker
+// and finally to the pivoting CPU path; each worker carries a circuit
+// breaker (consecutive-failure threshold, cooldown, half-open probe)
+// that steers dispatch away from a sick device. A worker thread that
+// dies mid-shift is detected by the scheduler, its job is requeued and
+// the thread restarted — a dead worker never strands its queue.
+//
 // Telemetry: the service owns a session. Metrics record queue depth,
 // wait time, batch occupancy and solve times; the tracer gets whole
 // enqueue -> flush -> solve -> complete spans per coalesced batch
@@ -50,10 +61,12 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "faults/faults.hpp"
 #include "gpusim/launch.hpp"
 #include "service/config.hpp"
 #include "service/request.hpp"
 #include "solver/gpu_solver.hpp"
+#include "solver/guards.hpp"
 #include "solver/ragged.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
@@ -82,6 +95,17 @@ class SolveService {
     std::size_t max_batch_systems = 0;  ///< largest single flush
     std::size_t tunes = 0;       ///< tuning runs not served from cache
     double device_ms = 0.0;      ///< total simulated solve ms, all devices
+
+    // --- resilience ---
+    std::size_t singular = 0;      ///< requests completed Singular
+    std::size_t nonfinite = 0;     ///< requests completed NonFinite
+    std::size_t fallbacks = 0;     ///< systems solved by the CPU fallback
+    std::size_t quarantined = 0;   ///< systems isolated by the bisect
+    std::size_t retries = 0;       ///< device-fault retry attempts
+    std::size_t failovers = 0;     ///< batches re-dispatched to another worker
+    std::size_t cpu_failovers = 0; ///< batches that ended on the CPU path
+    std::size_t worker_restarts = 0;  ///< crashed worker threads revived
+    std::size_t breaker_opens = 0;    ///< circuit-breaker open transitions
   };
 
   explicit SolveService(const std::vector<gpusim::DeviceSpec>& devices,
@@ -103,6 +127,9 @@ class SolveService {
     workers_.reserve(devices.size());
     for (const auto& spec : devices) {
       workers_.push_back(std::make_unique<Worker>(spec));
+      if (cfg_.resilience.arm_device_faults) {
+        workers_.back()->dev.arm_faults();
+      }
     }
     for (auto& w : workers_) {
       w->thread = std::thread([this, wp = w.get()] { worker_loop(*wp); });
@@ -214,7 +241,23 @@ class SolveService {
     cv_space_.notify_all();
     if (scheduler_.joinable()) scheduler_.join();
     {
-      std::lock_guard lk(mu_);
+      // The scheduler is gone, so shutdown takes over worker supervision:
+      // keep reviving crashed workers until every queue is drained and
+      // nothing is in flight — otherwise a crash during the drain would
+      // strand its requeued job with unfulfilled promises.
+      std::unique_lock lk(mu_);
+      for (;;) {
+        heal_workers_locked();
+        bool busy = false;
+        for (const auto& w : workers_) {
+          if (w->crashed || !w->jobs.empty() || w->queued_systems > 0) {
+            busy = true;
+            break;
+          }
+        }
+        if (!busy) break;
+        cv_sched_.wait_for(lk, std::chrono::milliseconds(1));
+      }
       for (auto& w : workers_) w->stop = true;
     }
     for (auto& w : workers_) w->cv.notify_all();
@@ -253,6 +296,18 @@ class SolveService {
     c.max_batch_systems = counters_max_batch_.load(std::memory_order_relaxed);
     c.tunes = counters_tunes_.load(std::memory_order_relaxed);
     c.device_ms = counters_device_ms_.load(std::memory_order_relaxed);
+    c.singular = counters_singular_.load(std::memory_order_relaxed);
+    c.nonfinite = counters_nonfinite_.load(std::memory_order_relaxed);
+    c.fallbacks = counters_fallbacks_.load(std::memory_order_relaxed);
+    c.quarantined = counters_quarantined_.load(std::memory_order_relaxed);
+    c.retries = counters_retries_.load(std::memory_order_relaxed);
+    c.failovers = counters_failovers_.load(std::memory_order_relaxed);
+    c.cpu_failovers =
+        counters_cpu_failovers_.load(std::memory_order_relaxed);
+    c.worker_restarts =
+        counters_worker_restarts_.load(std::memory_order_relaxed);
+    c.breaker_opens =
+        counters_breaker_opens_.load(std::memory_order_relaxed);
     return c;
   }
 
@@ -289,7 +344,11 @@ class SolveService {
     TimePoint oldest_enqueue_tp{};
     TimePoint flush_tp{};
     const char* trigger = "size";
+    std::size_t failovers = 0;  ///< workers that already gave up on it
   };
+
+  /// Per-worker circuit-breaker state (guarded by the service mutex).
+  enum class Breaker { Closed, Open, HalfOpen };
 
   struct Worker {
     explicit Worker(const gpusim::DeviceSpec& spec) : dev(spec) {}
@@ -299,6 +358,13 @@ class SolveService {
     std::deque<Job> jobs;             // guarded by the service mutex
     std::size_t queued_systems = 0;   // guarded by the service mutex
     bool stop = false;                // guarded by the service mutex
+
+    // --- health (guarded by the service mutex) ---
+    Breaker breaker = Breaker::Closed;
+    int consecutive_failures = 0;
+    TimePoint open_until{};   ///< when an Open breaker may half-open
+    bool crashed = false;     ///< thread died; scheduler must revive it
+    std::size_t restarts = 0;
   };
 
   [[nodiscard]] double wall_s(TimePoint tp) const {
@@ -344,6 +410,17 @@ class SolveService {
         counters_failed_.fetch_add(n, std::memory_order_relaxed);
         if (telemetry_.metrics.enabled())
           telemetry_.metrics.add("service.failed", static_cast<double>(n));
+        break;
+      case SolveStatus::Singular:
+        counters_singular_.fetch_add(n, std::memory_order_relaxed);
+        if (telemetry_.metrics.enabled())
+          telemetry_.metrics.add("service.singular", static_cast<double>(n));
+        break;
+      case SolveStatus::NonFinite:
+        counters_nonfinite_.fetch_add(n, std::memory_order_relaxed);
+        if (telemetry_.metrics.enabled())
+          telemetry_.metrics.add("service.nonfinite",
+                                 static_cast<double>(n));
         break;
     }
   }
@@ -400,20 +477,114 @@ class SolveService {
     return wake;
   }
 
-  /// Picks the worker for a flush of `systems` systems. Caller holds mu_.
+  /// True when the breaker admits new work on this worker: Closed or
+  /// HalfOpen always; Open flips to HalfOpen (one probe) once the
+  /// cooldown elapsed. Caller holds mu_.
+  [[nodiscard]] bool breaker_admits_locked(Worker& w, TimePoint now) {
+    if (w.breaker != Breaker::Open) return true;
+    if (w.open_until > now) return false;
+    w.breaker = Breaker::HalfOpen;
+    if (telemetry_.metrics.enabled()) {
+      telemetry_.metrics.add("service.breaker.half_open");
+    }
+    return true;
+  }
+
+  /// Picks the worker for a flush of `systems` systems, steering around
+  /// open breakers; when every breaker is open the least-recently
+  /// opened worker takes the job (its queue feeds the eventual probe).
+  /// Caller holds mu_.
   [[nodiscard]] Worker* pick_worker_locked(std::size_t systems) {
+    const TimePoint now = Clock::now();
     Worker* chosen = nullptr;
     if (cfg_.dispatch == DispatchPolicy::RoundRobin) {
-      chosen = workers_[rr_next_ % workers_.size()].get();
-      ++rr_next_;
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        Worker* cand = workers_[rr_next_ % workers_.size()].get();
+        ++rr_next_;
+        if (breaker_admits_locked(*cand, now)) {
+          chosen = cand;
+          break;
+        }
+      }
     } else {
       for (auto& w : workers_) {
+        if (!breaker_admits_locked(*w, now)) continue;
         if (chosen == nullptr || w->queued_systems < chosen->queued_systems)
+          chosen = w.get();
+      }
+    }
+    if (chosen == nullptr) {
+      for (auto& w : workers_) {
+        if (chosen == nullptr || w->open_until < chosen->open_until)
           chosen = w.get();
       }
     }
     chosen->queued_systems += systems;
     return chosen;
+  }
+
+  /// Breaker bookkeeping after one device attempt. Called by workers
+  /// (which do not hold mu_).
+  void record_device_result(Worker& w, bool success) {
+    bool opened = false;
+    {
+      std::lock_guard lk(mu_);
+      if (success) {
+        w.consecutive_failures = 0;
+        if (w.breaker != Breaker::Closed) {
+          w.breaker = Breaker::Closed;
+          if (telemetry_.metrics.enabled()) {
+            telemetry_.metrics.add("service.breaker.closed");
+          }
+        }
+        return;
+      }
+      ++w.consecutive_failures;
+      if (w.breaker == Breaker::HalfOpen ||
+          (w.breaker == Breaker::Closed &&
+           w.consecutive_failures >= cfg_.resilience.breaker_threshold)) {
+        w.breaker = Breaker::Open;
+        w.open_until =
+            Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    cfg_.resilience.breaker_cooldown_ms));
+        opened = true;
+      }
+    }
+    if (opened) {
+      counters_breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry_.metrics.enabled()) {
+        telemetry_.metrics.add("service.breaker.open");
+      }
+    }
+  }
+
+  /// Any worker thread awaiting revival? Caller holds mu_.
+  [[nodiscard]] bool any_crashed_locked() const {
+    for (const auto& w : workers_) {
+      if (w->crashed) return true;
+    }
+    return false;
+  }
+
+  /// Joins and respawns every crashed worker thread. Its queue (including
+  /// the requeued in-flight job) survives untouched, so no request is
+  /// stranded. Caller holds mu_; the dying thread never re-acquires it,
+  /// so the join cannot deadlock.
+  void heal_workers_locked() {
+    for (auto& w : workers_) {
+      if (!w->crashed) continue;
+      if (w->thread.joinable()) w->thread.join();
+      w->crashed = false;
+      ++w->restarts;
+      counters_worker_restarts_.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry_.metrics.enabled()) {
+        telemetry_.metrics.add("service.worker_restarts");
+      }
+      w->thread = std::thread([this, wp = w.get()] { worker_loop(*wp); });
+      w->cv.notify_one();
+    }
   }
 
   /// Flushes every triggered bucket to a worker. Caller holds mu_.
@@ -479,12 +650,15 @@ class SolveService {
   void scheduler_loop() {
     std::unique_lock lk(mu_);
     for (;;) {
+      heal_workers_locked();
       expire_overdue_locked(Clock::now());
       dispatch_ready_locked(Clock::now());
       if (draining_ && pending_ == 0) return;
       const TimePoint wake = next_event_locked();
       if (wake == TimePoint::max()) {
-        cv_sched_.wait(lk, [this] { return draining_ || pending_ > 0; });
+        cv_sched_.wait(lk, [this] {
+          return draining_ || pending_ > 0 || any_crashed_locked();
+        });
       } else {
         cv_sched_.wait_until(lk, wake);
       }
@@ -500,9 +674,33 @@ class SolveService {
       w.jobs.pop_front();
       const std::size_t systems = job.members.size();
       lk.unlock();
+
+      auto& inj = faults::FaultInjector::global();
+      if (inj.fire(faults::Site::WorkerStall)) {
+        if (telemetry_.metrics.enabled()) {
+          telemetry_.metrics.add("service.faults.worker_stall");
+        }
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(
+                inj.config().stall_ms));
+      }
+      if (inj.fire(faults::Site::WorkerCrash)) {
+        // Simulated thread death. The job is requeued intact (no promise
+        // has been touched yet) and the scheduler revives the thread.
+        if (telemetry_.metrics.enabled()) {
+          telemetry_.metrics.add("service.faults.worker_crash");
+        }
+        lk.lock();
+        w.jobs.push_front(std::move(job));
+        w.crashed = true;
+        cv_sched_.notify_all();
+        return;
+      }
+
       process(w, job);
       lk.lock();
       w.queued_systems -= systems;
+      if (draining_) cv_sched_.notify_all();
     }
   }
 
@@ -539,22 +737,145 @@ class SolveService {
                 batch.d().data() + i * n);
     }
 
+    // Poison injection: contaminate systems on their way to the device
+    // so the guards and quarantine get exercised end-to-end.
+    auto& inj = faults::FaultInjector::global();
+    if (inj.enabled()) {
+      for (std::size_t i = 0; i < m; ++i) {
+        faults::Poison kind{};
+        bool hit = false;
+        if (inj.fire(faults::Site::PoisonNaN)) {
+          kind = faults::Poison::NaN;
+          hit = true;
+        } else if (inj.fire(faults::Site::PoisonZeroPivot)) {
+          kind = faults::Poison::ZeroPivot;
+          hit = true;
+        }
+        if (hit) {
+          faults::poison_system<T>(
+              batch.a().subspan(i * n, n), batch.b().subspan(i * n, n),
+              batch.c().subspan(i * n, n), batch.d().subspan(i * n, n),
+              kind);
+          if (telemetry_.metrics.enabled()) {
+            telemetry_.metrics.add("service.faults.poisoned");
+          }
+        }
+      }
+    }
+
+    const auto& res = cfg_.resilience;
     const TimePoint t_solve0 = Clock::now();
     solver::SolveStats stats;
+    std::vector<solver::SystemStatus> sys_status(
+        m, solver::SystemStatus::Ok);
+    std::size_t batch_retries = 0;
+    std::size_t quarantined = 0;
+    bool solved = false;
+    bool device_exhausted = false;
     std::string error;
-    try {
-      tuning::DynamicTuner<T> tuner(w.dev, &cache_);
-      const auto tuned = tuner.tune({m, n});
-      if (!tuned.from_cache)
-        counters_tunes_.fetch_add(1, std::memory_order_relaxed);
-      solver::GpuTridiagonalSolver<T> solver(w.dev, tuned.points);
-      stats = solver.solve(batch);
-    } catch (const std::exception& e) {
-      error = e.what();
+
+    for (int attempt = 0; !solved; ++attempt) {
+      try {
+        // The tuning search is cost-model introspection (hundreds of
+        // cost-only launches), not production traffic: run it with the
+        // device's fault sites disarmed so an injected launch failure
+        // exercises the solve path, not the tuner.
+        const bool armed = w.dev.faults_armed();
+        w.dev.arm_faults(false);
+        tuning::DynamicTuner<T> tuner(w.dev, &cache_);
+        const auto tuned = tuner.tune({m, n});
+        w.dev.arm_faults(armed);
+        if (!tuned.from_cache)
+          counters_tunes_.fetch_add(1, std::memory_order_relaxed);
+        solver::GpuTridiagonalSolver<T> solver(w.dev, tuned.points);
+        if (res.guards) {
+          solver::GuardConfig gc;
+          gc.dominance_floor = res.dominance_floor;
+          gc.residual_tol = res.residual_tol;
+          solver::GuardedSolver<T> guard(solver, gc);
+          auto gres = guard.solve(batch);
+          stats = gres.stats;
+          sys_status = std::move(gres.status);
+          quarantined = gres.quarantined;
+        } else {
+          stats = solver.solve(batch);
+        }
+        record_device_result(w, true);
+        solved = true;
+      } catch (const faults::DeviceFault& e) {
+        record_device_result(w, false);
+        if (telemetry_.metrics.enabled()) {
+          telemetry_.metrics.add("service.faults.device");
+        }
+        if (attempt < res.max_retries) {
+          ++batch_retries;
+          counters_retries_.fetch_add(1, std::memory_order_relaxed);
+          if (telemetry_.metrics.enabled()) {
+            telemetry_.metrics.add("service.retries");
+          }
+          if (res.retry_backoff_ms > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    res.retry_backoff_ms * static_cast<double>(1 << attempt)));
+          }
+          continue;
+        }
+        device_exhausted = true;
+        error = e.what();
+        break;
+      } catch (const std::exception& e) {
+        // Numerical errors are absorbed by the guards; anything else
+        // here is non-retryable (e.g. legacy no-guards mode).
+        error = e.what();
+        break;
+      }
+    }
+
+    if (!solved && device_exhausted) {
+      // Retries on this device are spent. Hand the whole job to another
+      // worker (bounded by the pool size so it cannot ping-pong
+      // forever), or solve it on the CPU as the last resort.
+      if (res.device_failover && workers_.size() > 1 &&
+          job.failovers + 1 < workers_.size()) {
+        std::lock_guard lk(mu_);
+        Worker* alt = nullptr;
+        const TimePoint now = Clock::now();
+        for (auto& cand : workers_) {
+          if (cand.get() == &w) continue;
+          if (!breaker_admits_locked(*cand, now)) continue;
+          if (alt == nullptr || cand->queued_systems < alt->queued_systems)
+            alt = cand.get();
+        }
+        if (alt != nullptr) {
+          ++job.failovers;
+          job.members = std::move(live);
+          alt->queued_systems += job.members.size();
+          alt->jobs.push_back(std::move(job));
+          alt->cv.notify_one();
+          counters_failovers_.fetch_add(1, std::memory_order_relaxed);
+          if (telemetry_.metrics.enabled()) {
+            telemetry_.metrics.add("service.failovers");
+          }
+          return;
+        }
+      }
+      if (res.cpu_failover) {
+        counters_cpu_failovers_.fetch_add(1, std::memory_order_relaxed);
+        if (telemetry_.metrics.enabled()) {
+          telemetry_.metrics.add("service.cpu_failovers");
+        }
+        for (std::size_t i = 0; i < m; ++i) {
+          sys_status[i] = solver::pivoting_fallback<T>(batch.system(i),
+                                                       batch.solution(i));
+        }
+        stats = {};
+        solved = true;
+        error.clear();
+      }
     }
     const TimePoint t_solve1 = Clock::now();
 
-    if (!error.empty()) {
+    if (!solved) {
       count_terminal(SolveStatus::Failed, m);
       for (auto& p : live) {
         finish(std::move(p.promise), SolveStatus::Failed, error);
@@ -562,22 +883,69 @@ class SolveService {
       return;
     }
 
+    std::size_t n_ok = 0, n_fallback = 0, n_singular = 0, n_nonfinite = 0;
+    for (const auto s : sys_status) {
+      switch (s) {
+        case solver::SystemStatus::Ok: ++n_ok; break;
+        case solver::SystemStatus::FallbackUsed: ++n_fallback; break;
+        case solver::SystemStatus::Singular: ++n_singular; break;
+        case solver::SystemStatus::NonFinite: ++n_nonfinite; break;
+      }
+    }
+
     counters_device_ms_.fetch_add(stats.total_ms,
                                   std::memory_order_relaxed);
     // Account BEFORE fulfilling promises: anyone who has observed a
     // future resolve must see counters that include that request.
-    count_terminal(SolveStatus::Ok, m);
+    count_terminal(SolveStatus::Ok, n_ok + n_fallback);
+    if (n_singular > 0) count_terminal(SolveStatus::Singular, n_singular);
+    if (n_nonfinite > 0)
+      count_terminal(SolveStatus::NonFinite, n_nonfinite);
+    if (n_fallback > 0) {
+      counters_fallbacks_.fetch_add(n_fallback, std::memory_order_relaxed);
+    }
+    if (quarantined > 0) {
+      counters_quarantined_.fetch_add(quarantined,
+                                      std::memory_order_relaxed);
+    }
     if (telemetry_.metrics.enabled()) {
       telemetry_.metrics.observe("service.solve_ms", stats.total_ms);
       telemetry_.metrics.add("service.solved_systems",
-                             static_cast<double>(m));
+                             static_cast<double>(n_ok + n_fallback));
+      if (n_fallback > 0) {
+        telemetry_.metrics.add("service.fallback_used",
+                               static_cast<double>(n_fallback));
+      }
+      if (quarantined > 0) {
+        telemetry_.metrics.add("service.quarantined",
+                               static_cast<double>(quarantined));
+      }
     }
     for (std::size_t i = 0; i < m; ++i) {
       SolveResponse<T> resp;
-      resp.status = SolveStatus::Ok;
-      resp.x.assign(batch.x().begin() + i * n,
-                    batch.x().begin() + (i + 1) * n);
+      switch (sys_status[i]) {
+        case solver::SystemStatus::Ok:
+          resp.status = SolveStatus::Ok;
+          break;
+        case solver::SystemStatus::FallbackUsed:
+          resp.status = SolveStatus::Ok;
+          resp.fallback_used = true;
+          break;
+        case solver::SystemStatus::Singular:
+          resp.status = SolveStatus::Singular;
+          resp.error = "system is numerically singular";
+          break;
+        case solver::SystemStatus::NonFinite:
+          resp.status = SolveStatus::NonFinite;
+          resp.error = "system contains non-finite coefficients";
+          break;
+      }
+      if (resp.status == SolveStatus::Ok) {
+        resp.x.assign(batch.x().begin() + i * n,
+                      batch.x().begin() + (i + 1) * n);
+      }
       resp.batch_systems = m;
+      resp.retries = batch_retries;
       resp.wait_ms = std::chrono::duration<double, std::milli>(
                          job.flush_tp - live[i].enqueue_tp)
                          .count();
@@ -613,6 +981,12 @@ class SolveService {
       span("flush", job.flush_tp, t_solve0);
       const auto slv = span("solve", t_solve0, t_solve1);
       tr.attr(slv, "sim_ms", stats.total_ms);
+      if (batch_retries > 0) {
+        tr.attr(slv, "retries", static_cast<double>(batch_retries));
+      }
+      if (n_fallback > 0) {
+        tr.attr(slv, "fallbacks", static_cast<double>(n_fallback));
+      }
       span("complete", t_solve1, t_done);
     }
   }
@@ -651,6 +1025,15 @@ class SolveService {
   std::atomic<std::size_t> counters_max_batch_{0};
   std::atomic<std::size_t> counters_tunes_{0};
   std::atomic<double> counters_device_ms_{0.0};
+  std::atomic<std::size_t> counters_singular_{0};
+  std::atomic<std::size_t> counters_nonfinite_{0};
+  std::atomic<std::size_t> counters_fallbacks_{0};
+  std::atomic<std::size_t> counters_quarantined_{0};
+  std::atomic<std::size_t> counters_retries_{0};
+  std::atomic<std::size_t> counters_failovers_{0};
+  std::atomic<std::size_t> counters_cpu_failovers_{0};
+  std::atomic<std::size_t> counters_worker_restarts_{0};
+  std::atomic<std::size_t> counters_breaker_opens_{0};
 };
 
 }  // namespace tda::service

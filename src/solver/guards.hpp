@@ -1,0 +1,382 @@
+#pragma once
+// Numerical guards around the multi-stage GPU solver (docs/ROBUSTNESS.md).
+//
+// The paper's PCR/Thomas chain is pivot-free: it is fast and exact on
+// diagonally dominant systems and silently wrong (or worse, throwing from
+// a zero pivot mid-batch) outside that envelope. GuardedSolver wraps
+// GpuTridiagonalSolver with the three defenses a production service
+// needs, and turns "exception or garbage" into a typed per-system
+// SystemStatus:
+//
+//   1. pre-solve screening — finiteness and diagonal-dominance
+//      classification per system; non-finite systems are rejected
+//      outright, zero-diagonal (or below-floor dominance) systems are
+//      routed to the pivoting CPU fallback before they can poison a
+//      GPU batch;
+//   2. quarantine bisect — when the GPU chain still throws a numerical
+//      ContractError (PCR can manufacture a zero pivot from nonzero
+//      input), the batch is bisected so only the culprit systems are
+//      quarantined to the CPU path and every batchmate completes;
+//   3. post-solve residual check — each GPU solution is verified against
+//      a relative residual tolerance; failures escalate to the CPU
+//      fallback (cpu/gtsv.hpp: LU with partial pivoting).
+//
+// Infrastructure failures (faults::DeviceFault) are deliberately NOT
+// handled here: they are retryable and the service owns retry/failover.
+// Only numerical errors are quarantined.
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/strided_view.hpp"
+#include "cpu/gtsv.hpp"
+#include "solver/gpu_solver.hpp"
+#include "tridiag/batch.hpp"
+
+namespace tda::solver {
+
+/// Per-system outcome of a guarded solve.
+enum class SystemStatus {
+  Ok,            ///< GPU solution accepted
+  FallbackUsed,  ///< solved correctly, but by the pivoting CPU fallback
+  Singular,      ///< numerically singular; no finite solution produced
+  NonFinite,     ///< input contained NaN/Inf coefficients
+};
+
+inline const char* to_string(SystemStatus s) {
+  switch (s) {
+    case SystemStatus::Ok: return "ok";
+    case SystemStatus::FallbackUsed: return "fallback_used";
+    case SystemStatus::Singular: return "singular";
+    case SystemStatus::NonFinite: return "nonfinite";
+  }
+  return "?";
+}
+
+/// Guard policy. Defaults are the production setting: everything on.
+struct GuardConfig {
+  bool prescreen = true;      ///< finiteness + dominance classification
+  bool postcheck = true;      ///< residual verification of GPU solutions
+  bool cpu_fallback = true;   ///< escalate failures to cpu::gtsv_solve
+  /// Systems whose dominance ratio min_i |b_i|/(|a_i|+|c_i|) falls below
+  /// this are routed straight to the pivoting fallback. 0 keeps weakly-
+  /// and non-dominant systems on the GPU (the residual check still
+  /// verifies them); 1.0 requires strict dominance for the GPU path.
+  double dominance_floor = 0.0;
+  /// Relative residual acceptance threshold; 0 selects the automatic
+  /// tolerance 1e4 * epsilon(T) (see auto_residual_tol).
+  double residual_tol = 0.0;
+};
+
+/// The default residual tolerance for element type T. Generous enough
+/// for legitimate weakly-dominant systems, tight enough that a PCR chain
+/// that lost the solution cannot pass.
+template <typename T>
+[[nodiscard]] constexpr double auto_residual_tol() {
+  return 1e4 * static_cast<double>(std::numeric_limits<T>::epsilon());
+}
+
+/// Pre-solve classification of one system.
+enum class ScreenVerdict {
+  Pass,           ///< safe for the pivot-free GPU chain
+  NeedsPivoting,  ///< finite but zero-diagonal / below the dominance floor
+  NonFinite,      ///< contains NaN or Inf
+};
+
+template <typename T>
+struct ScreenResult {
+  ScreenVerdict verdict = ScreenVerdict::Pass;
+  double dominance = 0.0;  ///< min_i |b_i| / (|a_i| + |c_i|)
+  bool zero_diagonal = false;
+};
+
+/// One O(n) pass over a system: finiteness, zero pivots, dominance.
+template <typename T>
+[[nodiscard]] ScreenResult<T> prescreen_system(
+    const tridiag::SystemView<T>& sys, double dominance_floor = 0.0) {
+  ScreenResult<T> r;
+  r.dominance = std::numeric_limits<double>::infinity();
+  const std::size_t n = sys.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ai = i > 0 ? static_cast<double>(sys.a[i]) : 0.0;
+    const double bi = static_cast<double>(sys.b[i]);
+    const double ci = i + 1 < n ? static_cast<double>(sys.c[i]) : 0.0;
+    const double di = static_cast<double>(sys.d[i]);
+    if (!std::isfinite(ai) || !std::isfinite(bi) || !std::isfinite(ci) ||
+        !std::isfinite(di)) {
+      r.verdict = ScreenVerdict::NonFinite;
+      return r;
+    }
+    if (bi == 0.0) r.zero_diagonal = true;
+    const double offsum = std::abs(ai) + std::abs(ci);
+    const double ratio = offsum == 0.0
+                             ? std::numeric_limits<double>::infinity()
+                             : std::abs(bi) / offsum;
+    if (ratio < r.dominance) r.dominance = ratio;
+  }
+  if (r.zero_diagonal || r.dominance < dominance_floor) {
+    r.verdict = ScreenVerdict::NeedsPivoting;
+  }
+  return r;
+}
+
+/// Relative infinity-norm residual of a candidate solution:
+/// max_i |d_i - (A x)_i| / (||A||_inf * ||x||_inf + ||d||_inf).
+/// Returns +inf when x contains non-finite entries.
+template <typename T>
+[[nodiscard]] double relative_residual(const tridiag::SystemView<T>& sys,
+                                       const StridedView<T>& x) {
+  const std::size_t n = sys.size();
+  TDA_REQUIRE(x.size() == n, "residual: solution size mismatch");
+  double max_r = 0.0, norm_a = 0.0, norm_x = 0.0, norm_d = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xi = static_cast<double>(x[i]);
+    if (!std::isfinite(xi)) return std::numeric_limits<double>::infinity();
+    const double ai = i > 0 ? static_cast<double>(sys.a[i]) : 0.0;
+    const double bi = static_cast<double>(sys.b[i]);
+    const double ci = i + 1 < n ? static_cast<double>(sys.c[i]) : 0.0;
+    const double di = static_cast<double>(sys.d[i]);
+    double ax = bi * xi;
+    if (i > 0) ax += ai * static_cast<double>(x[i - 1]);
+    if (i + 1 < n) ax += ci * static_cast<double>(x[i + 1]);
+    max_r = std::max(max_r, std::abs(di - ax));
+    norm_a = std::max(norm_a, std::abs(ai) + std::abs(bi) + std::abs(ci));
+    norm_x = std::max(norm_x, std::abs(xi));
+    norm_d = std::max(norm_d, std::abs(di));
+  }
+  const double scale = norm_a * norm_x + norm_d;
+  if (scale == 0.0) return max_r == 0.0 ? 0.0 : max_r;
+  return max_r / scale;
+}
+
+/// Solves one system with the pivoting CPU solver (cpu/gtsv.hpp). The
+/// inputs are copied (gtsv consumes its coefficients); the solution is
+/// written to x only on success. Never returns Ok: a solution produced
+/// here is by definition FallbackUsed.
+template <typename T>
+SystemStatus pivoting_fallback(const tridiag::SystemView<T>& sys,
+                               StridedView<T> x) {
+  const std::size_t n = sys.size();
+  TDA_REQUIRE(x.size() == n, "fallback: solution size mismatch");
+  std::vector<T> a(n), b(n), c(n), d(n), xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = sys.a[i];
+    b[i] = sys.b[i];
+    c[i] = sys.c[i];
+    d[i] = sys.d[i];
+    if (!std::isfinite(static_cast<double>(a[i])) ||
+        !std::isfinite(static_cast<double>(b[i])) ||
+        !std::isfinite(static_cast<double>(c[i])) ||
+        !std::isfinite(static_cast<double>(d[i]))) {
+      return SystemStatus::NonFinite;
+    }
+  }
+  const bool ok = cpu::gtsv_solve(std::span<T>(a), std::span<T>(b),
+                                  std::span<T>(c), std::span<T>(d),
+                                  std::span<T>(xs));
+  if (!ok) return SystemStatus::Singular;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(static_cast<double>(xs[i]))) {
+      return SystemStatus::Singular;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) x[i] = xs[i];
+  return SystemStatus::FallbackUsed;
+}
+
+/// Outcome of one guarded batch solve.
+template <typename T>
+struct GuardedSolveResult {
+  SolveStats stats;  ///< aggregate GPU timing (zero when nothing ran on GPU)
+  std::vector<SystemStatus> status;  ///< one entry per system
+  std::size_t gpu_solved = 0;        ///< systems whose GPU result was kept
+  std::size_t fallback_used = 0;
+  std::size_t singular = 0;
+  std::size_t nonfinite = 0;
+  std::size_t prescreen_routed = 0;   ///< routed to CPU before the GPU ran
+  std::size_t quarantined = 0;        ///< isolated by the bisect
+  std::size_t residual_rejects = 0;   ///< GPU solutions failing the check
+
+  [[nodiscard]] bool all_ok() const {
+    for (const SystemStatus s : status) {
+      if (s != SystemStatus::Ok) return false;
+    }
+    return true;
+  }
+  /// True when every system has a correct solution (Ok or FallbackUsed).
+  [[nodiscard]] bool all_solved() const {
+    for (const SystemStatus s : status) {
+      if (s != SystemStatus::Ok && s != SystemStatus::FallbackUsed) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+/// GpuTridiagonalSolver plus the guard pipeline. Non-owning: the inner
+/// solver (and its device) must outlive the guard.
+template <typename T>
+class GuardedSolver {
+ public:
+  explicit GuardedSolver(GpuTridiagonalSolver<T>& inner, GuardConfig cfg = {})
+      : inner_(&inner), cfg_(cfg) {}
+
+  [[nodiscard]] const GuardConfig& config() const { return cfg_; }
+  void set_config(const GuardConfig& cfg) { cfg_ = cfg; }
+
+  [[nodiscard]] double residual_tol() const {
+    return cfg_.residual_tol > 0.0 ? cfg_.residual_tol
+                                   : auto_residual_tol<T>();
+  }
+
+  /// Solves every system of the batch, routing through the guards.
+  /// batch.x() holds the solution of every system whose status is Ok or
+  /// FallbackUsed; other systems' x rows are untouched. Throws only for
+  /// infrastructure errors (faults::DeviceFault) — numerical failure is
+  /// always reported through the per-system status.
+  GuardedSolveResult<T> solve(tridiag::TridiagBatch<T>& batch) {
+    const std::size_t m = batch.num_systems();
+    GuardedSolveResult<T> result;
+    result.status.assign(m, SystemStatus::Ok);
+
+    std::vector<std::size_t> gpu_list;
+    gpu_list.reserve(m);
+    if (cfg_.prescreen) {
+      for (std::size_t s = 0; s < m; ++s) {
+        const auto screen =
+            prescreen_system<T>(batch.system(s), cfg_.dominance_floor);
+        switch (screen.verdict) {
+          case ScreenVerdict::Pass:
+            gpu_list.push_back(s);
+            break;
+          case ScreenVerdict::NonFinite:
+            result.status[s] = SystemStatus::NonFinite;
+            break;
+          case ScreenVerdict::NeedsPivoting:
+            ++result.prescreen_routed;
+            result.status[s] =
+                cfg_.cpu_fallback
+                    ? pivoting_fallback<T>(batch.system(s),
+                                           batch.solution(s))
+                    : SystemStatus::Singular;
+            break;
+        }
+      }
+    } else {
+      for (std::size_t s = 0; s < m; ++s) gpu_list.push_back(s);
+    }
+
+    if (!gpu_list.empty()) solve_group(batch, gpu_list, result);
+
+    if (cfg_.postcheck) {
+      const double tol = residual_tol();
+      for (std::size_t s = 0; s < m; ++s) {
+        if (result.status[s] != SystemStatus::Ok) continue;
+        const double res =
+            relative_residual<T>(batch.system(s), batch.solution(s));
+        if (res <= tol) continue;
+        ++result.residual_rejects;
+        result.status[s] =
+            cfg_.cpu_fallback
+                ? pivoting_fallback<T>(batch.system(s), batch.solution(s))
+                : (std::isfinite(res) ? SystemStatus::Singular
+                                      : SystemStatus::NonFinite);
+      }
+    }
+
+    for (std::size_t s = 0; s < m; ++s) {
+      switch (result.status[s]) {
+        case SystemStatus::Ok: ++result.gpu_solved; break;
+        case SystemStatus::FallbackUsed: ++result.fallback_used; break;
+        case SystemStatus::Singular: ++result.singular; break;
+        case SystemStatus::NonFinite: ++result.nonfinite; break;
+      }
+    }
+    return result;
+  }
+
+ private:
+  /// Solves the listed systems on the GPU, bisecting on numerical
+  /// ContractError so one bad system cannot take down its batchmates.
+  /// Statuses of quarantined systems are written into `result`; systems
+  /// solved on the GPU keep status Ok (the residual check runs later).
+  void solve_group(tridiag::TridiagBatch<T>& batch,
+                   std::span<const std::size_t> list,
+                   GuardedSolveResult<T>& result) {
+    try {
+      if (list.size() == batch.num_systems()) {
+        // Common case: everything passed the screen — solve in place.
+        accumulate(result.stats, inner_->solve(batch));
+      } else {
+        tridiag::TridiagBatch<T> sub(list.size(), batch.system_size());
+        pack(batch, list, sub);
+        accumulate(result.stats, inner_->solve(sub));
+        unpack_solutions(sub, list, batch);
+      }
+      return;
+    } catch (const ContractError&) {
+      // Numerical failure somewhere in this group — bisect.
+    }
+    if (list.size() == 1) {
+      const std::size_t s = list.front();
+      ++result.quarantined;
+      result.status[s] =
+          cfg_.cpu_fallback
+              ? pivoting_fallback<T>(batch.system(s), batch.solution(s))
+              : SystemStatus::Singular;
+      return;
+    }
+    const std::size_t half = list.size() / 2;
+    solve_group(batch, list.subspan(0, half), result);
+    solve_group(batch, list.subspan(half), result);
+  }
+
+  static void accumulate(SolveStats& into, const SolveStats& part) {
+    if (into.kernel_launches == 0) into.plan = part.plan;
+    into.total_ms += part.total_ms;
+    into.stage1_ms += part.stage1_ms;
+    into.stage2_ms += part.stage2_ms;
+    into.stage3_ms += part.stage3_ms;
+    into.kernel_launches += part.kernel_launches;
+  }
+
+  static void pack(tridiag::TridiagBatch<T>& from,
+                   std::span<const std::size_t> list,
+                   tridiag::TridiagBatch<T>& to) {
+    const std::size_t n = from.system_size();
+    for (std::size_t j = 0; j < list.size(); ++j) {
+      const std::size_t src = list[j] * n;
+      const std::size_t dst = j * n;
+      for (std::size_t i = 0; i < n; ++i) {
+        to.a()[dst + i] = from.a()[src + i];
+        to.b()[dst + i] = from.b()[src + i];
+        to.c()[dst + i] = from.c()[src + i];
+        to.d()[dst + i] = from.d()[src + i];
+      }
+    }
+  }
+
+  static void unpack_solutions(tridiag::TridiagBatch<T>& from,
+                               std::span<const std::size_t> list,
+                               tridiag::TridiagBatch<T>& to) {
+    const std::size_t n = from.system_size();
+    for (std::size_t j = 0; j < list.size(); ++j) {
+      const std::size_t src = j * n;
+      const std::size_t dst = list[j] * n;
+      for (std::size_t i = 0; i < n; ++i) {
+        to.x()[dst + i] = from.x()[src + i];
+      }
+    }
+  }
+
+  GpuTridiagonalSolver<T>* inner_;
+  GuardConfig cfg_;
+};
+
+}  // namespace tda::solver

@@ -60,29 +60,24 @@ std::string to_chrome_trace(const Tracer& tracer) {
 }
 
 std::string to_metrics_json(const MetricsRegistry& metrics) {
-  std::ostringstream os;
-  os << "{\"counters\":{";
+  // Gauges and histograms serialize first (into side buffers) so that
+  // any NaN/Inf they drop is already tallied when the counters section —
+  // which reports the drop count — is emitted.
+  std::ostringstream gs;
   bool first = true;
-  for (const auto& [name, value] : metrics.counters()) {
-    if (!first) os << ',';
-    first = false;
-    os << '"' << json_escape(name) << "\":" << json_number(value);
-  }
-  os << "},\"gauges\":{";
-  first = true;
   for (const auto& [name, value] : metrics.gauges()) {
-    if (!first) os << ',';
+    if (!first) gs << ',';
     first = false;
-    os << '"' << json_escape(name) << "\":" << json_number(value);
+    gs << '"' << json_escape(name) << "\":" << json_number(value);
   }
-  os << "},\"histograms\":{";
+  std::ostringstream hs;
   first = true;
   for (const auto& [name, samples] : metrics.histograms()) {
     (void)samples;
     const HistogramSummary h = metrics.histogram(name);
-    if (!first) os << ',';
+    if (!first) hs << ',';
     first = false;
-    os << '"' << json_escape(name) << "\":{\"count\":"
+    hs << '"' << json_escape(name) << "\":{\"count\":"
        << json_number(static_cast<double>(h.count))
        << ",\"min\":" << json_number(h.min)
        << ",\"max\":" << json_number(h.max)
@@ -90,7 +85,24 @@ std::string to_metrics_json(const MetricsRegistry& metrics) {
        << ",\"p50\":" << json_number(h.p50)
        << ",\"p95\":" << json_number(h.p95) << '}';
   }
-  os << "}}";
+
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  first = true;
+  for (const auto& [name, value] : metrics.counters()) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << json_number(value);
+  }
+  // Process-wide serializer health: how many NaN/Inf values were
+  // dropped to null instead of being exported as numbers.
+  if (nonfinite_dropped() > 0) {
+    if (!first) os << ',';
+    os << "\"telemetry.nonfinite_dropped\":"
+       << json_number(static_cast<double>(nonfinite_dropped()));
+  }
+  os << "},\"gauges\":{" << gs.str() << "},\"histograms\":{" << hs.str()
+     << "}}";
   return os.str();
 }
 

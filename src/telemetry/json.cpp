@@ -1,5 +1,6 @@
 #include "telemetry/json.hpp"
 
+#include <atomic>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -7,6 +8,18 @@
 #include <sstream>
 
 namespace tda::telemetry {
+
+namespace {
+std::atomic<std::uint64_t> nonfinite_dropped_count{0};
+}  // namespace
+
+std::uint64_t nonfinite_dropped() {
+  return nonfinite_dropped_count.load(std::memory_order_relaxed);
+}
+
+void note_nonfinite_dropped() {
+  nonfinite_dropped_count.fetch_add(1, std::memory_order_relaxed);
+}
 
 std::string json_escape(std::string_view s) {
   std::string out;
@@ -33,7 +46,12 @@ std::string json_escape(std::string_view s) {
 }
 
 std::string json_number(double value) {
-  if (!std::isfinite(value)) return "0";
+  if (!std::isfinite(value)) {
+    // Silently mangling NaN/Inf into a plausible number hides real
+    // defects from whoever reads the export; null is honest.
+    note_nonfinite_dropped();
+    return "null";
+  }
   if (value == std::floor(value) && std::fabs(value) < 1e15) {
     std::ostringstream os;
     os << static_cast<long long>(value);

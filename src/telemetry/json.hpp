@@ -4,6 +4,7 @@
 // files without an external dependency.
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -17,8 +18,17 @@ namespace tda::telemetry {
 std::string json_escape(std::string_view s);
 
 /// Formats a double as a JSON number (integral values without a
-/// decimal point; non-finite values degrade to 0).
+/// decimal point). Non-finite values serialize as `null` — never as a
+/// fabricated number — and are tallied in nonfinite_dropped().
 std::string json_number(double value);
+
+/// Process-wide count of non-finite values the telemetry serializers
+/// dropped to null (json_number and span-attr formatting). Exported as
+/// the `telemetry.nonfinite_dropped` counter in metrics JSON.
+std::uint64_t nonfinite_dropped();
+
+/// Records one dropped non-finite value (serializer-internal).
+void note_nonfinite_dropped();
 
 /// One parsed JSON value. Object member order is preserved.
 struct JsonValue {

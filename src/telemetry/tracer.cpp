@@ -3,11 +3,16 @@
 #include <cmath>
 #include <sstream>
 
+#include "telemetry/json.hpp"
+
 namespace tda::telemetry {
 
 namespace {
 std::string format_number(double value) {
-  if (!std::isfinite(value)) return "0";
+  if (!std::isfinite(value)) {
+    note_nonfinite_dropped();
+    return "null";
+  }
   // Integral values print without a decimal point (span attrs carry a
   // lot of counts: blocks, threads, steps).
   if (value == std::floor(value) && std::fabs(value) < 1e15) {

@@ -1,9 +1,16 @@
 #include "tuning/cache.hpp"
 
 #include <atomic>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string_view>
+
+#include "common/log.hpp"
+#include "faults/faults.hpp"
 
 namespace tda::tuning {
 
@@ -16,6 +23,34 @@ namespace {
 std::mutex& file_mutex() {
   static std::mutex mu;
   return mu;
+}
+
+// v1: bare header, no integrity check (still readable).
+// v2: header carries an FNV-1a checksum of everything after the header
+// line; any flipped bit rejects the whole file, falling back to
+// re-tuning rather than solving with corrupted switch points.
+constexpr std::string_view kHeaderV1 = "# tridiag_autotune tuning cache v1";
+constexpr std::string_view kHeaderV2 =
+    "# tridiag_autotune tuning cache v2 checksum=";
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char ch : bytes) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+/// Positive-integer field with explicit rejection of negatives,
+/// non-numbers and fractions (istream would happily wrap "-3" into a
+/// size_t).
+bool parse_count(std::istream& in, std::size_t& out) {
+  double v = 0.0;
+  if (!(in >> v)) return false;
+  if (!std::isfinite(v) || v < 1.0 || v != std::floor(v)) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
 }
 }  // namespace
 
@@ -54,29 +89,67 @@ std::map<std::string, CacheEntry> TuningCache::snapshot() const {
   return entries_;
 }
 
-std::size_t TuningCache::parse_stream(
+TuningCache::ParseResult TuningCache::parse_stream(
     std::istream& in, std::map<std::string, CacheEntry>& out) {
-  std::size_t count = 0;
+  ParseResult result;
+  std::string header;
+  if (!std::getline(in, header)) {
+    result.header_ok = false;  // empty/unreadable file
+    return result;
+  }
+  std::string payload{std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>()};
+  if (header == kHeaderV1) {
+    // Legacy file: readable, but carries no integrity check.
+  } else if (header.compare(0, kHeaderV2.size(), kHeaderV2) == 0) {
+    const std::string stored = header.substr(kHeaderV2.size());
+    char* end = nullptr;
+    const std::uint64_t want = std::strtoull(stored.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0' || stored.empty() ||
+        want != fnv1a(payload)) {
+      TDA_WARN("tuning cache: checksum mismatch — ignoring the whole "
+               "file (will re-tune)");
+      result.header_ok = false;
+      return result;
+    }
+  } else {
+    TDA_WARN("tuning cache: unrecognized header '"
+             << header << "' — ignoring the whole file");
+    result.header_ok = false;
+    return result;
+  }
+
+  std::istringstream body(payload);
   std::string line;
-  while (std::getline(in, line)) {
+  while (std::getline(body, line)) {
     if (line.empty() || line[0] == '#') continue;
-    // key \t stage1 \t stage3 \t thomas \t variant \t ms
+    // key \t stage1 stage3 thomas variant ms
     std::istringstream ls(line);
     std::string key, variant;
     CacheEntry e;
-    if (!std::getline(ls, key, '\t')) continue;
-    if (!(ls >> e.points.stage1_target_systems >>
-          e.points.stage3_system_size >> e.points.thomas_switch >> variant >>
-          e.tuned_ms)) {
+    bool ok = static_cast<bool>(std::getline(ls, key, '\t')) &&
+              !key.empty() &&
+              parse_count(ls, e.points.stage1_target_systems) &&
+              parse_count(ls, e.points.stage3_system_size) &&
+              parse_count(ls, e.points.thomas_switch) &&
+              static_cast<bool>(ls >> variant >> e.tuned_ms) &&
+              std::isfinite(e.tuned_ms) && e.tuned_ms >= 0.0 &&
+              (variant == "coalesced" || variant == "strided");
+    if (!ok) {
+      ++result.skipped;
       continue;
     }
     e.points.variant = (variant == "coalesced")
                            ? kernels::LoadVariant::Coalesced
                            : kernels::LoadVariant::Strided;
     out[key] = e;
-    ++count;
+    ++result.loaded;
   }
-  return count;
+  if (result.skipped > 0) {
+    TDA_WARN("tuning cache: skipped " << result.skipped
+                                      << " malformed record(s)");
+  }
+  return result;
 }
 
 bool TuningCache::write_atomic(
@@ -87,16 +160,21 @@ bool TuningCache::write_atomic(
   static std::atomic<unsigned> counter{0};
   const std::string tmp =
       path + ".tmp" + std::to_string(counter.fetch_add(1));
+  std::ostringstream payload;
+  for (const auto& [key, e] : entries) {
+    payload << key << '\t' << e.points.stage1_target_systems << ' '
+        << e.points.stage3_system_size << ' ' << e.points.thomas_switch
+        << ' ' << kernels::to_string(e.points.variant) << ' ' << e.tuned_ms
+        << '\n';
+  }
+  const std::string body = payload.str();
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) return false;
-    out << "# tridiag_autotune tuning cache v1\n";
-    for (const auto& [key, e] : entries) {
-      out << key << '\t' << e.points.stage1_target_systems << ' '
-          << e.points.stage3_system_size << ' ' << e.points.thomas_switch
-          << ' ' << kernels::to_string(e.points.variant) << ' ' << e.tuned_ms
-          << '\n';
-    }
+    char checksum[17];
+    std::snprintf(checksum, sizeof(checksum), "%016llx",
+                  static_cast<unsigned long long>(fnv1a(body)));
+    out << kHeaderV2 << checksum << '\n' << body;
     if (!out) return false;
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
@@ -109,8 +187,24 @@ bool TuningCache::write_atomic(
 std::size_t TuningCache::load(const std::string& path) {
   std::ifstream in(path);
   if (!in) return 0;
+  std::string contents{std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>()};
+  // Injection point: the CacheCorrupt site flips bits between disk and
+  // parser, exercising the checksum rejection below.
+  auto& inj = faults::FaultInjector::global();
+  if (inj.fire(faults::Site::CacheCorrupt)) {
+    faults::corrupt_bytes(contents, inj.config().seed, 8);
+    TDA_WARN("faults: corrupted tuning-cache bytes before parsing");
+  }
+  std::istringstream ss(contents);
+  // Parse into a scratch map: a file that fails the header/checksum
+  // check must not leave a partial cache behind.
+  std::map<std::string, CacheEntry> parsed;
+  const ParseResult result = parse_stream(ss, parsed);
+  if (!result.header_ok) return 0;
   std::lock_guard lk(mu_);
-  return parse_stream(in, entries_);
+  for (auto& [key, e] : parsed) entries_[key] = e;
+  return result.loaded;
 }
 
 bool TuningCache::save(const std::string& path) const {

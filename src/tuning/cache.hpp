@@ -46,6 +46,12 @@ class TuningCache {
   /// Serialisation. load() merges into the current contents and returns
   /// the number of records read (0 for a missing file). save() replaces
   /// the file atomically (temp file + rename).
+  ///
+  /// The on-disk format carries a version + FNV-1a checksum header; a
+  /// file whose header or checksum fails verification is rejected WHOLE
+  /// (no partial cache — the tuner falls back to re-tuning), while
+  /// individual malformed records of an intact file are counted,
+  /// log-warned and skipped. Legacy v1 files load without a checksum.
   std::size_t load(const std::string& path);
   bool save(const std::string& path) const;
 
@@ -55,7 +61,12 @@ class TuningCache {
   bool save_merged(const std::string& path) const;
 
  private:
-  static std::size_t parse_stream(std::istream& in,
+  struct ParseResult {
+    std::size_t loaded = 0;   ///< valid records stored into `out`
+    std::size_t skipped = 0;  ///< malformed records dropped (log-warned)
+    bool header_ok = true;    ///< false = whole file rejected
+  };
+  static ParseResult parse_stream(std::istream& in,
                                   std::map<std::string, CacheEntry>& out);
   static bool write_atomic(const std::string& path,
                            const std::map<std::string, CacheEntry>& entries);

@@ -1,0 +1,235 @@
+// Tests for the fault-injection framework: spec parsing, deterministic
+// decision draws, counters, scoped overrides, byte corruption, system
+// poisoning, and the device-side arming gate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "faults/faults.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/launch.hpp"
+#include "gpusim/occupancy.hpp"
+
+namespace {
+
+using namespace tda;
+using namespace tda::faults;
+
+// ---------- spec parsing ----------
+
+TEST(FaultConfig, ParsesFullSpec) {
+  const auto cfg = parse_fault_config(
+      "seed=42,launch_fail=0.25,alloc_fail=0.5,worker_stall=0.1,"
+      "worker_crash=0.2,cache_corrupt=1,nan_systems=0.05,"
+      "zero_pivot_systems=0.15,stall_ms=7.5");
+  EXPECT_EQ(cfg.seed, 42u);
+  EXPECT_DOUBLE_EQ(cfg.rate_of(Site::DeviceLaunch), 0.25);
+  EXPECT_DOUBLE_EQ(cfg.rate_of(Site::DeviceAlloc), 0.5);
+  EXPECT_DOUBLE_EQ(cfg.rate_of(Site::WorkerStall), 0.1);
+  EXPECT_DOUBLE_EQ(cfg.rate_of(Site::WorkerCrash), 0.2);
+  EXPECT_DOUBLE_EQ(cfg.rate_of(Site::CacheCorrupt), 1.0);
+  EXPECT_DOUBLE_EQ(cfg.rate_of(Site::PoisonNaN), 0.05);
+  EXPECT_DOUBLE_EQ(cfg.rate_of(Site::PoisonZeroPivot), 0.15);
+  EXPECT_DOUBLE_EQ(cfg.stall_ms, 7.5);
+  EXPECT_TRUE(cfg.any());
+}
+
+TEST(FaultConfig, EmptySpecIsInert) {
+  const auto cfg = parse_fault_config("");
+  EXPECT_FALSE(cfg.any());
+  FaultInjector inj(cfg);
+  EXPECT_FALSE(inj.enabled());
+}
+
+TEST(FaultConfig, ClampsRatesAndSurvivesGarbage) {
+  // Unknown keys, unparsable values and out-of-range rates must be
+  // tolerated: a typo in TDA_FAULTS cannot be allowed to crash anything.
+  const auto cfg = parse_fault_config(
+      "launch_fail=7,worker_crash=-2,bogus_key=1,nan_systems=oops,,"
+      "seed=123");
+  EXPECT_DOUBLE_EQ(cfg.rate_of(Site::DeviceLaunch), 1.0);
+  EXPECT_DOUBLE_EQ(cfg.rate_of(Site::WorkerCrash), 0.0);
+  EXPECT_DOUBLE_EQ(cfg.rate_of(Site::PoisonNaN), 0.0);
+  EXPECT_EQ(cfg.seed, 123u);
+}
+
+TEST(FaultConfig, DescribeRoundTrips) {
+  auto cfg = parse_fault_config("seed=9,launch_fail=0.125,worker_stall=0.5");
+  const auto again = parse_fault_config(cfg.describe());
+  EXPECT_EQ(again.seed, cfg.seed);
+  for (int s = 0; s < kSiteCount; ++s) {
+    EXPECT_DOUBLE_EQ(again.rate[s], cfg.rate[s]) << "site " << s;
+  }
+  EXPECT_DOUBLE_EQ(again.stall_ms, cfg.stall_ms);
+}
+
+// ---------- deterministic decisions ----------
+
+TEST(FaultInjector, DecisionsAreDeterministicInSeed) {
+  FaultConfig cfg;
+  cfg.seed = 7;
+  cfg.rate_of(Site::DeviceLaunch) = 0.3;
+  FaultInjector a(cfg), b(cfg);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.fire(Site::DeviceLaunch), b.fire(Site::DeviceLaunch))
+        << "decision " << i;
+  }
+
+  FaultConfig other = cfg;
+  other.seed = 8;
+  FaultInjector c(cfg), d(other);
+  bool differs = false;
+  for (int i = 0; i < 500; ++i) {
+    if (c.fire(Site::DeviceLaunch) != d.fire(Site::DeviceLaunch)) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjector, ObservedRateTracksConfiguredRate) {
+  FaultConfig cfg;
+  cfg.seed = 5;
+  cfg.rate_of(Site::WorkerCrash) = 0.2;
+  FaultInjector inj(cfg);
+  const int draws = 20'000;
+  int hits = 0;
+  for (int i = 0; i < draws; ++i) {
+    if (inj.fire(Site::WorkerCrash)) ++hits;
+  }
+  const double observed = static_cast<double>(hits) / draws;
+  EXPECT_NEAR(observed, 0.2, 0.02);
+  EXPECT_EQ(inj.decisions(Site::WorkerCrash),
+            static_cast<std::uint64_t>(draws));
+  EXPECT_EQ(inj.injected(Site::WorkerCrash),
+            static_cast<std::uint64_t>(hits));
+  EXPECT_EQ(inj.total_injected(), static_cast<std::uint64_t>(hits));
+}
+
+TEST(FaultInjector, ZeroRateNeverFiresAndDrawsNoDecisions) {
+  FaultInjector inj{FaultConfig{}};
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(inj.fire(Site::DeviceLaunch));
+  // Idle sites must not burn decision indices: enabling a rate later
+  // starts the deterministic sequence from index 0.
+  EXPECT_EQ(inj.decisions(Site::DeviceLaunch), 0u);
+  EXPECT_EQ(inj.total_injected(), 0u);
+}
+
+TEST(FaultInjector, ConfigureResetsCounters) {
+  FaultConfig cfg;
+  cfg.rate_of(Site::DeviceAlloc) = 1.0;
+  FaultInjector inj(cfg);
+  EXPECT_TRUE(inj.fire(Site::DeviceAlloc));
+  EXPECT_EQ(inj.injected(Site::DeviceAlloc), 1u);
+  inj.configure(cfg);
+  EXPECT_EQ(inj.decisions(Site::DeviceAlloc), 0u);
+  EXPECT_EQ(inj.injected(Site::DeviceAlloc), 0u);
+}
+
+TEST(FaultInjector, MaybeDeviceFaultThrowsDeviceFault) {
+  FaultConfig cfg;
+  cfg.rate_of(Site::DeviceLaunch) = 1.0;
+  FaultInjector inj(cfg);
+  EXPECT_THROW(inj.maybe_device_fault(Site::DeviceLaunch, "stage3"),
+               DeviceFault);
+}
+
+TEST(ScopedFaultConfig, RestoresPreviousGlobalConfig) {
+  const auto before = FaultInjector::global().config();
+  {
+    FaultConfig cfg;
+    cfg.seed = 99;
+    cfg.rate_of(Site::PoisonNaN) = 0.5;
+    ScopedFaultConfig scoped(cfg);
+    EXPECT_EQ(FaultInjector::global().config().seed, 99u);
+    EXPECT_DOUBLE_EQ(
+        FaultInjector::global().config().rate_of(Site::PoisonNaN), 0.5);
+  }
+  const auto after = FaultInjector::global().config();
+  EXPECT_EQ(after.seed, before.seed);
+  for (int s = 0; s < kSiteCount; ++s) {
+    EXPECT_DOUBLE_EQ(after.rate[s], before.rate[s]);
+  }
+}
+
+// ---------- byte corruption ----------
+
+TEST(CorruptBytes, IsDeterministicAndChangesContent) {
+  const std::string original(256, 'x');
+  std::string a = original, b = original;
+  corrupt_bytes(a, 17, 8);
+  corrupt_bytes(b, 17, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, original);
+
+  std::string c = original;
+  corrupt_bytes(c, 18, 8);
+  EXPECT_NE(c, a);
+}
+
+TEST(CorruptBytes, EmptyInputIsNoOp) {
+  std::string empty;
+  corrupt_bytes(empty, 1, 8);
+  EXPECT_TRUE(empty.empty());
+}
+
+// ---------- system poisoning ----------
+
+TEST(PoisonSystem, NaNContaminatesMidSystem) {
+  const std::size_t n = 16;
+  std::vector<double> a(n, -1), b(n, 4), c(n, -1), d(n, 1);
+  poison_system<double>(a, b, c, d, Poison::NaN);
+  EXPECT_TRUE(std::isnan(b[n / 2]));
+  EXPECT_TRUE(std::isnan(d[n / 2]));
+}
+
+TEST(PoisonSystem, ZeroPivotKillsLeadingDiagonal) {
+  const std::size_t n = 16;
+  std::vector<double> a(n, -1), b(n, 4), c(n, -1), d(n, 1);
+  poison_system<double>(a, b, c, d, Poison::ZeroPivot);
+  EXPECT_EQ(b[0], 0.0);
+  EXPECT_EQ(c[0], 1.0);
+  EXPECT_EQ(a[1], 0.0);
+}
+
+// ---------- device arming gate ----------
+
+TEST(DeviceFaults, UnarmedDeviceIgnoresInjection) {
+  FaultConfig cfg;
+  cfg.rate_of(Site::DeviceLaunch) = 1.0;
+  cfg.rate_of(Site::DeviceAlloc) = 1.0;
+  ScopedFaultConfig scoped(cfg);
+
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  ASSERT_FALSE(dev.faults_armed());
+  gpusim::LaunchConfig lc;
+  lc.blocks = 2;
+  lc.threads_per_block = 64;
+  lc.regs_per_thread = 16;
+  // A bare solver run must never see env-injected device faults.
+  EXPECT_NO_THROW(dev.launch(lc, [](gpusim::BlockContext&) {}));
+  EXPECT_EQ(dev.kernels_launched(), 1u);
+}
+
+TEST(DeviceFaults, ArmedDeviceThrowsDeviceFault) {
+  FaultConfig cfg;
+  cfg.rate_of(Site::DeviceLaunch) = 1.0;
+  ScopedFaultConfig scoped(cfg);
+
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  dev.arm_faults();
+  ASSERT_TRUE(dev.faults_armed());
+  gpusim::LaunchConfig lc;
+  lc.blocks = 2;
+  lc.threads_per_block = 64;
+  lc.regs_per_thread = 16;
+  EXPECT_THROW(dev.launch(lc, [](gpusim::BlockContext&) {}), DeviceFault);
+  // Disarming restores normal operation without touching the config.
+  dev.arm_faults(false);
+  EXPECT_NO_THROW(dev.launch(lc, [](gpusim::BlockContext&) {}));
+}
+
+}  // namespace

@@ -1,0 +1,336 @@
+// End-to-end numerical robustness: the guard pipeline (prescreen,
+// quarantine bisect, residual postcheck, pivoting fallback) and
+// ill-conditioned inputs pushed through every stage of the multi-stage
+// solver — stage-1/2 splits and both stage-3 shared-memory variants.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.hpp"
+#include "faults/faults.hpp"
+#include "gpusim/device.hpp"
+#include "solver/gpu_solver.hpp"
+#include "solver/guards.hpp"
+#include "tridiag/generators.hpp"
+#include "tridiag/verify.hpp"
+
+namespace {
+
+using namespace tda;
+using namespace tda::solver;
+
+void poison(tridiag::TridiagBatch<double>& batch, std::size_t s,
+            faults::Poison kind) {
+  const std::size_t n = batch.system_size();
+  faults::poison_system<double>(
+      batch.a().subspan(s * n, n), batch.b().subspan(s * n, n),
+      batch.c().subspan(s * n, n), batch.d().subspan(s * n, n), kind);
+}
+
+double system_residual(tridiag::TridiagBatch<double>& pristine,
+                       tridiag::TridiagBatch<double>& solved,
+                       std::size_t s) {
+  return relative_residual<double>(pristine.system(s), solved.solution(s));
+}
+
+// ---------- prescreen_system ----------
+
+TEST(Prescreen, PassesDominantSystem) {
+  auto batch = tridiag::make_diag_dominant<double>(1, 64, 1);
+  const auto r = prescreen_system<double>(batch.system(0));
+  EXPECT_EQ(r.verdict, ScreenVerdict::Pass);
+  EXPECT_GE(r.dominance, 2.0);
+  EXPECT_FALSE(r.zero_diagonal);
+}
+
+TEST(Prescreen, FlagsNonFinite) {
+  auto batch = tridiag::make_diag_dominant<double>(1, 64, 2);
+  poison(batch, 0, faults::Poison::NaN);
+  const auto r = prescreen_system<double>(batch.system(0));
+  EXPECT_EQ(r.verdict, ScreenVerdict::NonFinite);
+}
+
+TEST(Prescreen, FlagsZeroDiagonal) {
+  auto batch = tridiag::make_diag_dominant<double>(1, 64, 3);
+  poison(batch, 0, faults::Poison::ZeroPivot);
+  const auto r = prescreen_system<double>(batch.system(0));
+  EXPECT_EQ(r.verdict, ScreenVerdict::NeedsPivoting);
+  EXPECT_TRUE(r.zero_diagonal);
+}
+
+TEST(Prescreen, DominanceFloorRoutesWeakSystems) {
+  // dominance = 2.0 by construction; a floor above that routes it away.
+  auto batch = tridiag::make_diag_dominant<double>(1, 64, 4);
+  EXPECT_EQ(prescreen_system<double>(batch.system(0), 1.5).verdict,
+            ScreenVerdict::Pass);
+  EXPECT_EQ(prescreen_system<double>(batch.system(0), 3.0).verdict,
+            ScreenVerdict::NeedsPivoting);
+}
+
+// ---------- relative_residual ----------
+
+TEST(Residual, ExactSolutionIsTiny) {
+  std::vector<double> x_true;
+  auto batch = tridiag::make_with_known_solution<double>(1, 128, 5, &x_true);
+  for (std::size_t i = 0; i < x_true.size(); ++i) batch.x()[i] = x_true[i];
+  EXPECT_LT(system_residual(batch, batch, 0), 1e-12);
+}
+
+TEST(Residual, WrongSolutionIsLarge) {
+  auto batch = tridiag::make_diag_dominant<double>(1, 128, 6);
+  for (auto& v : batch.x()) v = 1e6;
+  EXPECT_GT(system_residual(batch, batch, 0), 1e-3);
+}
+
+TEST(Residual, NonFiniteSolutionIsInfinite) {
+  auto batch = tridiag::make_diag_dominant<double>(1, 32, 7);
+  batch.x()[3] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isinf(system_residual(batch, batch, 0)));
+}
+
+// ---------- pivoting_fallback ----------
+
+TEST(PivotingFallback, SolvesZeroLeadingPivot) {
+  // b[0] = 0 but the system is solvable with row pivoting.
+  auto batch = tridiag::make_diag_dominant<double>(1, 64, 8);
+  batch.b()[0] = 0.0;
+  batch.c()[0] = 1.0;
+  auto pristine = batch;
+  const auto st =
+      pivoting_fallback<double>(batch.system(0), batch.solution(0));
+  EXPECT_EQ(st, SystemStatus::FallbackUsed);
+  EXPECT_LT(system_residual(pristine, batch, 0), 1e-10);
+}
+
+TEST(PivotingFallback, ReportsSingular) {
+  auto batch = tridiag::make_diag_dominant<double>(1, 64, 9);
+  poison(batch, 0, faults::Poison::ZeroPivot);
+  const auto st =
+      pivoting_fallback<double>(batch.system(0), batch.solution(0));
+  EXPECT_EQ(st, SystemStatus::Singular);
+}
+
+TEST(PivotingFallback, ReportsNonFinite) {
+  auto batch = tridiag::make_diag_dominant<double>(1, 64, 10);
+  poison(batch, 0, faults::Poison::NaN);
+  const auto st =
+      pivoting_fallback<double>(batch.system(0), batch.solution(0));
+  EXPECT_EQ(st, SystemStatus::NonFinite);
+}
+
+// ---------- GuardedSolver ----------
+
+TEST(GuardedSolver, CleanBatchSolvesOnGpu) {
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  GpuTridiagonalSolver<double> inner(dev, SwitchPoints{});
+  GuardedSolver<double> guard(inner);
+  auto batch = tridiag::make_diag_dominant<double>(8, 1024, 11);
+  auto pristine = batch;
+  const auto r = guard.solve(batch);
+  EXPECT_TRUE(r.all_ok());
+  EXPECT_EQ(r.gpu_solved, 8u);
+  EXPECT_EQ(r.fallback_used, 0u);
+  EXPECT_EQ(r.quarantined, 0u);
+  EXPECT_LT(tridiag::batch_residual_inf(pristine, batch.x()), 1e-10);
+}
+
+TEST(GuardedSolver, PoisonedSystemsGetTypedStatusAndBatchmatesSolve) {
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  GpuTridiagonalSolver<double> inner(dev, SwitchPoints{});
+  GuardedSolver<double> guard(inner);
+  auto batch = tridiag::make_diag_dominant<double>(8, 512, 12);
+  poison(batch, 2, faults::Poison::NaN);
+  poison(batch, 5, faults::Poison::ZeroPivot);
+  auto pristine = batch;
+
+  const auto r = guard.solve(batch);
+  EXPECT_EQ(r.status[2], SystemStatus::NonFinite);
+  EXPECT_EQ(r.status[5], SystemStatus::Singular);
+  EXPECT_EQ(r.nonfinite, 1u);
+  EXPECT_EQ(r.singular, 1u);
+  EXPECT_EQ(r.gpu_solved, 6u);
+  for (std::size_t s : {0u, 1u, 3u, 4u, 6u, 7u}) {
+    EXPECT_EQ(r.status[s], SystemStatus::Ok) << "system " << s;
+    EXPECT_LT(system_residual(pristine, batch, s), 1e-10) << "system " << s;
+  }
+}
+
+TEST(GuardedSolver, RecoverablePivotProblemUsesFallback) {
+  gpusim::Device dev(gpusim::geforce_gtx_280());
+  GpuTridiagonalSolver<double> inner(dev, SwitchPoints{});
+  GuardedSolver<double> guard(inner);
+  auto batch = tridiag::make_diag_dominant<double>(4, 256, 13);
+  // System 1: zero leading pivot but solvable with pivoting.
+  batch.b()[256] = 0.0;
+  batch.c()[256] = 1.0;
+  auto pristine = batch;
+
+  const auto r = guard.solve(batch);
+  EXPECT_EQ(r.status[1], SystemStatus::FallbackUsed);
+  EXPECT_EQ(r.fallback_used, 1u);
+  EXPECT_EQ(r.prescreen_routed, 1u);
+  EXPECT_TRUE(r.all_solved());
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_LT(system_residual(pristine, batch, s), 1e-10) << "system " << s;
+  }
+}
+
+TEST(GuardedSolver, DominanceFloorRoutesWholeBatchToFallback) {
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  GpuTridiagonalSolver<double> inner(dev, SwitchPoints{});
+  GuardConfig cfg;
+  cfg.dominance_floor = 10.0;  // above the generator's dominance of 2
+  GuardedSolver<double> guard(inner, cfg);
+  auto batch = tridiag::make_diag_dominant<double>(4, 128, 14);
+  auto pristine = batch;
+
+  const auto r = guard.solve(batch);
+  EXPECT_EQ(r.prescreen_routed, 4u);
+  EXPECT_EQ(r.fallback_used, 4u);
+  EXPECT_EQ(r.gpu_solved, 0u);
+  EXPECT_TRUE(r.all_solved());
+  EXPECT_LT(tridiag::batch_residual_inf(pristine, batch.x()), 1e-10);
+}
+
+TEST(GuardedSolver, BisectQuarantinesCulpritWithoutPrescreen) {
+  // With the screen off, the zero pivot reaches the kernel. thomas_switch
+  // >= n sends the whole system to the Thomas path, whose pivot check
+  // throws ContractError deterministically; the bisect must isolate the
+  // single culprit and every batchmate must still solve.
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  SwitchPoints points;
+  points.stage3_system_size = 64;
+  points.thomas_switch = 64;
+  GpuTridiagonalSolver<double> inner(dev, points);
+  GuardConfig cfg;
+  cfg.prescreen = false;
+  GuardedSolver<double> guard(inner, cfg);
+
+  auto batch = tridiag::make_diag_dominant<double>(8, 64, 15);
+  poison(batch, 3, faults::Poison::ZeroPivot);
+  auto pristine = batch;
+
+  const auto r = guard.solve(batch);
+  EXPECT_EQ(r.quarantined, 1u);
+  EXPECT_EQ(r.status[3], SystemStatus::Singular);
+  for (std::size_t s = 0; s < 8; ++s) {
+    if (s == 3) continue;
+    EXPECT_EQ(r.status[s], SystemStatus::Ok) << "system " << s;
+    EXPECT_LT(system_residual(pristine, batch, s), 1e-10) << "system " << s;
+  }
+}
+
+TEST(GuardedSolver, ResidualPostcheckEscalatesToFallback) {
+  // An absurdly tight tolerance forces every GPU solution through the
+  // escalation path; the fallback must still deliver correct solutions.
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  GpuTridiagonalSolver<double> inner(dev, SwitchPoints{});
+  GuardConfig cfg;
+  cfg.residual_tol = 1e-300;
+  GuardedSolver<double> guard(inner, cfg);
+  auto batch = tridiag::make_diag_dominant<double>(4, 256, 16);
+  auto pristine = batch;
+
+  const auto r = guard.solve(batch);
+  EXPECT_EQ(r.residual_rejects, 4u);
+  EXPECT_EQ(r.fallback_used, 4u);
+  EXPECT_TRUE(r.all_solved());
+  EXPECT_LT(tridiag::batch_residual_inf(pristine, batch.x()), 1e-10);
+}
+
+TEST(GuardedSolver, NoFallbackReportsSingularInsteadOfSolving) {
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  GpuTridiagonalSolver<double> inner(dev, SwitchPoints{});
+  GuardConfig cfg;
+  cfg.cpu_fallback = false;
+  GuardedSolver<double> guard(inner, cfg);
+  auto batch = tridiag::make_diag_dominant<double>(2, 128, 17);
+  poison(batch, 0, faults::Poison::ZeroPivot);
+
+  const auto r = guard.solve(batch);
+  EXPECT_EQ(r.status[0], SystemStatus::Singular);
+  EXPECT_EQ(r.status[1], SystemStatus::Ok);
+}
+
+// ---------- ill-conditioned inputs through every solver stage ----------
+
+// Satellite (c): push poisoned systems through the stage-1/2 splitting
+// path (n >> stage3_system_size) and through both stage-3 shared-memory
+// variants; statuses must be typed and batchmates must stay correct.
+
+struct StageCase {
+  const char* name;
+  std::size_t m, n;
+  SwitchPoints points;
+};
+
+std::vector<StageCase> stage_cases() {
+  SwitchPoints strided;
+  strided.variant = kernels::LoadVariant::Strided;
+  SwitchPoints coalesced;
+  coalesced.variant = kernels::LoadVariant::Coalesced;
+  SwitchPoints deep = strided;
+  deep.stage1_target_systems = 32;  // force extra stage-1 splitting
+  return {
+      {"stage3_strided_direct", 8, 256, strided},
+      {"stage3_coalesced_direct", 8, 256, coalesced},
+      {"stage12_strided_large", 4, 4096, strided},
+      {"stage12_coalesced_large", 4, 4096, coalesced},
+      {"stage1_deep_split", 2, 8192, deep},
+  };
+}
+
+TEST(IllConditioned, TypedStatusAcrossAllStages) {
+  for (const auto& tc : stage_cases()) {
+    SCOPED_TRACE(tc.name);
+    gpusim::Device dev(gpusim::geforce_gtx_470());
+    GpuTridiagonalSolver<double> inner(dev, tc.points);
+    GuardedSolver<double> guard(inner);
+    auto batch = tridiag::make_diag_dominant<double>(tc.m, tc.n, 18);
+    poison(batch, 0, faults::Poison::NaN);
+    poison(batch, tc.m - 1, faults::Poison::ZeroPivot);
+    auto pristine = batch;
+
+    const auto r = guard.solve(batch);
+    EXPECT_EQ(r.status[0], SystemStatus::NonFinite);
+    EXPECT_EQ(r.status[tc.m - 1], SystemStatus::Singular);
+    for (std::size_t s = 1; s + 1 < tc.m; ++s) {
+      EXPECT_EQ(r.status[s], SystemStatus::Ok) << "system " << s;
+      EXPECT_LT(system_residual(pristine, batch, s), 1e-9) << "system " << s;
+    }
+  }
+}
+
+TEST(IllConditioned, UnguardedSolverThrowsContractError) {
+  // Without guards the raw solver keeps its contract behavior: a poisoned
+  // pivot surfaces as ContractError, not silent garbage.
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  SwitchPoints points;
+  points.stage3_system_size = 64;
+  points.thomas_switch = 64;
+  GpuTridiagonalSolver<double> solver(dev, points);
+  auto batch = tridiag::make_diag_dominant<double>(4, 64, 19);
+  poison(batch, 1, faults::Poison::ZeroPivot);
+  EXPECT_THROW(solver.solve(batch), ContractError);
+}
+
+TEST(IllConditioned, NonDominantSolvableSystemPassesPostcheck) {
+  // A weakly/non-dominant but well-posed system: the GPU result is kept
+  // only if the residual check accepts it; either way the answer must be
+  // correct.
+  gpusim::Device dev(gpusim::geforce_gtx_470());
+  GpuTridiagonalSolver<double> inner(dev, SwitchPoints{});
+  GuardedSolver<double> guard(inner);
+  auto batch = tridiag::make_random_general<double>(4, 512, 20);
+  auto pristine = batch;
+  const auto r = guard.solve(batch);
+  EXPECT_TRUE(r.all_solved());
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_LT(system_residual(pristine, batch, s), 1e-8) << "system " << s;
+  }
+}
+
+}  // namespace

@@ -10,11 +10,13 @@
 #include <cstdio>
 #include <fstream>
 #include <set>
+#include <span>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "faults/faults.hpp"
 #include "gpusim/device.hpp"
 #include "service/solve_service.hpp"
 
@@ -496,6 +498,241 @@ TEST(SolveServiceHammer, ShutdownRacesWithSubmitters) {
     for (auto& c : clients) c.join();
     EXPECT_EQ(terminal.load(), 60);
   }
+}
+
+// ---------- resilience: poison, retries, failover, healing ----------
+
+SolveRequest<double> make_poisoned_request(std::size_t n, std::uint64_t seed,
+                                           faults::Poison kind) {
+  auto req = make_request(n, seed);
+  faults::poison_system<double>(std::span<double>(req.a),
+                                std::span<double>(req.b),
+                                std::span<double>(req.c),
+                                std::span<double>(req.d), kind);
+  return req;
+}
+
+TEST(SolveServiceResilience, PoisonedSystemsGetTypedStatusOthersComplete) {
+  ServiceConfig cfg;
+  cfg.flush_systems = 8;
+  cfg.flush_interval_ms = 10'000.0;
+  SolveService<double> svc(one_device(), cfg);
+
+  std::vector<SolveRequest<double>> copies;
+  std::vector<std::future<SolveResponse<double>>> futs;
+  for (int i = 0; i < 8; ++i) {
+    SolveRequest<double> req;
+    if (i == 2) {
+      req = make_poisoned_request(192, 900 + i, faults::Poison::NaN);
+    } else if (i == 5) {
+      req = make_poisoned_request(192, 900 + i, faults::Poison::ZeroPivot);
+    } else {
+      req = make_request(192, 900 + i);
+    }
+    copies.push_back(req);
+    futs.push_back(svc.submit(std::move(req)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    auto resp = futs[i].get();
+    if (i == 2) {
+      EXPECT_EQ(resp.status, SolveStatus::NonFinite);
+      EXPECT_FALSE(resp.error.empty());
+    } else if (i == 5) {
+      EXPECT_EQ(resp.status, SolveStatus::Singular);
+      EXPECT_FALSE(resp.error.empty());
+    } else {
+      // One bad batchmate must never take down the rest of the batch.
+      ASSERT_EQ(resp.status, SolveStatus::Ok) << "request " << i;
+      EXPECT_LT(request_residual(copies[i], resp.x), 1e-8);
+    }
+  }
+  const auto c = svc.counters();
+  EXPECT_EQ(c.completed, 6u);
+  EXPECT_EQ(c.nonfinite, 1u);
+  EXPECT_EQ(c.singular, 1u);
+}
+
+TEST(SolveServiceResilience, InjectedPoisonIsIsolated) {
+  faults::FaultConfig fc;
+  fc.seed = 21;
+  fc.rate_of(faults::Site::PoisonNaN) = 0.1;
+  fc.rate_of(faults::Site::PoisonZeroPivot) = 0.1;
+  faults::ScopedFaultConfig scoped(fc);
+
+  ServiceConfig cfg;
+  cfg.flush_systems = 16;
+  SolveService<double> svc(one_device(), cfg);
+  std::vector<std::future<SolveResponse<double>>> futs;
+  for (int i = 0; i < 64; ++i)
+    futs.push_back(svc.submit(make_request(128, 2000 + i)));
+
+  std::size_t ok = 0, poisoned = 0;
+  for (auto& f : futs) {
+    const auto resp = f.get();
+    if (resp.status == SolveStatus::Ok) {
+      ++ok;
+    } else {
+      ASSERT_TRUE(resp.status == SolveStatus::Singular ||
+                  resp.status == SolveStatus::NonFinite)
+          << to_string(resp.status);
+      ++poisoned;
+    }
+  }
+  EXPECT_EQ(ok + poisoned, 64u);
+  // ~20% combined poison rate over 64 systems: some must have fired,
+  // and the healthy majority must have completed.
+  EXPECT_GT(poisoned, 0u);
+  EXPECT_GT(ok, 32u);
+  EXPECT_EQ(svc.counters().completed, ok);
+}
+
+TEST(SolveServiceResilience, DeviceFaultsAreRetriedToCompletion) {
+  faults::FaultConfig fc;
+  fc.seed = 5;
+  fc.rate_of(faults::Site::DeviceLaunch) = 0.3;
+  faults::ScopedFaultConfig scoped(fc);
+
+  ServiceConfig cfg;
+  cfg.flush_systems = 8;
+  SolveService<double> svc(one_device(), cfg);
+  std::vector<SolveRequest<double>> copies;
+  std::vector<std::future<SolveResponse<double>>> futs;
+  for (int i = 0; i < 48; ++i) {
+    auto req = make_request(96, 3000 + i);
+    copies.push_back(req);
+    futs.push_back(svc.submit(std::move(req)));
+  }
+  for (int i = 0; i < 48; ++i) {
+    auto resp = futs[i].get();
+    ASSERT_EQ(resp.status, SolveStatus::Ok) << "request " << i;
+    EXPECT_LT(request_residual(copies[i], resp.x), 1e-8);
+  }
+  // At 30% launch-failure some batches must have needed another attempt
+  // (retry, failover or CPU fallback) — yet every request completed.
+  const auto c = svc.counters();
+  EXPECT_EQ(c.completed, 48u);
+  EXPECT_GT(c.retries + c.cpu_failovers + c.failovers, 0u);
+}
+
+TEST(SolveServiceResilience, TotalDeviceFailureFailsOverToCpu) {
+  faults::FaultConfig fc;
+  fc.seed = 2;
+  fc.rate_of(faults::Site::DeviceLaunch) = 1.0;
+  faults::ScopedFaultConfig scoped(fc);
+
+  ServiceConfig cfg;
+  cfg.flush_systems = 4;
+  cfg.resilience.retry_backoff_ms = 0.01;
+  SolveService<double> svc(one_device(), cfg);
+  std::vector<SolveRequest<double>> copies;
+  std::vector<std::future<SolveResponse<double>>> futs;
+  for (int i = 0; i < 8; ++i) {
+    auto req = make_request(64, 4000 + i);
+    copies.push_back(req);
+    futs.push_back(svc.submit(std::move(req)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    auto resp = futs[i].get();
+    ASSERT_EQ(resp.status, SolveStatus::Ok) << "request " << i;
+    EXPECT_TRUE(resp.fallback_used);
+    EXPECT_LT(request_residual(copies[i], resp.x), 1e-10);
+  }
+  const auto c = svc.counters();
+  EXPECT_EQ(c.completed, 8u);
+  EXPECT_GT(c.cpu_failovers, 0u);
+  EXPECT_GT(c.retries, 0u);
+  EXPECT_GT(c.breaker_opens, 0u);
+}
+
+TEST(SolveServiceResilience, BreakerReclosesAfterFaultsClear) {
+  ServiceConfig cfg;
+  cfg.flush_systems = 2;
+  cfg.resilience.retry_backoff_ms = 0.01;
+  cfg.resilience.breaker_cooldown_ms = 1.0;
+  SolveService<double> svc(one_device(), cfg);
+
+  {
+    faults::FaultConfig fc;
+    fc.seed = 3;
+    fc.rate_of(faults::Site::DeviceLaunch) = 1.0;
+    faults::ScopedFaultConfig scoped(fc);
+    std::vector<std::future<SolveResponse<double>>> futs;
+    for (int i = 0; i < 6; ++i)
+      futs.push_back(svc.submit(make_request(64, 5000 + i)));
+    for (auto& f : futs) EXPECT_EQ(f.get().status, SolveStatus::Ok);
+  }
+  EXPECT_GT(svc.counters().breaker_opens, 0u);
+
+  // Faults gone (explicitly zeroed — an ambient TDA_FAULTS must not
+  // leak in): the half-open probe must admit traffic again and the GPU
+  // path must come back (no new CPU failovers for clean solves).
+  faults::ScopedFaultConfig quiet{faults::FaultConfig{}};
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const auto cpu_before = svc.counters().cpu_failovers;
+  std::vector<std::future<SolveResponse<double>>> futs;
+  for (int i = 0; i < 6; ++i)
+    futs.push_back(svc.submit(make_request(64, 6000 + i)));
+  for (auto& f : futs) {
+    const auto resp = f.get();
+    EXPECT_EQ(resp.status, SolveStatus::Ok);
+    EXPECT_FALSE(resp.fallback_used);
+  }
+  EXPECT_EQ(svc.counters().cpu_failovers, cpu_before);
+}
+
+TEST(SolveServiceResilience, CrashedWorkersAreHealed) {
+  faults::FaultConfig fc;
+  fc.seed = 13;
+  fc.rate_of(faults::Site::WorkerCrash) = 0.4;  // 1.0 would livelock
+  faults::ScopedFaultConfig scoped(fc);
+
+  ServiceConfig cfg;
+  cfg.flush_systems = 4;
+  SolveService<double> svc(
+      {gpusim::geforce_gtx_470(), gpusim::geforce_gtx_280()}, cfg);
+  std::vector<std::future<SolveResponse<double>>> futs;
+  for (int i = 0; i < 32; ++i)
+    futs.push_back(svc.submit(make_request(96, 7000 + i)));
+  for (auto& f : futs) EXPECT_EQ(f.get().status, SolveStatus::Ok);
+  svc.shutdown();
+
+  const auto c = svc.counters();
+  EXPECT_EQ(c.completed, 32u);
+  // At 40% crash probability per pickup, 8 flush batches make at least
+  // one crash overwhelmingly likely (P[no crash] ≈ 0.6^8 < 2%).
+  EXPECT_GT(c.worker_restarts, 0u);
+}
+
+TEST(SolveServiceHammer, SurvivesCombinedFaultStorm) {
+  faults::FaultConfig fc;
+  fc.seed = 29;
+  fc.rate_of(faults::Site::DeviceLaunch) = 0.1;
+  fc.rate_of(faults::Site::WorkerCrash) = 0.1;
+  fc.rate_of(faults::Site::WorkerStall) = 0.1;
+  fc.stall_ms = 0.5;
+  faults::ScopedFaultConfig scoped(fc);
+
+  ServiceConfig cfg;
+  cfg.flush_systems = 8;
+  cfg.flush_interval_ms = 0.5;
+  cfg.resilience.retry_backoff_ms = 0.01;
+  SolveService<double> svc(
+      {gpusim::geforce_gtx_470(), gpusim::geforce_gtx_280()}, cfg);
+
+  constexpr int kClients = 3, kPerClient = 20;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerClient; ++i) {
+        auto resp = svc.submit(make_request(64, 8000 + t * 100 + i)).get();
+        if (resp.status == SolveStatus::Ok) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  svc.shutdown();  // crashes mid-drain must not strand the shutdown
+  EXPECT_EQ(ok.load(), kClients * kPerClient);
 }
 
 }  // namespace

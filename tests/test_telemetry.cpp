@@ -7,9 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -211,6 +213,54 @@ TEST(Json, EscapeRoundTrip) {
   auto v = telemetry::json_parse('"' + telemetry::json_escape(nasty) + '"');
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ(v->string, nasty);
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNullAndAreCounted) {
+  const auto before = telemetry::nonfinite_dropped();
+  EXPECT_EQ(telemetry::json_number(std::nan("")), "null");
+  EXPECT_EQ(telemetry::json_number(
+                std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(telemetry::json_number(
+                -std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(telemetry::nonfinite_dropped(), before + 3);
+  // Finite values are unaffected and not counted.
+  EXPECT_EQ(telemetry::json_number(3.0), "3");
+  EXPECT_EQ(telemetry::nonfinite_dropped(), before + 3);
+}
+
+TEST(Export, NonFiniteMetricEmitsNullAndHealthCounter) {
+  telemetry::MetricsRegistry metrics;
+  metrics.enable();
+  metrics.set("good.gauge", 1.5);
+  metrics.set("bad.gauge", std::nan(""));
+  const std::string out = telemetry::to_metrics_json(metrics);
+  auto v = telemetry::json_parse(out);  // "null" must still be valid JSON
+  ASSERT_TRUE(v.has_value()) << out;
+  const auto* gauges = v->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const auto* bad = gauges->find("bad.gauge");
+  ASSERT_NE(bad, nullptr);
+  EXPECT_EQ(bad->kind, telemetry::JsonValue::Kind::Null) << out;
+  const auto* counters = v->find("counters");
+  ASSERT_NE(counters, nullptr);
+  const auto* dropped = counters->find("telemetry.nonfinite_dropped");
+  ASSERT_NE(dropped, nullptr) << out;
+  EXPECT_GE(dropped->number, 1.0);
+}
+
+TEST(Export, NonFiniteSpanAttrSerializesAsNull) {
+  telemetry::Tracer tracer;
+  tracer.enable();
+  const auto before = telemetry::nonfinite_dropped();
+  const auto id = tracer.begin("span", "test");
+  tracer.attr(id, "bad_attr", std::nan(""));
+  tracer.end(id);
+  EXPECT_EQ(telemetry::nonfinite_dropped(), before + 1);
+  const std::string trace = telemetry::to_chrome_trace(tracer);
+  EXPECT_NE(trace.find("\"bad_attr\":\"null\""), std::string::npos) << trace;
+  ASSERT_TRUE(telemetry::json_parse(trace).has_value());
 }
 
 // ---------- Exporters ----------

@@ -6,7 +6,10 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
+#include "faults/faults.hpp"
 #include "gpusim/launch.hpp"
 #include "solver/gpu_solver.hpp"
 #include "tridiag/generators.hpp"
@@ -216,6 +219,137 @@ TEST(Cache, FileRoundTrip) {
 TEST(Cache, LoadMissingFileIsZero) {
   TuningCache cache;
   EXPECT_EQ(cache.load("/tmp/definitely_missing_tda_cache.txt"), 0u);
+}
+
+// ---------- cache robustness: header, checksum, malformed records ----------
+
+namespace cache_files {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::trunc);
+  out << contents;
+}
+
+std::string save_one_entry(const std::string& path) {
+  std::remove(path.c_str());
+  TuningCache cache;
+  CacheEntry e;
+  e.points.stage3_system_size = 512;
+  e.tuned_ms = 2.0;
+  cache.store(TuningCache::make_key("GeForce GTX 470", 8, 32, 2048), e);
+  EXPECT_TRUE(cache.save(path));
+  return read_file(path);
+}
+
+}  // namespace cache_files
+
+TEST(CacheRobustness, SavedFileCarriesVersionedChecksumHeader) {
+  const std::string path = "/tmp/tda_cache_header.txt";
+  const std::string contents = cache_files::save_one_entry(path);
+  EXPECT_EQ(contents.rfind("# tridiag_autotune tuning cache v2 checksum=", 0),
+            0u)
+      << contents;
+  TuningCache loaded;
+  EXPECT_EQ(loaded.load(path), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CacheRobustness, BitFlippedFileIsRejectedWholesale) {
+  const std::string path = "/tmp/tda_cache_bitflip.txt";
+  std::string contents = cache_files::save_one_entry(path);
+  // The shared corruption helper: "a corrupt file" means the same thing
+  // in tests and in CacheCorrupt injection.
+  faults::corrupt_bytes(contents, 7, 3);
+  cache_files::write_file(path, contents);
+
+  TuningCache loaded;
+  EXPECT_EQ(loaded.load(path), 0u);
+  EXPECT_EQ(loaded.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CacheRobustness, TruncatedFileIsRejectedWholesale) {
+  const std::string path = "/tmp/tda_cache_trunc.txt";
+  const std::string contents = cache_files::save_one_entry(path);
+  cache_files::write_file(path, contents.substr(0, contents.size() / 2));
+
+  TuningCache loaded;
+  EXPECT_EQ(loaded.load(path), 0u);
+  EXPECT_EQ(loaded.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CacheRobustness, MissingHeaderIsRejectedWholesale) {
+  const std::string path = "/tmp/tda_cache_nohdr.txt";
+  const std::string contents = cache_files::save_one_entry(path);
+  // Strip the header line; the records themselves are intact.
+  const std::size_t nl = contents.find('\n');
+  cache_files::write_file(path, contents.substr(nl + 1));
+
+  TuningCache loaded;
+  EXPECT_EQ(loaded.load(path), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CacheRobustness, LegacyV1HeaderLoadsWithoutChecksum) {
+  const std::string path = "/tmp/tda_cache_v1.txt";
+  std::string contents = cache_files::save_one_entry(path);
+  const std::size_t nl = contents.find('\n');
+  cache_files::write_file(
+      path, "# tridiag_autotune tuning cache v1" + contents.substr(nl));
+
+  TuningCache loaded;
+  EXPECT_EQ(loaded.load(path), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CacheRobustness, MalformedRecordsAreSkippedNotFatal) {
+  const std::string path = "/tmp/tda_cache_malformed.txt";
+  std::string contents = cache_files::save_one_entry(path);
+  const std::size_t nl = contents.find('\n');
+  // v1 header (no checksum to invalidate), one good record, then a pile
+  // of malformed ones: garbage, negative / non-finite / fractional
+  // switch points, and a missing field.
+  std::string doctored = "# tridiag_autotune tuning cache v1";
+  doctored += contents.substr(nl);
+  doctored += "complete garbage line\n";
+  doctored += "dev|fp64|4x128\t-8 512 128 strided 1.0\n";
+  doctored += "dev|fp64|4x256\tnan 512 128 strided 1.0\n";
+  doctored += "dev|fp64|4x512\t8.5 512 128 strided 1.0\n";
+  doctored += "dev|fp64|4x1024\t8 512\n";
+  cache_files::write_file(path, doctored);
+
+  TuningCache loaded;
+  EXPECT_EQ(loaded.load(path), 1u);  // only the genuine record survives
+  EXPECT_TRUE(loaded
+                  .find(TuningCache::make_key("GeForce GTX 470", 8, 32,
+                                              2048))
+                  .has_value());
+  EXPECT_FALSE(loaded.find("dev|fp64|4x128").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(CacheRobustness, InjectedCorruptionTriggersWholeFileFallback) {
+  const std::string path = "/tmp/tda_cache_inject.txt";
+  cache_files::save_one_entry(path);
+
+  faults::FaultConfig fc;
+  fc.seed = 11;
+  fc.rate_of(faults::Site::CacheCorrupt) = 1.0;
+  faults::ScopedFaultConfig scoped(fc);
+  TuningCache loaded;
+  // The injector flips bytes between disk and parser; the checksum must
+  // catch it and the cache must come up empty rather than poisoned.
+  EXPECT_EQ(loaded.load(path), 0u);
+  EXPECT_EQ(loaded.size(), 0u);
+  std::remove(path.c_str());
 }
 
 TEST(DynamicTuner, SecondTuneHitsCache) {
