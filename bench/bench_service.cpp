@@ -5,12 +5,24 @@
 //                   [--flush=64] [--flush-ms=2] [--csv]
 //                   [--metrics=service_metrics.json]
 //                   [--faults] [--fault-rates=0,0.01,0.05,0.1]
+//                   [--pressure] [--budget-fractions=1,0.5,0.25,0.1]
+//                   [--admission=2] [--deadline-ms=0]
 //
 // --faults switches to the resilience degradation curve: the coalesced
 // configuration is re-run under injected device launch failures at each
 // rate (plus mild worker stalls), and the sweep reports completion,
 // retry/failover work and the throughput degradation relative to the
 // clean run. Every request must still complete at every rate.
+//
+// --pressure switches to the memory-pressure degradation curve: the
+// device budget is set to a fraction of the largest coalesced batch's
+// footprint and swept downward, with ShedOldest backpressure plus
+// memory-aware admission in front. The sweep reports how completion
+// trades against shedding/rejection and how much batch chunking the
+// shrinking budget forces. At every fraction every request must still
+// terminate with a typed status (the exit code asserts it); ambient
+// TDA_FAULTS (e.g. an `oom` rate) deliberately stays in effect so CI
+// can combine injected faults with genuine budget pressure.
 //
 // The workload is many SMALL systems (the regime Gloster et al. show
 // benefits most from interleaved batching): shapes drawn from a pool of
@@ -38,6 +50,7 @@
 #include "common/table.hpp"
 #include "faults/faults.hpp"
 #include "gpusim/device.hpp"
+#include "kernels/device_batch.hpp"
 #include "service/solve_service.hpp"
 
 using namespace tda;
@@ -73,17 +86,57 @@ struct RunResult {
   std::size_t cpu_failovers = 0;
   std::size_t fallbacks = 0;
   std::size_t worker_restarts = 0;
+  std::size_t submitted = 0;
+  std::size_t rejected = 0;
+  std::size_t shed = 0;
+  std::size_t timed_out = 0;
+  std::size_t failed = 0;
+  std::size_t singular = 0;
+  std::size_t nonfinite = 0;
+  std::size_t mem_rejected = 0;
+  std::size_t timed_out_queue = 0;
+  std::size_t timed_out_inflight = 0;
+  std::size_t chunked_solves = 0;
+  std::size_t chunks = 0;
+  std::size_t oom_events = 0;
+  std::size_t oom_fallbacks = 0;
+
+  /// Requests that reached some terminal status. Equal to `submitted`
+  /// exactly when nothing fell through untyped.
+  [[nodiscard]] std::size_t terminated() const {
+    return completed + rejected + shed + timed_out + failed + singular +
+           nonfinite;
+  }
+};
+
+/// Resource-pressure knobs of one run; the zero state reproduces the
+/// original unconstrained benchmark.
+struct PressureKnobs {
+  std::size_t mem_budget_bytes = 0;  ///< 0 = device default / env
+  double admission_fraction = 0.0;   ///< <=0 disables memory admission
+  double deadline_ms = 0.0;          ///< 0 = no default deadline
+  bool shed_oldest = false;          ///< ShedOldest instead of Block
+  /// Max responses a client leaves unconsumed before it stops submitting
+  /// (0 = fire everything at once). Pressure runs need *some* client
+  /// flow control, or the instantaneous burst just sheds the tail and
+  /// no budget ever sees a steady queue.
+  std::size_t window = 0;
 };
 
 /// Pushes `systems` requests through a service from `clients` threads.
 /// per_request = synchronous clients + flush_systems 1 (no coalescing).
 RunResult run(std::size_t systems, int clients, int num_devices,
               std::size_t flush, double flush_ms, bool per_request,
-              const std::string& metrics_path) {
+              const std::string& metrics_path,
+              const PressureKnobs& knobs = {}) {
   ServiceConfig cfg;
   cfg.flush_systems = per_request ? 1 : flush;
   cfg.flush_interval_ms = flush_ms;
   cfg.queue_capacity = systems + 1;
+  cfg.mem_budget_bytes = knobs.mem_budget_bytes;
+  cfg.mem_admission_fraction = knobs.admission_fraction;
+  cfg.default_deadline_ms = knobs.deadline_ms;
+  if (knobs.shed_oldest) cfg.backpressure = BackpressurePolicy::ShedOldest;
 
   std::vector<gpusim::DeviceSpec> devices;
   const auto registry = gpusim::device_registry();
@@ -103,6 +156,7 @@ RunResult run(std::size_t systems, int clients, int num_devices,
     threads.emplace_back([&, t] {
       Rng rng(777 + static_cast<std::uint64_t>(t));
       std::vector<std::future<SolveResponse<double>>> futures;
+      std::size_t next_wait = 0;
       for (std::size_t i = 0; i < per_client; ++i) {
         auto fut = svc.submit(random_request(
             kShapes[(static_cast<std::size_t>(t) + i) % 5], rng));
@@ -110,9 +164,12 @@ RunResult run(std::size_t systems, int clients, int num_devices,
           fut.get();  // one in flight at a time: nothing can ride along
         } else {
           futures.push_back(std::move(fut));
+          if (knobs.window > 0 && futures.size() - next_wait >= knobs.window)
+            futures[next_wait++].get();
         }
       }
-      for (auto& f : futures) f.get();
+      for (; next_wait < futures.size(); ++next_wait)
+        futures[next_wait].get();
     });
   }
   for (auto& th : threads) th.join();
@@ -135,6 +192,20 @@ RunResult run(std::size_t systems, int clients, int num_devices,
   r.cpu_failovers = c.cpu_failovers;
   r.fallbacks = c.fallbacks;
   r.worker_restarts = c.worker_restarts;
+  r.submitted = c.submitted;
+  r.rejected = c.rejected;
+  r.shed = c.shed;
+  r.timed_out = c.timed_out;
+  r.failed = c.failed;
+  r.singular = c.singular;
+  r.nonfinite = c.nonfinite;
+  r.mem_rejected = c.mem_rejected;
+  r.timed_out_queue = c.timed_out_queue;
+  r.timed_out_inflight = c.timed_out_inflight;
+  r.chunked_solves = c.chunked_solves;
+  r.chunks = c.chunks;
+  r.oom_events = c.oom_events;
+  r.oom_fallbacks = c.oom_fallbacks;
   if (!metrics_path.empty()) svc.export_metrics(metrics_path);
   return r;
 }
@@ -202,6 +273,97 @@ bool run_faults_sweep(std::size_t systems, int clients, int num_devices,
   return all_completed;
 }
 
+/// Derives a per-fraction metrics filename: "svc.json" at 25% becomes
+/// "svc_f25.json".
+std::string metrics_path_for(const std::string& base, double fraction) {
+  if (base.empty()) return base;
+  std::ostringstream suffix;
+  suffix << "_f" << static_cast<int>(std::lround(fraction * 100.0));
+  const std::size_t dot = base.rfind('.');
+  if (dot == std::string::npos) return base + suffix.str();
+  return base.substr(0, dot) + suffix.str() + base.substr(dot);
+}
+
+/// Memory-pressure degradation curve: the budget of every device is a
+/// fraction of the largest coalesced batch's footprint, so below 1.0
+/// every full flush must be chunked. Returns false if any request ends
+/// without a typed terminal status.
+bool run_pressure_sweep(std::size_t systems, int clients, int num_devices,
+                        std::size_t flush, double flush_ms,
+                        const std::vector<double>& fractions,
+                        double admission, double deadline_ms,
+                        const std::string& metrics_path, bool csv) {
+  const std::size_t largest_n = kShapes[std::size(kShapes) - 1];
+  const std::size_t base_budget =
+      kernels::DeviceBatch<double>::footprint_bytes(flush, largest_n);
+  std::cout << "Solve service — degradation under shrinking memory budgets\n"
+            << "workload: " << systems << " small systems, " << clients
+            << " client(s), " << num_devices << " device(s); 100% budget = "
+            << base_budget << " B (one full flush of " << flush << " x n="
+            << largest_n << "), admission fraction " << admission
+            << ", deadline "
+            << (deadline_ms > 0.0 ? std::to_string(deadline_ms) + " ms"
+                                  : std::string("off"))
+            << "\n\n";
+
+  TextTable table("graceful degradation vs device memory budget");
+  table.set_header({"budget", "completed", "shed", "mem_rej", "timeout_q",
+                    "timeout_if", "oom", "chunks", "split_batches", "cpu_fb",
+                    "device_ms", "ksys_per_dev_s", "rel"});
+
+  bool all_typed = true;
+  double clean_throughput = 0.0;
+  for (const double fraction : fractions) {
+    PressureKnobs knobs;
+    knobs.mem_budget_bytes = std::max<std::size_t>(
+        1, static_cast<std::size_t>(fraction * base_budget));
+    knobs.admission_fraction = admission;
+    knobs.deadline_ms = deadline_ms;
+    knobs.shed_oldest = true;
+    knobs.window = 8;
+    const auto r =
+        run(systems, clients, num_devices, flush, flush_ms,
+            /*per_request=*/false, metrics_path_for(metrics_path, fraction),
+            knobs);
+    if (r.terminated() != r.submitted) {
+      all_typed = false;
+      std::cout << "[FAIL] budget " << fraction << ": " << r.submitted
+                << " submitted but only " << r.terminated()
+                << " reached a terminal status\n";
+    }
+    const double throughput =
+        r.device_ms > 0.0 ? static_cast<double>(r.completed) / r.device_ms
+                          : 0.0;
+    if (clean_throughput == 0.0) clean_throughput = throughput;
+    const double rel =
+        clean_throughput > 0.0 ? throughput / clean_throughput : 0.0;
+    table.add_row(
+        {TextTable::num(fraction, 2),
+         TextTable::num(static_cast<long long>(r.completed)),
+         TextTable::num(static_cast<long long>(r.shed)),
+         TextTable::num(static_cast<long long>(r.mem_rejected)),
+         TextTable::num(static_cast<long long>(r.timed_out_queue)),
+         TextTable::num(static_cast<long long>(r.timed_out_inflight)),
+         TextTable::num(static_cast<long long>(r.oom_events)),
+         TextTable::num(static_cast<long long>(r.chunks)),
+         TextTable::num(static_cast<long long>(r.chunked_solves)),
+         TextTable::num(static_cast<long long>(r.oom_fallbacks)),
+         TextTable::num(r.device_ms, 2), TextTable::num(throughput, 2),
+         TextTable::num(rel, 3)});
+  }
+  table.print(std::cout);
+  if (csv) {
+    std::cout << "\n";
+    table.print_csv(std::cout);
+  }
+  if (!metrics_path.empty())
+    std::cout << "\nper-fraction metrics JSON written next to "
+              << metrics_path << "\n";
+  std::cout << "\nevery request terminated with a typed status: "
+            << (all_typed ? "yes  [OK]" : "NO  [FAIL]") << "\n";
+  return all_typed;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -219,6 +381,23 @@ int main(int argc, char** argv) {
     std::stringstream ss(cli.get("clients", "1,2,4,8"));
     for (std::string tok; std::getline(ss, tok, ',');)
       client_counts.push_back(std::stoi(tok));
+  }
+
+  if (cli.has("pressure")) {
+    std::vector<double> fractions;
+    std::stringstream ss(cli.get("budget-fractions", "1,0.5,0.25,0.1"));
+    for (std::string tok; std::getline(ss, tok, ',');)
+      fractions.push_back(std::stod(tok));
+    const int clients = client_counts.empty() ? 4 : client_counts.back();
+    // Admission defaults to 2x the pooled budget: queued bytes may
+    // exceed device capacity because chunking stages each batch through
+    // the budget; admission only has to bound queue growth.
+    return run_pressure_sweep(systems, clients, num_devices, flush, flush_ms,
+                              fractions, cli.get_double("admission", 2.0),
+                              cli.get_double("deadline-ms", 0.0),
+                              metrics_path, cli.has("csv"))
+               ? 0
+               : 1;
   }
 
   if (cli.has("faults")) {

@@ -32,6 +32,7 @@ struct KeyName {
 constexpr KeyName kRateKeys[] = {
     {"launch_fail", Site::DeviceLaunch},
     {"alloc_fail", Site::DeviceAlloc},
+    {"oom", Site::DeviceOOM},
     {"worker_stall", Site::WorkerStall},
     {"worker_crash", Site::WorkerCrash},
     {"cache_corrupt", Site::CacheCorrupt},
@@ -45,6 +46,7 @@ const char* to_string(Site s) {
   switch (s) {
     case Site::DeviceLaunch: return "launch_fail";
     case Site::DeviceAlloc: return "alloc_fail";
+    case Site::DeviceOOM: return "oom";
     case Site::WorkerStall: return "worker_stall";
     case Site::WorkerCrash: return "worker_crash";
     case Site::CacheCorrupt: return "cache_corrupt";

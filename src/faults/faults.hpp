@@ -10,6 +10,9 @@
 //
 //   * DeviceLaunch / DeviceAlloc — a kernel launch or device allocation
 //     fails (throws DeviceFault, the retryable error class);
+//   * DeviceOOM — a device memory reservation fails (throws
+//     gpusim::OutOfMemory, the NON-retryable class: the recovery story
+//     is chunking the work smaller, not retrying);
 //   * WorkerStall / WorkerCrash — a service worker sleeps mid-job or dies
 //     outright (WorkerCrashFault escapes its loop; the service restarts
 //     the worker);
@@ -40,20 +43,21 @@ namespace tda::faults {
 enum class Site : int {
   DeviceLaunch = 0,  ///< kernel launch fails (DeviceFault)
   DeviceAlloc,       ///< device allocation fails (DeviceFault)
-  WorkerStall,       ///< worker sleeps stall_ms before solving
+  DeviceOOM,         ///< device memory reservation fails (gpusim::OutOfMemory)
+  WorkerStall,       ///< worker sleeps stall_ms mid-job
   WorkerCrash,       ///< worker thread dies (WorkerCrashFault)
   CacheCorrupt,      ///< tuning-cache bytes flipped before parsing
   PoisonNaN,         ///< system contaminated with NaN coefficients
   PoisonZeroPivot,   ///< system given an exactly singular leading pivot
 };
-inline constexpr int kSiteCount = 7;
+inline constexpr int kSiteCount = 8;
 
 const char* to_string(Site s);
 
 /// Injection rates (probability per decision) plus the shared seed.
 struct FaultConfig {
   std::uint64_t seed = 1;
-  double rate[kSiteCount] = {0, 0, 0, 0, 0, 0, 0};
+  double rate[kSiteCount] = {};
   double stall_ms = 2.0;  ///< sleep length of one WorkerStall
 
   [[nodiscard]] double& rate_of(Site s) { return rate[static_cast<int>(s)]; }
@@ -67,8 +71,8 @@ struct FaultConfig {
 };
 
 /// Parses a TDA_FAULTS spec: comma-separated key=value pairs. Keys:
-///   seed, stall_ms, launch_fail, alloc_fail, worker_stall, worker_crash,
-///   cache_corrupt, nan_systems, zero_pivot_systems
+///   seed, stall_ms, launch_fail, alloc_fail, oom, worker_stall,
+///   worker_crash, cache_corrupt, nan_systems, zero_pivot_systems
 /// Rates are clamped to [0, 1]; unknown keys and unparsable values are
 /// log-warned and skipped (a typo in an env var must not take the
 /// process down — this is the robustness layer).

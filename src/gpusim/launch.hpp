@@ -23,6 +23,7 @@
 #include "faults/faults.hpp"
 #include "gpusim/cost_model.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/memory.hpp"
 #include "gpusim/memory_model.hpp"
 #include "gpusim/occupancy.hpp"
 #include "telemetry/telemetry.hpp"
@@ -125,7 +126,9 @@ struct TraceRecord {
 /// A simulated GPU: a DeviceSpec plus an accumulating timeline.
 class Device {
  public:
-  explicit Device(DeviceSpec spec) : spec_(std::move(spec)) {
+  explicit Device(DeviceSpec spec)
+      : spec_(std::move(spec)),
+        mem_(mem_budget_from_env(spec_.global_mem_bytes)) {
     arena_.resize(spec_.shared_mem_per_sm);
   }
 
@@ -181,6 +184,7 @@ class Device {
   /// device's simulated timeline. The device does not own the session.
   void set_telemetry(tda::telemetry::Telemetry* tel) {
     telemetry_ = tel;
+    mem_.set_telemetry(tel);
     if (tel != nullptr) {
       tel->tracer.set_clock([this] { return elapsed_seconds_; });
     }
@@ -225,6 +229,28 @@ class Device {
   void arm_faults(bool on = true) { faults_armed_ = on; }
   [[nodiscard]] bool faults_armed() const { return faults_armed_; }
 
+  /// This device's global-memory accounting. The budget defaults to
+  /// spec().global_mem_bytes (or $TDA_MEM_BUDGET when set).
+  [[nodiscard]] MemoryTracker& memory() { return mem_; }
+  [[nodiscard]] const MemoryTracker& memory() const { return mem_; }
+  void set_mem_budget(std::size_t bytes) { mem_.set_budget(bytes); }
+
+  /// Claims `bytes` of device global memory; throws OutOfMemory when the
+  /// budget would be exceeded — or, on armed devices, when the `oom`
+  /// fault site fires (same error type, so recovery code exercised by
+  /// injection is exactly the code a genuine exhaustion takes).
+  MemoryReservation mem_reserve(std::size_t bytes, const char* what) {
+    if (faults_armed_ &&
+        faults::FaultInjector::global().fire(faults::Site::DeviceOOM)) {
+      if (telemetry_ != nullptr && telemetry_->metrics.enabled()) {
+        telemetry_->metrics.add("device.oom_injected");
+      }
+      throw OutOfMemory(std::string("injected oom (") + what + ")");
+    }
+    mem_.allocate(bytes, what);
+    return MemoryReservation(&mem_, bytes);
+  }
+
  private:
   void record_launch_telemetry(const char* name, const LaunchConfig& cfg,
                                const KernelCost& agg, const KernelStats& st,
@@ -250,6 +276,7 @@ class Device {
   }
 
   DeviceSpec spec_;
+  MemoryTracker mem_;
   AlignedBuffer<std::byte> arena_;
   double elapsed_seconds_ = 0.0;
   std::size_t kernels_launched_ = 0;

@@ -14,6 +14,7 @@
 
 #include "common/aligned_buffer.hpp"
 #include "common/check.hpp"
+#include "gpusim/launch.hpp"
 #include "tridiag/batch.hpp"
 
 namespace tda::kernels {
@@ -38,10 +39,34 @@ class DeviceBatch {
   explicit DeviceBatch(const TridiagBatch<T>& host)
       : m_(host.num_systems()), n_(host.system_size()) {
     allocate();
-    std::copy(host.a().begin(), host.a().end(), a_[0].begin());
-    std::copy(host.b().begin(), host.b().end(), b_[0].begin());
-    std::copy(host.c().begin(), host.c().end(), c_[0].begin());
-    std::copy(host.d().begin(), host.d().end(), d_[0].begin());
+    upload(host);
+  }
+
+  /// Tracked shape-only batch: reserves its footprint against `dev`'s
+  /// memory budget before touching any buffer (throws gpusim::OutOfMemory
+  /// without allocating when the budget cannot cover it).
+  DeviceBatch(gpusim::Device& dev, std::size_t num_systems,
+              std::size_t system_size)
+      : m_(num_systems), n_(system_size) {
+    TDA_REQUIRE(m_ >= 1 && n_ >= 1, "empty batch");
+    mem_ = dev.mem_reserve(footprint_bytes(m_, n_), "device batch");
+    allocate();
+    for (auto& v : b_[0]) v = T{1};
+  }
+
+  /// Tracked upload of a host batch (see above).
+  DeviceBatch(gpusim::Device& dev, const TridiagBatch<T>& host)
+      : m_(host.num_systems()), n_(host.system_size()) {
+    mem_ = dev.mem_reserve(footprint_bytes(m_, n_), "device batch");
+    allocate();
+    upload(host);
+  }
+
+  /// Device-resident bytes of an (m, n) batch: 8 double-buffered
+  /// coefficient arrays plus x, each m*n elements.
+  [[nodiscard]] static constexpr std::size_t footprint_bytes(
+      std::size_t num_systems, std::size_t system_size) {
+    return 9 * num_systems * system_size * sizeof(T);
   }
 
   [[nodiscard]] std::size_t num_systems() const { return m_; }
@@ -86,6 +111,13 @@ class DeviceBatch {
   }
 
  private:
+  void upload(const TridiagBatch<T>& host) {
+    std::copy(host.a().begin(), host.a().end(), a_[0].begin());
+    std::copy(host.b().begin(), host.b().end(), b_[0].begin());
+    std::copy(host.c().begin(), host.c().end(), c_[0].begin());
+    std::copy(host.d().begin(), host.d().end(), d_[0].begin());
+  }
+
   void allocate() {
     const std::size_t total = m_ * n_;
     for (auto* buf : {&a_[0], &b_[0], &c_[0], &d_[0], &a_[1], &b_[1],
@@ -107,6 +139,7 @@ class DeviceBatch {
   std::size_t m_;
   std::size_t n_;
   int cur_ = 0;
+  gpusim::MemoryReservation mem_;  ///< empty for untracked (tuning) batches
   AlignedBuffer<T> a_[2], b_[2], c_[2], d_[2];
   AlignedBuffer<T> x_;
 };

@@ -56,10 +56,30 @@ struct ResilienceConfig {
   /// half-open probe is allowed (wall-clock ms).
   double breaker_cooldown_ms = 25.0;
 
-  /// Arm the TDA_FAULTS device-level sites (launch/alloc failures) on
-  /// the service's devices. The service has a recovery story, so it
+  /// Arm the TDA_FAULTS device-level sites (launch/alloc/oom failures)
+  /// on the service's devices. The service has a recovery story, so it
   /// opts in by default; bare solver runs stay unarmed.
   bool arm_device_faults = true;
+};
+
+/// In-flight watchdog policy (docs/ROBUSTNESS.md). The watchdog thread
+/// samples every busy worker: a job past its deadline is cancelled
+/// cooperatively (the solver throws at its next stage boundary and the
+/// expired members finish as TimedOut/in-flight, unexpired members are
+/// requeued); a worker whose heartbeat stops advancing collects strikes
+/// and eventually feeds its circuit breaker, taking the stalled device
+/// out of dispatch.
+struct WatchdogConfig {
+  bool enable = true;
+  /// Sampling period (wall-clock ms).
+  double interval_ms = 1.0;
+  /// A busy worker whose solve heartbeat has not advanced for this long
+  /// earns a stall strike. Generous by default: simulated solves beat at
+  /// stage boundaries many times per wall millisecond, so only a
+  /// genuinely stuck worker (injected stall, runaway kernel) trips it.
+  double stall_threshold_ms = 50.0;
+  /// Consecutive strikes that open the worker's circuit breaker.
+  int stall_strikes = 3;
 };
 
 struct ServiceConfig {
@@ -78,9 +98,23 @@ struct ServiceConfig {
   /// Deadline applied to requests that don't carry their own
   /// (milliseconds from admission; 0 = no deadline). A request whose
   /// deadline lapses before its bucket is picked up by a worker
-  /// completes with SolveStatus::TimedOut; once a worker starts solving
-  /// it, it runs to completion.
+  /// completes with SolveStatus::TimedOut (scope Queue); one that lapses
+  /// mid-solve is cancelled by the watchdog at the next stage boundary
+  /// and completes as TimedOut (scope InFlight).
   double default_deadline_ms = 0.0;
+
+  /// Per-worker device memory budget override in bytes; 0 keeps each
+  /// device's own default (its spec / $TDA_MEM_BUDGET). Solves that
+  /// exceed the budget are chunked (solver::ChunkedSolver).
+  std::size_t mem_budget_bytes = 0;
+  /// Memory-aware admission: reject/shed a request when the projected
+  /// device-resident footprint of everything admitted-but-unfinished
+  /// would exceed this fraction of the summed worker budgets. <= 0
+  /// disables the check; 1.0 admits up to the full budget (chunking
+  /// absorbs transient overshoot).
+  double mem_admission_fraction = 0.0;
+
+  WatchdogConfig watchdog;
 
   /// Shared persistent tuning cache: loaded at start-up, merge-saved on
   /// shutdown. Empty = in-memory only.

@@ -16,13 +16,23 @@ enum class SolveStatus {
   Ok,         ///< solved; x holds the solution
   Rejected,   ///< refused at admission (queue full, or service shut down)
   Shed,       ///< evicted from the queue by BackpressurePolicy::ShedOldest
-  TimedOut,   ///< deadline lapsed before a worker picked the request up
+  TimedOut,   ///< deadline lapsed — in the queue, or cancelled mid-flight
+              ///< by the watchdog (see SolveResponse::timeout_scope)
   Failed,     ///< the solve itself threw; `error` holds the message
   Singular,   ///< this system is numerically singular (batchmates solved)
   NonFinite   ///< this system carried NaN/Inf coefficients
 };
 
 const char* to_string(SolveStatus s);
+
+/// Where a TimedOut request's deadline lapsed.
+enum class TimeoutScope {
+  None,     ///< the request did not time out
+  Queue,    ///< lapsed before a worker picked the request up
+  InFlight  ///< lapsed mid-solve; the watchdog cancelled the batch
+};
+
+const char* to_string(TimeoutScope s);
 
 /// One tridiagonal system: diagonals a/b/c and right-hand side d, all of
 /// equal length n >= 1 (a[0] and c[n-1] are 0 by convention).
@@ -54,6 +64,11 @@ struct SolveResponse {
   bool fallback_used = false;
   /// Device-fault retries spent on the batch that carried this request.
   std::size_t retries = 0;
+  /// For TimedOut: whether the deadline lapsed in the queue or mid-solve.
+  TimeoutScope timeout_scope = TimeoutScope::None;
+  /// Sub-batches the solve was split into under memory pressure (1 = the
+  /// batch fit the device budget whole; 0 = it never reached a device).
+  std::size_t chunks = 0;
 
   [[nodiscard]] bool ok() const { return status == SolveStatus::Ok; }
 };

@@ -45,4 +45,16 @@ const char* to_string(SolveStatus s) {
   return "?";
 }
 
+const char* to_string(TimeoutScope s) {
+  switch (s) {
+    case TimeoutScope::None:
+      return "none";
+    case TimeoutScope::Queue:
+      return "queue";
+    case TimeoutScope::InFlight:
+      return "in-flight";
+  }
+  return "?";
+}
+
 }  // namespace tda::service

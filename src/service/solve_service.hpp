@@ -55,6 +55,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -63,8 +64,12 @@
 #include "common/check.hpp"
 #include "faults/faults.hpp"
 #include "gpusim/launch.hpp"
+#include "gpusim/memory.hpp"
+#include "kernels/device_batch.hpp"
 #include "service/config.hpp"
 #include "service/request.hpp"
+#include "solver/cancel.hpp"
+#include "solver/chunked.hpp"
 #include "solver/gpu_solver.hpp"
 #include "solver/guards.hpp"
 #include "solver/ragged.hpp"
@@ -106,6 +111,18 @@ class SolveService {
     std::size_t cpu_failovers = 0; ///< batches that ended on the CPU path
     std::size_t worker_restarts = 0;  ///< crashed worker threads revived
     std::size_t breaker_opens = 0;    ///< circuit-breaker open transitions
+
+    // --- resource exhaustion / watchdog ---
+    std::size_t timed_out_queue = 0;     ///< deadline lapsed before pickup
+    std::size_t timed_out_inflight = 0;  ///< cancelled mid-solve, expired
+    std::size_t timeout_requeues = 0;    ///< cancelled mid-solve, requeued
+    std::size_t mem_rejected = 0;     ///< refused by memory admission
+    std::size_t chunked_solves = 0;   ///< batches split into >1 chunk
+    std::size_t chunks = 0;           ///< sub-batches solved on devices
+    std::size_t oom_events = 0;       ///< OutOfMemory absorbed by chunking
+    std::size_t oom_fallbacks = 0;    ///< systems CPU-solved at the floor
+    std::size_t watchdog_cancels = 0; ///< overdue jobs cancelled in flight
+    std::size_t watchdog_stalls = 0;  ///< stall strikes issued
   };
 
   explicit SolveService(const std::vector<gpusim::DeviceSpec>& devices,
@@ -130,11 +147,22 @@ class SolveService {
       if (cfg_.resilience.arm_device_faults) {
         workers_.back()->dev.arm_faults();
       }
+      if (cfg_.mem_budget_bytes > 0) {
+        workers_.back()->dev.set_mem_budget(cfg_.mem_budget_bytes);
+      }
+      total_mem_budget_ += workers_.back()->dev.memory().budget();
+    }
+    if (telemetry_.metrics.enabled()) {
+      telemetry_.metrics.set("service.mem_budget_bytes",
+                             static_cast<double>(total_mem_budget_));
     }
     for (auto& w : workers_) {
       w->thread = std::thread([this, wp = w.get()] { worker_loop(*wp); });
     }
     scheduler_ = std::thread([this] { scheduler_loop(); });
+    if (cfg_.watchdog.enable) {
+      watchdog_ = std::thread([this] { watchdog_loop(); });
+    }
   }
 
   ~SolveService() { shutdown(); }
@@ -185,6 +213,37 @@ class SolveService {
       }
     }
 
+    // Memory-aware admission: keep the projected device-resident
+    // footprint of everything admitted-but-unfinished within the
+    // configured fraction of the pooled budgets. ShedOldest makes room
+    // by evicting; Block degenerates to Reject here (a caller blocked on
+    // bytes could wait forever behind one oversized resident batch).
+    const std::size_t fp = footprint_of(n);
+    if (cfg_.mem_admission_fraction > 0.0 && total_mem_budget_ > 0) {
+      const double cap = cfg_.mem_admission_fraction *
+                         static_cast<double>(total_mem_budget_);
+      const auto projected = [&] {
+        std::size_t inflight = 0;
+        for (const auto& w : workers_) inflight += w->queued_bytes;
+        return static_cast<double>(pending_bytes_ + inflight + fp);
+      };
+      if (cfg_.backpressure == BackpressurePolicy::ShedOldest) {
+        while (projected() > cap && shed_oldest_locked()) {
+        }
+      }
+      if (projected() > cap) {
+        counters_mem_rejected_.fetch_add(1, std::memory_order_relaxed);
+        if (telemetry_.metrics.enabled()) {
+          telemetry_.metrics.add("service.mem_rejected");
+        }
+        lk.unlock();
+        count_terminal(SolveStatus::Rejected);
+        finish(std::move(promise), SolveStatus::Rejected,
+               "memory admission: projected footprint exceeds budget");
+        return future;
+      }
+    }
+
     const TimePoint now = Clock::now();
     Pending p;
     p.a = std::move(req.a);
@@ -197,6 +256,7 @@ class SolveService {
     p.seq = next_seq_++;
     buckets_[n].push_back(std::move(p));
     ++pending_;
+    pending_bytes_ += fp;
     if (telemetry_.metrics.enabled()) {
       telemetry_.metrics.add("service.submitted");
       telemetry_.metrics.observe("service.queue_depth",
@@ -264,6 +324,12 @@ class SolveService {
     for (auto& w : workers_) {
       if (w->thread.joinable()) w->thread.join();
     }
+    {
+      std::lock_guard lk(mu_);
+      watchdog_stop_ = true;
+    }
+    cv_watchdog_.notify_all();
+    if (watchdog_.joinable()) watchdog_.join();
     if (!cfg_.cache_path.empty()) cache_.save_merged(cfg_.cache_path);
     std::lock_guard lk(mu_);
     stopped_ = true;
@@ -308,7 +374,29 @@ class SolveService {
         counters_worker_restarts_.load(std::memory_order_relaxed);
     c.breaker_opens =
         counters_breaker_opens_.load(std::memory_order_relaxed);
+    c.timed_out_queue =
+        counters_timed_out_queue_.load(std::memory_order_relaxed);
+    c.timed_out_inflight =
+        counters_timed_out_inflight_.load(std::memory_order_relaxed);
+    c.timeout_requeues =
+        counters_timeout_requeues_.load(std::memory_order_relaxed);
+    c.mem_rejected = counters_mem_rejected_.load(std::memory_order_relaxed);
+    c.chunked_solves =
+        counters_chunked_solves_.load(std::memory_order_relaxed);
+    c.chunks = counters_chunks_.load(std::memory_order_relaxed);
+    c.oom_events = counters_oom_events_.load(std::memory_order_relaxed);
+    c.oom_fallbacks =
+        counters_oom_fallbacks_.load(std::memory_order_relaxed);
+    c.watchdog_cancels =
+        counters_watchdog_cancels_.load(std::memory_order_relaxed);
+    c.watchdog_stalls =
+        counters_watchdog_stalls_.load(std::memory_order_relaxed);
     return c;
+  }
+
+  /// Summed device memory budgets of every worker.
+  [[nodiscard]] std::size_t total_mem_budget() const {
+    return total_mem_budget_;
   }
 
   /// The service telemetry session (enable via enable_all() before
@@ -357,7 +445,17 @@ class SolveService {
     std::condition_variable cv;       // waits on the service mutex
     std::deque<Job> jobs;             // guarded by the service mutex
     std::size_t queued_systems = 0;   // guarded by the service mutex
+    std::size_t queued_bytes = 0;     // guarded by the service mutex
     bool stop = false;                // guarded by the service mutex
+
+    // --- watchdog view of the in-flight job (guarded by the service
+    // mutex; the token's own state is atomic) ---
+    bool busy = false;  ///< a job is being processed right now
+    std::shared_ptr<solver::CancelToken> token;
+    TimePoint job_deadline = TimePoint::max();  ///< earliest member deadline
+    std::uint64_t last_beats = 0;
+    TimePoint last_progress_tp{};
+    int strikes = 0;
 
     // --- health (guarded by the service mutex) ---
     Breaker breaker = Breaker::Closed;
@@ -383,6 +481,35 @@ class SolveService {
     resp.status = status;
     resp.error = std::move(error);
     promise.set_value(std::move(resp));
+  }
+
+  static void finish_timeout(std::promise<SolveResponse<T>> promise,
+                             TimeoutScope scope) {
+    SolveResponse<T> resp;
+    resp.status = SolveStatus::TimedOut;
+    resp.timeout_scope = scope;
+    promise.set_value(std::move(resp));
+  }
+
+  /// Device-resident bytes one queued system of size n will need.
+  [[nodiscard]] static std::size_t footprint_of(std::size_t n) {
+    return kernels::DeviceBatch<T>::footprint_bytes(1, n);
+  }
+
+  void count_timeout_scope(TimeoutScope scope, std::size_t n = 1) {
+    if (scope == TimeoutScope::Queue) {
+      counters_timed_out_queue_.fetch_add(n, std::memory_order_relaxed);
+      if (telemetry_.metrics.enabled()) {
+        telemetry_.metrics.add("service.timed_out_queue",
+                               static_cast<double>(n));
+      }
+    } else if (scope == TimeoutScope::InFlight) {
+      counters_timed_out_inflight_.fetch_add(n, std::memory_order_relaxed);
+      if (telemetry_.metrics.enabled()) {
+        telemetry_.metrics.add("service.timed_out_inflight",
+                               static_cast<double>(n));
+      }
+    }
   }
 
   void count_terminal(SolveStatus status, std::size_t n = 1) {
@@ -425,8 +552,9 @@ class SolveService {
     }
   }
 
-  /// Evicts the globally oldest queued request. Caller holds mu_.
-  void shed_oldest_locked() {
+  /// Evicts the globally oldest queued request. Returns false when the
+  /// queue was already empty. Caller holds mu_.
+  bool shed_oldest_locked() {
     auto oldest_bucket = buckets_.end();
     std::uint64_t oldest_seq = std::numeric_limits<std::uint64_t>::max();
     for (auto it = buckets_.begin(); it != buckets_.end(); ++it) {
@@ -435,13 +563,16 @@ class SolveService {
         oldest_bucket = it;
       }
     }
-    if (oldest_bucket == buckets_.end()) return;
+    if (oldest_bucket == buckets_.end()) return false;
     Pending victim = std::move(oldest_bucket->second.front());
     oldest_bucket->second.pop_front();
+    pending_bytes_ -= std::min(pending_bytes_,
+                               footprint_of(oldest_bucket->first));
     if (oldest_bucket->second.empty()) buckets_.erase(oldest_bucket);
     --pending_;
     count_terminal(SolveStatus::Shed);
     finish(std::move(victim.promise), SolveStatus::Shed);
+    return true;
   }
 
   /// Times out every queued request whose deadline lapsed. Caller holds
@@ -452,9 +583,12 @@ class SolveService {
       for (auto p = dq.begin(); p != dq.end();) {
         if (p->deadline_tp <= now) {
           count_terminal(SolveStatus::TimedOut);
-          finish(std::move(p->promise), SolveStatus::TimedOut);
+          count_timeout_scope(TimeoutScope::Queue);
+          finish_timeout(std::move(p->promise), TimeoutScope::Queue);
           p = dq.erase(p);
           --pending_;
+          pending_bytes_ -= std::min(pending_bytes_,
+                                     footprint_of(it->first));
         } else {
           ++p;
         }
@@ -622,6 +756,8 @@ class SolveService {
           dq.pop_front();
         }
         pending_ -= take;
+        pending_bytes_ -=
+            std::min(pending_bytes_, take * footprint_of(it->first));
         freed = true;
         counters_flushes_.fetch_add(1, std::memory_order_relaxed);
         counters_coalesced_.fetch_add(take, std::memory_order_relaxed);
@@ -639,6 +775,7 @@ class SolveService {
                                      static_cast<double>(pending_));
         }
         Worker* w = pick_worker_locked(take);
+        w->queued_bytes += take * footprint_of(it->first);
         w->jobs.push_back(std::move(job));
         w->cv.notify_one();
       }
@@ -673,55 +810,142 @@ class SolveService {
       Job job = std::move(w.jobs.front());
       w.jobs.pop_front();
       const std::size_t systems = job.members.size();
-      lk.unlock();
+      const std::size_t bytes = systems * footprint_of(job.n);
 
       auto& inj = faults::FaultInjector::global();
-      if (inj.fire(faults::Site::WorkerStall)) {
-        if (telemetry_.metrics.enabled()) {
-          telemetry_.metrics.add("service.faults.worker_stall");
-        }
-        std::this_thread::sleep_for(
-            std::chrono::duration<double, std::milli>(
-                inj.config().stall_ms));
-      }
       if (inj.fire(faults::Site::WorkerCrash)) {
         // Simulated thread death. The job is requeued intact (no promise
         // has been touched yet) and the scheduler revives the thread.
         if (telemetry_.metrics.enabled()) {
           telemetry_.metrics.add("service.faults.worker_crash");
         }
-        lk.lock();
         w.jobs.push_front(std::move(job));
         w.crashed = true;
         cv_sched_.notify_all();
         return;
       }
 
-      process(w, job);
+      // Publish the in-flight job to the watchdog before dropping the
+      // lock: earliest member deadline + a fresh heartbeat token.
+      w.busy = true;
+      w.token = std::make_shared<solver::CancelToken>();
+      w.job_deadline = TimePoint::max();
+      for (const auto& p : job.members) {
+        w.job_deadline = std::min(w.job_deadline, p.deadline_tp);
+      }
+      w.last_beats = 0;
+      w.last_progress_tp = Clock::now();
+      w.strikes = 0;
+      auto token = w.token;
+      lk.unlock();
+
+      process(w, job, token.get());
       lk.lock();
       w.queued_systems -= systems;
+      w.queued_bytes -= std::min(w.queued_bytes, bytes);
+      w.busy = false;
+      w.token.reset();
       if (draining_) cv_sched_.notify_all();
     }
   }
 
+  /// Samples every busy worker: cancels jobs past their deadline and
+  /// issues stall strikes when a solve's heartbeat stops advancing;
+  /// enough consecutive strikes open the worker's breaker so dispatch
+  /// steers away from the stalled device.
+  void watchdog_loop() {
+    const auto interval = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(
+            std::max(cfg_.watchdog.interval_ms, 0.05)));
+    const auto stall_threshold =
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                cfg_.watchdog.stall_threshold_ms));
+    std::unique_lock lk(mu_);
+    while (!watchdog_stop_) {
+      const TimePoint now = Clock::now();
+      for (auto& wp : workers_) {
+        Worker& w = *wp;
+        if (w.crashed || !w.busy || w.token == nullptr) {
+          w.strikes = 0;
+          continue;
+        }
+        if (w.job_deadline <= now && !w.token->cancelled()) {
+          w.token->cancel();
+          counters_watchdog_cancels_.fetch_add(1,
+                                               std::memory_order_relaxed);
+          if (telemetry_.metrics.enabled()) {
+            telemetry_.metrics.add("service.watchdog.cancels");
+          }
+        }
+        const std::uint64_t beats = w.token->beats();
+        if (beats != w.last_beats) {
+          w.last_beats = beats;
+          w.last_progress_tp = now;
+          w.strikes = 0;
+        } else if (now - w.last_progress_tp >= stall_threshold) {
+          ++w.strikes;
+          w.last_progress_tp = now;
+          counters_watchdog_stalls_.fetch_add(1,
+                                              std::memory_order_relaxed);
+          if (telemetry_.metrics.enabled()) {
+            telemetry_.metrics.add("service.watchdog.stalls");
+          }
+          if (w.strikes >= cfg_.watchdog.stall_strikes) {
+            w.strikes = 0;
+            if (w.breaker != Breaker::Open) {
+              w.breaker = Breaker::Open;
+              w.open_until =
+                  now + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double, std::milli>(
+                                cfg_.resilience.breaker_cooldown_ms));
+              counters_breaker_opens_.fetch_add(
+                  1, std::memory_order_relaxed);
+              if (telemetry_.metrics.enabled()) {
+                telemetry_.metrics.add("service.breaker.open");
+              }
+            }
+          }
+        }
+      }
+      cv_watchdog_.wait_for(lk, interval);
+    }
+  }
+
   /// Runs one coalesced batch on the worker's device and fulfils every
-  /// member promise. No service lock held.
-  void process(Worker& w, Job& job) {
+  /// member promise. No service lock held. `token` is the cancellation
+  /// token the worker published to the watchdog for this job.
+  void process(Worker& w, Job& job, solver::CancelToken* token) {
     const TimePoint t_pickup = Clock::now();
 
     // Requests whose deadline lapsed while queued behind this flush time
-    // out here; everything picked up in time runs to completion.
+    // out here (scope Queue); everything picked up in time starts
+    // solving under the watchdog's in-flight deadline enforcement.
     std::vector<Pending> live;
     live.reserve(job.members.size());
     for (auto& p : job.members) {
       if (p.deadline_tp <= t_pickup) {
         count_terminal(SolveStatus::TimedOut);
-        finish(std::move(p.promise), SolveStatus::TimedOut);
+        count_timeout_scope(TimeoutScope::Queue);
+        finish_timeout(std::move(p.promise), TimeoutScope::Queue);
       } else {
         live.push_back(std::move(p));
       }
     }
     if (live.empty()) return;
+
+    auto& inj = faults::FaultInjector::global();
+    if (inj.fire(faults::Site::WorkerStall)) {
+      // Stall mid-job, after the pickup filter: a deadline lapsing
+      // during the sleep is the watchdog's to enforce, so an injected
+      // stall exercises the in-flight timeout path end to end.
+      if (telemetry_.metrics.enabled()) {
+        telemetry_.metrics.add("service.faults.worker_stall");
+      }
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(
+              inj.config().stall_ms));
+    }
 
     const std::size_t m = live.size();
     const std::size_t n = job.n;
@@ -739,7 +963,6 @@ class SolveService {
 
     // Poison injection: contaminate systems on their way to the device
     // so the guards and quarantine get exercised end-to-end.
-    auto& inj = faults::FaultInjector::global();
     if (inj.enabled()) {
       for (std::size_t i = 0; i < m; ++i) {
         faults::Poison kind{};
@@ -770,8 +993,10 @@ class SolveService {
         m, solver::SystemStatus::Ok);
     std::size_t batch_retries = 0;
     std::size_t quarantined = 0;
+    solver::ChunkStats chunk_stats;
     bool solved = false;
     bool device_exhausted = false;
+    bool cancelled = false;
     std::string error;
 
     for (int attempt = 0; !solved; ++attempt) {
@@ -788,20 +1013,28 @@ class SolveService {
         if (!tuned.from_cache)
           counters_tunes_.fetch_add(1, std::memory_order_relaxed);
         solver::GpuTridiagonalSolver<T> solver(w.dev, tuned.points);
+        solver.set_cancel_token(token);
+        std::optional<solver::GuardConfig> gc;
         if (res.guards) {
-          solver::GuardConfig gc;
-          gc.dominance_floor = res.dominance_floor;
-          gc.residual_tol = res.residual_tol;
-          solver::GuardedSolver<T> guard(solver, gc);
-          auto gres = guard.solve(batch);
-          stats = gres.stats;
-          sys_status = std::move(gres.status);
-          quarantined = gres.quarantined;
-        } else {
-          stats = solver.solve(batch);
+          gc.emplace();
+          gc->dominance_floor = res.dominance_floor;
+          gc->residual_tol = res.residual_tol;
         }
+        // ChunkedSolver splits the batch when its device footprint
+        // exceeds the worker's memory budget and absorbs OutOfMemory
+        // (genuine or injected) by bisecting down to a CPU-fallback
+        // floor — so OOM never reaches the retry loop below.
+        solver::ChunkedSolver<T> chunked(w.dev, solver, gc);
+        auto cres = chunked.solve(batch);
+        stats = cres.guarded.stats;
+        sys_status = std::move(cres.guarded.status);
+        quarantined = cres.guarded.quarantined;
+        chunk_stats = cres.chunking;
         record_device_result(w, true);
         solved = true;
+      } catch (const solver::SolveCancelled&) {
+        cancelled = true;
+        break;
       } catch (const faults::DeviceFault& e) {
         record_device_result(w, false);
         if (telemetry_.metrics.enabled()) {
@@ -831,6 +1064,42 @@ class SolveService {
       }
     }
 
+    if (cancelled) {
+      // The watchdog cancelled this batch mid-flight. Members whose
+      // deadline has lapsed finish as TimedOut (scope InFlight); the
+      // rest are requeued at the front of their bucket so a later,
+      // smaller flush can still make their deadline. During the drain
+      // nothing would dispatch a requeue, so everything times out.
+      const TimePoint now = Clock::now();
+      std::vector<Pending> requeue;
+      std::unique_lock lk(mu_);
+      for (auto& p : live) {
+        if (!draining_ && p.deadline_tp > now) {
+          requeue.push_back(std::move(p));
+        } else {
+          count_terminal(SolveStatus::TimedOut);
+          count_timeout_scope(TimeoutScope::InFlight);
+          finish_timeout(std::move(p.promise), TimeoutScope::InFlight);
+        }
+      }
+      if (!requeue.empty()) {
+        counters_timeout_requeues_.fetch_add(requeue.size(),
+                                             std::memory_order_relaxed);
+        if (telemetry_.metrics.enabled()) {
+          telemetry_.metrics.add("service.timeout_requeues",
+                                 static_cast<double>(requeue.size()));
+        }
+        auto& dq = buckets_[n];
+        for (auto it = requeue.rbegin(); it != requeue.rend(); ++it) {
+          dq.push_front(std::move(*it));
+        }
+        pending_ += requeue.size();
+        pending_bytes_ += requeue.size() * footprint_of(n);
+        cv_sched_.notify_all();
+      }
+      return;
+    }
+
     if (!solved && device_exhausted) {
       // Retries on this device are spent. Hand the whole job to another
       // worker (bounded by the pool size so it cannot ping-pong
@@ -850,6 +1119,7 @@ class SolveService {
           ++job.failovers;
           job.members = std::move(live);
           alt->queued_systems += job.members.size();
+          alt->queued_bytes += job.members.size() * footprint_of(n);
           alt->jobs.push_back(std::move(job));
           alt->cv.notify_one();
           counters_failovers_.fetch_add(1, std::memory_order_relaxed);
@@ -908,6 +1178,37 @@ class SolveService {
       counters_quarantined_.fetch_add(quarantined,
                                       std::memory_order_relaxed);
     }
+    if (chunk_stats.chunks > 0) {
+      counters_chunks_.fetch_add(chunk_stats.chunks,
+                                 std::memory_order_relaxed);
+      if (chunk_stats.chunks > 1) {
+        counters_chunked_solves_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (chunk_stats.oom_events > 0) {
+      counters_oom_events_.fetch_add(chunk_stats.oom_events,
+                                     std::memory_order_relaxed);
+    }
+    if (chunk_stats.oom_fallback_systems > 0) {
+      counters_oom_fallbacks_.fetch_add(chunk_stats.oom_fallback_systems,
+                                        std::memory_order_relaxed);
+    }
+    if (telemetry_.metrics.enabled()) {
+      auto& mx = telemetry_.metrics;
+      if (chunk_stats.chunks > 1) {
+        mx.add("service.chunked_solves");
+        mx.add("service.chunks",
+               static_cast<double>(chunk_stats.chunks));
+      }
+      if (chunk_stats.oom_events > 0) {
+        mx.add("service.oom_events",
+               static_cast<double>(chunk_stats.oom_events));
+      }
+      if (chunk_stats.oom_fallback_systems > 0) {
+        mx.add("service.oom_fallbacks",
+               static_cast<double>(chunk_stats.oom_fallback_systems));
+      }
+    }
     if (telemetry_.metrics.enabled()) {
       telemetry_.metrics.observe("service.solve_ms", stats.total_ms);
       telemetry_.metrics.add("service.solved_systems",
@@ -946,6 +1247,7 @@ class SolveService {
       }
       resp.batch_systems = m;
       resp.retries = batch_retries;
+      resp.chunks = chunk_stats.chunks;
       resp.wait_ms = std::chrono::duration<double, std::milli>(
                          job.flush_tp - live[i].enqueue_tp)
                          .count();
@@ -999,14 +1301,19 @@ class SolveService {
   std::condition_variable cv_space_;
   std::map<std::size_t, std::deque<Pending>> buckets_;  // keyed by n
   std::size_t pending_ = 0;
+  std::size_t pending_bytes_ = 0;  ///< device footprint of queued requests
   std::uint64_t next_seq_ = 0;
   std::uint64_t rr_next_ = 0;
   bool accepting_ = true;
   bool draining_ = false;
   bool stopped_ = false;
+  bool watchdog_stop_ = false;  // guarded by mu_
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::thread scheduler_;
+  std::thread watchdog_;
+  std::condition_variable cv_watchdog_;
+  std::size_t total_mem_budget_ = 0;  ///< summed worker budgets (const)
 
   tuning::TuningCache cache_;
 
@@ -1034,6 +1341,16 @@ class SolveService {
   std::atomic<std::size_t> counters_cpu_failovers_{0};
   std::atomic<std::size_t> counters_worker_restarts_{0};
   std::atomic<std::size_t> counters_breaker_opens_{0};
+  std::atomic<std::size_t> counters_timed_out_queue_{0};
+  std::atomic<std::size_t> counters_timed_out_inflight_{0};
+  std::atomic<std::size_t> counters_timeout_requeues_{0};
+  std::atomic<std::size_t> counters_mem_rejected_{0};
+  std::atomic<std::size_t> counters_chunked_solves_{0};
+  std::atomic<std::size_t> counters_chunks_{0};
+  std::atomic<std::size_t> counters_oom_events_{0};
+  std::atomic<std::size_t> counters_oom_fallbacks_{0};
+  std::atomic<std::size_t> counters_watchdog_cancels_{0};
+  std::atomic<std::size_t> counters_watchdog_stalls_{0};
 };
 
 }  // namespace tda::service

@@ -1,0 +1,53 @@
+#pragma once
+// Cooperative cancellation for in-flight solves (docs/ROBUSTNESS.md).
+//
+// A CancelToken is shared between the party running a solve (the service
+// worker) and the party watching it (the watchdog thread). The solver
+// polls the token at stage boundaries — the natural preemption points of
+// the multi-stage pipeline — and each poll also ticks a heartbeat
+// counter, so a watchdog can distinguish "slow but progressing" from
+// "stalled": the beat count advances with every stage the solve clears.
+//
+// Cancellation is cooperative and monotonic: once cancel() is called the
+// next poll throws SolveCancelled, which unwinds the solve without
+// touching device state (all device buffers are RAII). There is no way
+// to un-cancel a token; the owner hands a fresh token to the next job.
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+
+namespace tda::solver {
+
+/// Thrown by a solve whose CancelToken was cancelled mid-flight. Not a
+/// faults::DeviceFault (nothing failed — the caller asked to stop) and
+/// not a ContractError (the inputs may be fine): catchers decide whether
+/// the work is abandoned (deadline lapsed) or requeued.
+class SolveCancelled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Shared cancellation flag + progress heartbeat. All operations are
+/// lock-free; safe to poll from the solving thread while another thread
+/// cancels or reads beats.
+class CancelToken {
+ public:
+  /// Requests cancellation; the next poll on the solving thread throws.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Ticks the heartbeat (called by every solver-side poll).
+  void beat() { beats_.fetch_add(1, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t beats() const {
+    return beats_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::uint64_t> beats_{0};
+};
+
+}  // namespace tda::solver

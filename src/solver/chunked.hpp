@@ -1,0 +1,246 @@
+#pragma once
+// Adaptive batch splitting under device memory pressure
+// (docs/ROBUSTNESS.md, "Resource exhaustion").
+//
+// A batched solve needs 9 device arrays of m*n elements
+// (kernels::DeviceBatch). When that footprint exceeds the device's
+// memory budget the un-chunked path throws gpusim::OutOfMemory — a
+// non-retryable error. ChunkedSolver turns it into degraded-but-correct
+// service: it sizes sub-batches to what the budget can hold, solves
+// them sequentially through the GuardedSolver pipeline, and stitches
+// solutions and per-system statuses back into the caller's batch.
+//
+// Sizing is adaptive rather than precomputed-once: a chunk that still
+// OOMs (the budget may be shared, or the `oom` fault site may fire) is
+// bisected and retried, down to a per-system floor; at the floor the
+// remaining systems escalate to the pivoting CPU fallback, so every
+// system always terminates with a typed SystemStatus. Infrastructure
+// faults (faults::DeviceFault) and cooperative cancellation
+// (SolveCancelled) propagate — chunking only absorbs OutOfMemory.
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "gpusim/launch.hpp"
+#include "gpusim/memory.hpp"
+#include "kernels/device_batch.hpp"
+#include "solver/guards.hpp"
+#include "telemetry/telemetry.hpp"
+#include "tridiag/batch.hpp"
+
+namespace tda::solver {
+
+/// How ChunkedSolver sizes its sub-batches.
+struct ChunkPolicy {
+  bool enable = true;  ///< false: always one chunk (OOM still escalates)
+  /// Bisection floor: chunks never shrink below this many systems; a
+  /// chunk at the floor that still OOMs goes to the CPU fallback.
+  std::size_t min_chunk_systems = 1;
+  /// Fraction of the currently-available budget a chunk may claim.
+  /// 1.0 uses everything available; smaller leaves room for neighbours
+  /// on a shared device.
+  double headroom = 1.0;
+};
+
+/// Observability of one chunked solve.
+struct ChunkStats {
+  std::size_t chunks = 0;  ///< sub-batches actually solved on the GPU
+  std::size_t planned_chunk_systems = 0;  ///< initial budget-derived size
+  std::size_t max_chunk_systems = 0;      ///< largest chunk that ran
+  std::size_t oom_events = 0;             ///< OutOfMemory throws absorbed
+  std::size_t oom_fallback_systems = 0;   ///< solved on CPU at the floor
+};
+
+template <typename T>
+struct ChunkedSolveResult {
+  GuardedSolveResult<T> guarded;
+  ChunkStats chunking;
+};
+
+/// GuardedSolver (or the raw solver, when guards are disabled) behind a
+/// budget-aware chunking loop. Non-owning: device and inner solver must
+/// outlive it.
+template <typename T>
+class ChunkedSolver {
+ public:
+  ChunkedSolver(gpusim::Device& dev, GpuTridiagonalSolver<T>& inner,
+                std::optional<GuardConfig> guards = GuardConfig{},
+                ChunkPolicy policy = {})
+      : dev_(&dev), inner_(&inner), guards_(guards), policy_(policy) {}
+
+  [[nodiscard]] const ChunkPolicy& policy() const { return policy_; }
+  void set_policy(const ChunkPolicy& policy) { policy_ = policy; }
+
+  /// Solves every system of the batch in budget-sized chunks. batch.x()
+  /// holds the solution of every system whose status is Ok or
+  /// FallbackUsed. Never throws OutOfMemory; DeviceFault and
+  /// SolveCancelled propagate.
+  ChunkedSolveResult<T> solve(tridiag::TridiagBatch<T>& batch) {
+    const std::size_t m = batch.num_systems();
+    const std::size_t n = batch.system_size();
+    ChunkedSolveResult<T> result;
+    result.guarded.status.assign(m, SystemStatus::Ok);
+    if (m == 0) return result;
+
+    telemetry::Telemetry* tel = dev_->telemetry();
+    telemetry::ScopedSpan span(telemetry::tracer_of(tel), "chunked_solve",
+                               "solver");
+    span.attr("m", static_cast<double>(m));
+    span.attr("n", static_cast<double>(n));
+
+    const std::size_t per_sys = kernels::DeviceBatch<T>::footprint_bytes(1, n);
+    const std::size_t floor = std::max<std::size_t>(
+        1, std::min(policy_.min_chunk_systems, m));
+    std::size_t planned = m;
+    if (policy_.enable) {
+      const double avail =
+          static_cast<double>(dev_->memory().available()) *
+          std::clamp(policy_.headroom, 0.0, 1.0);
+      const double ideal = avail / static_cast<double>(per_sys);
+      planned = ideal >= static_cast<double>(m)
+                    ? m
+                    : static_cast<std::size_t>(ideal);
+      planned = std::clamp(planned, floor, m);
+    }
+    result.chunking.planned_chunk_systems = planned;
+
+    std::size_t start = 0;
+    std::size_t chunk = planned;
+    while (start < m) {
+      const std::size_t take = std::min(chunk, m - start);
+      try {
+        solve_range(batch, start, take, result.guarded);
+        ++result.chunking.chunks;
+        result.chunking.max_chunk_systems =
+            std::max(result.chunking.max_chunk_systems, take);
+        start += take;
+        // Recovered headroom may allow regrowing toward the plan.
+        chunk = std::max(chunk, planned);
+      } catch (const gpusim::OutOfMemory&) {
+        ++result.chunking.oom_events;
+        if (take <= floor) {
+          // Even the floor does not fit — the budget is truly gone.
+          // Degrade to the pivoting CPU path so every system still
+          // terminates with a typed status.
+          for (std::size_t s = start; s < start + take; ++s) {
+            result.guarded.status[s] = pivoting_fallback<T>(
+                batch.system(s), batch.solution(s));
+          }
+          result.chunking.oom_fallback_systems += take;
+          start += take;
+          chunk = floor;
+        } else {
+          chunk = std::max(floor, take / 2);
+        }
+      }
+    }
+
+    finalize_counts(result.guarded);
+    span.attr("chunks", static_cast<double>(result.chunking.chunks));
+    span.attr("oom_events",
+              static_cast<double>(result.chunking.oom_events));
+    if (tel != nullptr && tel->metrics.enabled()) {
+      auto& mx = tel->metrics;
+      mx.add("solver.chunked_solves");
+      mx.add("solver.chunks",
+             static_cast<double>(result.chunking.chunks));
+      if (result.chunking.chunks > 1) mx.add("solver.split_solves");
+      if (result.chunking.oom_events > 0) {
+        mx.add("solver.chunk_oom",
+               static_cast<double>(result.chunking.oom_events));
+      }
+      if (result.chunking.oom_fallback_systems > 0) {
+        mx.add("solver.oom_fallback_systems",
+               static_cast<double>(result.chunking.oom_fallback_systems));
+      }
+    }
+    return result;
+  }
+
+ private:
+  /// Solves systems [start, start+take) and merges solutions + statuses
+  /// into the caller's batch/result. Throws OutOfMemory upward for the
+  /// chunking loop to absorb.
+  void solve_range(tridiag::TridiagBatch<T>& batch, std::size_t start,
+                   std::size_t take, GuardedSolveResult<T>& into) {
+    if (take == batch.num_systems()) {
+      merge(into, run_one(batch), 0);
+      return;
+    }
+    const std::size_t n = batch.system_size();
+    tridiag::TridiagBatch<T> sub(take, n);
+    for (std::size_t j = 0; j < take; ++j) {
+      const std::size_t src = (start + j) * n;
+      const std::size_t dst = j * n;
+      for (std::size_t i = 0; i < n; ++i) {
+        sub.a()[dst + i] = batch.a()[src + i];
+        sub.b()[dst + i] = batch.b()[src + i];
+        sub.c()[dst + i] = batch.c()[src + i];
+        sub.d()[dst + i] = batch.d()[src + i];
+      }
+    }
+    const GuardedSolveResult<T> part = run_one(sub);
+    for (std::size_t j = 0; j < take; ++j) {
+      const std::size_t src = j * n;
+      const std::size_t dst = (start + j) * n;
+      const SystemStatus st = part.status[j];
+      if (st == SystemStatus::Ok || st == SystemStatus::FallbackUsed) {
+        for (std::size_t i = 0; i < n; ++i) {
+          batch.x()[dst + i] = sub.x()[src + i];
+        }
+      }
+    }
+    merge(into, part, start);
+  }
+
+  GuardedSolveResult<T> run_one(tridiag::TridiagBatch<T>& sub) {
+    if (guards_.has_value()) {
+      GuardedSolver<T> guard(*inner_, *guards_);
+      return guard.solve(sub);
+    }
+    GuardedSolveResult<T> r;
+    r.status.assign(sub.num_systems(), SystemStatus::Ok);
+    r.stats = inner_->solve(sub);
+    return r;
+  }
+
+  /// Accumulates a chunk's result at system offset `base`. The terminal
+  /// per-status counts are recomputed in finalize_counts (a fallback at
+  /// the OOM floor can overwrite a chunk's status after the fact).
+  static void merge(GuardedSolveResult<T>& into,
+                    const GuardedSolveResult<T>& part, std::size_t base) {
+    for (std::size_t j = 0; j < part.status.size(); ++j) {
+      into.status[base + j] = part.status[j];
+    }
+    if (into.stats.kernel_launches == 0) into.stats.plan = part.stats.plan;
+    into.stats.total_ms += part.stats.total_ms;
+    into.stats.stage1_ms += part.stats.stage1_ms;
+    into.stats.stage2_ms += part.stats.stage2_ms;
+    into.stats.stage3_ms += part.stats.stage3_ms;
+    into.stats.kernel_launches += part.stats.kernel_launches;
+    into.prescreen_routed += part.prescreen_routed;
+    into.quarantined += part.quarantined;
+    into.residual_rejects += part.residual_rejects;
+  }
+
+  static void finalize_counts(GuardedSolveResult<T>& r) {
+    r.gpu_solved = r.fallback_used = r.singular = r.nonfinite = 0;
+    for (const SystemStatus s : r.status) {
+      switch (s) {
+        case SystemStatus::Ok: ++r.gpu_solved; break;
+        case SystemStatus::FallbackUsed: ++r.fallback_used; break;
+        case SystemStatus::Singular: ++r.singular; break;
+        case SystemStatus::NonFinite: ++r.nonfinite; break;
+      }
+    }
+  }
+
+  gpusim::Device* dev_;
+  GpuTridiagonalSolver<T>* inner_;
+  std::optional<GuardConfig> guards_;
+  ChunkPolicy policy_;
+};
+
+}  // namespace tda::solver

@@ -20,6 +20,7 @@
 #include "kernels/device_batch.hpp"
 #include "kernels/pcr_thomas_kernel.hpp"
 #include "kernels/split_kernels.hpp"
+#include "solver/cancel.hpp"
 #include "solver/plan.hpp"
 #include "solver/switch_points.hpp"
 #include "telemetry/telemetry.hpp"
@@ -62,11 +63,20 @@ class GpuTridiagonalSolver {
     return make_plan(w, points_);
   }
 
+  /// Optional cooperative cancellation: when set, run() polls the token
+  /// at every stage boundary (ticking its heartbeat) and throws
+  /// SolveCancelled once cancel() has been called. Not owned; nullptr
+  /// detaches. The service's watchdog drives this.
+  void set_cancel_token(CancelToken* token) { cancel_ = token; }
+  [[nodiscard]] CancelToken* cancel_token() const { return cancel_; }
+
   /// Solves every system of the batch; the solution lands in batch.x().
   /// Coefficient arrays of `batch` are left untouched (work happens in a
-  /// device-side copy). Returns the simulated timing breakdown.
+  /// device-side copy). Returns the simulated timing breakdown. The
+  /// device copy counts against the device's memory budget (throws
+  /// gpusim::OutOfMemory when it does not fit — see ChunkedSolver).
   SolveStats solve(tridiag::TridiagBatch<T>& batch) {
-    kernels::DeviceBatch<T> dbatch(batch);
+    kernels::DeviceBatch<T> dbatch(*dev_, batch);
     SolveStats stats = run(dbatch, kernels::ExecMode::Full);
     dbatch.download(batch);
     return stats;
@@ -89,12 +99,14 @@ class GpuTridiagonalSolver {
     solve_span.attr("mode", mode == kernels::ExecMode::Full ? "full"
                                                             : "cost_only");
 
+    poll_cancel();
     double stage1_bytes = 0.0, stage2_bytes = 0.0, stage3_bytes = 0.0;
     kernels::SplitState st;
     if (plan.stage1_steps > 0) {
       telemetry::ScopedSpan span(telemetry::tracer_of(tel), "stage1",
                                  "solver");
       for (std::size_t i = 0; i < plan.stage1_steps; ++i) {
+        poll_cancel();
         auto ks = kernels::stage1_split_step(*dev_, dbatch, st, mode);
         stats.stage1_ms += ks.seconds * 1e3;
         stage1_bytes += ks.bytes_moved;
@@ -103,6 +115,7 @@ class GpuTridiagonalSolver {
       span.attr("steps", static_cast<double>(plan.stage1_steps));
       span.attr("ms", stats.stage1_ms);
     }
+    poll_cancel();
     if (plan.stage2_steps > 0) {
       telemetry::ScopedSpan span(telemetry::tracer_of(tel), "stage2",
                                  "solver");
@@ -114,6 +127,7 @@ class GpuTridiagonalSolver {
       span.attr("steps", static_cast<double>(plan.stage2_steps));
       span.attr("ms", stats.stage2_ms);
     }
+    poll_cancel();
     {
       telemetry::ScopedSpan span(telemetry::tracer_of(tel), "stage3_4",
                                  "solver");
@@ -159,6 +173,16 @@ class GpuTridiagonalSolver {
   }
 
  private:
+  /// Stage-boundary cancellation poll: ticks the heartbeat, then throws
+  /// if a watchdog cancelled the token.
+  void poll_cancel() {
+    if (cancel_ == nullptr) return;
+    cancel_->beat();
+    if (cancel_->cancelled()) {
+      throw SolveCancelled("solve cancelled at stage boundary");
+    }
+  }
+
   void validate() const {
     TDA_REQUIRE(points_.stage1_target_systems >= 1,
                 "stage1 target must be positive");
@@ -174,6 +198,7 @@ class GpuTridiagonalSolver {
 
   gpusim::Device* dev_;
   SwitchPoints points_;
+  CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace tda::solver
