@@ -1,0 +1,198 @@
+// Wall-clock throughput benchmark of the block-execution engine
+// (docs/PERFORMANCE.md). Unlike the figure harnesses — which report
+// SIMULATED GPU milliseconds from the cost model — this bench measures
+// real host time: systems solved per wall second, per-stage host
+// milliseconds, host allocation counts, and a thread-scaling curve over
+// engine lane counts. Its JSON output (BENCH_wall.json) is the perf
+// baseline that scripts/bench_diff.py gates CI regressions against.
+//
+// Flags:
+//   --systems=512    systems per batch (m)
+//   --size=1024      equations per system (n)
+//   --repeat=5       timed solve repetitions per lane count
+//   --threads=1,2,4,0  lane counts to sweep (0 = hardware_concurrency)
+//   --out=BENCH_wall.json
+//
+// The workload runs the full stage 1 -> 2 -> 3/4 pipeline in float
+// (m=512, n=1024 is ISSUE 5's reference point). Determinism of the
+// engine means every lane count produces bitwise-identical solutions;
+// this harness asserts that while it measures.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/alloc_stats.hpp"
+#include "common/buffer_pool.hpp"
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/launch.hpp"
+#include "gpusim/thread_pool.hpp"
+#include "solver/gpu_solver.hpp"
+#include "telemetry/json.hpp"
+#include "tridiag/generators.hpp"
+#include "tridiag/verify.hpp"
+
+namespace {
+
+using namespace tda;
+using telemetry::json_number;
+
+struct LaneResult {
+  int lanes = 0;
+  double systems_per_sec = 0.0;
+  double solve_ms = 0.0;  ///< mean wall ms per batched solve
+  double host_stage1_ms = 0.0;
+  double host_stage2_ms = 0.0;
+  double host_stage3_ms = 0.0;
+  std::uint64_t host_allocs = 0;      ///< counted allocs across timed reps
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  double speedup = 1.0;  ///< vs the 1-lane row
+};
+
+std::vector<int> parse_threads(const std::string& spec) {
+  std::vector<int> lanes;
+  std::stringstream ss(spec);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    try {
+      int v = std::stoi(tok);
+      if (v == 0) v = static_cast<int>(std::thread::hardware_concurrency());
+      if (v >= 1 && std::find(lanes.begin(), lanes.end(), v) == lanes.end()) {
+        lanes.push_back(v);
+      }
+    } catch (...) {  // skip malformed entries
+    }
+  }
+  if (lanes.empty()) lanes.push_back(1);
+  return lanes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::size_t m = static_cast<std::size_t>(cli.get_int("systems", 512));
+  const std::size_t n = static_cast<std::size_t>(cli.get_int("size", 1024));
+  const int repeat = static_cast<int>(cli.get_int("repeat", 5));
+  const std::string out = cli.get("out", "BENCH_wall.json");
+  const std::string threads_spec = cli.get("threads", "1,2,4,0");
+
+  std::vector<int> lane_counts = parse_threads(threads_spec);
+
+  auto batch = tridiag::make_diag_dominant<float>(m, n, 20260806);
+  const auto pristine = batch;
+
+  std::vector<LaneResult> rows;
+  std::vector<float> reference_x;
+  for (int lanes : lane_counts) {
+    gpusim::ThreadPool::global().resize(lanes);
+    gpusim::Device dev(gpusim::geforce_gtx_470());
+    dev.set_arena_poison(false);  // measure the release-mode fill path
+    solver::GpuTridiagonalSolver<float> solver(dev, solver::SwitchPoints{});
+
+    // Warm-up: pool slab, lane scratch arenas, page faults.
+    solver.solve(batch);
+
+    LaneResult r;
+    r.lanes = lanes;
+    const auto allocs0 = host_alloc_count();
+    const auto pool0 = BufferPool::global().stats();
+    WallTimer timer;
+    for (int it = 0; it < repeat; ++it) {
+      auto stats = solver.solve(batch);
+      r.host_stage1_ms += stats.host_stage1_ms;
+      r.host_stage2_ms += stats.host_stage2_ms;
+      r.host_stage3_ms += stats.host_stage3_ms;
+    }
+    const double wall_s = timer.seconds();
+    const auto pool1 = BufferPool::global().stats();
+    r.host_allocs = host_alloc_count() - allocs0;
+    r.pool_hits = pool1.hits - pool0.hits;
+    r.pool_misses = pool1.misses - pool0.misses;
+    r.solve_ms = wall_s * 1e3 / repeat;
+    r.systems_per_sec = static_cast<double>(m) * repeat / wall_s;
+    r.host_stage1_ms /= repeat;
+    r.host_stage2_ms /= repeat;
+    r.host_stage3_ms /= repeat;
+
+    // Engine contract: the solution must not depend on the lane count.
+    TDA_ENSURE(tridiag::batch_residual_inf(pristine, batch.x()) < 1e-3f,
+               "bench solve produced a bad solution");
+    if (reference_x.empty()) {
+      reference_x.assign(batch.x().begin(), batch.x().end());
+    } else {
+      TDA_ENSURE(std::memcmp(reference_x.data(), batch.x().data(),
+                             reference_x.size() * sizeof(float)) == 0,
+                 "solutions differ across lane counts");
+    }
+    rows.push_back(r);
+  }
+
+  for (auto& r : rows) {
+    r.speedup = r.solve_ms > 0.0 ? rows.front().solve_ms / r.solve_ms : 1.0;
+  }
+
+  // The row bench_diff.py gates on: the widest sweep entry.
+  const LaneResult& best =
+      *std::max_element(rows.begin(), rows.end(),
+                        [](const LaneResult& a, const LaneResult& b) {
+                          return a.lanes < b.lanes;
+                        });
+
+  std::ostringstream js;
+  js << "{\n";
+  js << "  \"bench\": \"bench_wall\",\n";
+  js << "  \"workload\": {\"systems\": " << m << ", \"size\": " << n
+     << ", \"dtype\": \"float\", \"repeat\": " << repeat << "},\n";
+  js << "  \"hardware_concurrency\": "
+     << std::thread::hardware_concurrency() << ",\n";
+  js << "  \"default_threads\": " << best.lanes << ",\n";
+  js << "  \"systems_per_sec\": " << json_number(best.systems_per_sec)
+     << ",\n";
+  js << "  \"solve_ms\": " << json_number(best.solve_ms) << ",\n";
+  js << "  \"host_stage1_ms\": " << json_number(best.host_stage1_ms)
+     << ",\n";
+  js << "  \"host_stage2_ms\": " << json_number(best.host_stage2_ms)
+     << ",\n";
+  js << "  \"host_stage3_ms\": " << json_number(best.host_stage3_ms)
+     << ",\n";
+  js << "  \"host_allocs\": " << best.host_allocs << ",\n";
+  js << "  \"pool_hits\": " << best.pool_hits << ",\n";
+  js << "  \"pool_misses\": " << best.pool_misses << ",\n";
+  js << "  \"thread_scaling\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const LaneResult& r = rows[i];
+    js << "    {\"threads\": " << r.lanes << ", \"systems_per_sec\": "
+       << json_number(r.systems_per_sec) << ", \"solve_ms\": "
+       << json_number(r.solve_ms) << ", \"speedup\": "
+       << json_number(r.speedup) << ", \"host_allocs\": " << r.host_allocs
+       << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  js << "  ]\n";
+  js << "}\n";
+
+  std::ofstream file(out);
+  TDA_ENSURE(file.good(), "cannot open output file");
+  file << js.str();
+  file.close();
+
+  std::printf("%-8s %14s %10s %8s %12s\n", "threads", "systems/sec",
+              "solve_ms", "speedup", "host_allocs");
+  for (const auto& r : rows) {
+    std::printf("%-8d %14.0f %10.3f %8.2fx %12llu\n", r.lanes,
+                r.systems_per_sec, r.solve_ms, r.speedup,
+                static_cast<unsigned long long>(r.host_allocs));
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

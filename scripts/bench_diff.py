@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Compare two bench_wall JSON reports and gate perf regressions.
+
+Usage:
+    bench_diff.py BASELINE.json CURRENT.json [--fail-threshold=0.15]
+                  [--warn-threshold=0.05]
+
+Exit status:
+    0 — no gated regression (warnings allowed)
+    1 — systems_per_sec at the default thread count regressed by more
+        than the fail threshold (default 15%)
+    2 — input files missing/malformed
+
+Only the headline systems/sec is a hard gate: per-stage host
+milliseconds and the thread-scaling rows are noisy on shared CI runners
+(different core counts, neighbours, thermal state), so they are
+reported as warnings only. Stdlib-only by design — CI runners have no
+extra packages. See docs/PERFORMANCE.md for the update procedure.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def rel_change(base, cur):
+    """Relative change of `cur` vs `base`; positive = improvement for
+    throughput-like metrics."""
+    if base is None or cur is None or base == 0:
+        return None
+    return (cur - base) / base
+
+
+def fmt_pct(x):
+    return f"{x * +100:+.1f}%"
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    opts = dict(
+        a.lstrip("-").split("=", 1) for a in argv[1:] if a.startswith("--")
+    )
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    fail_threshold = float(opts.get("fail-threshold", 0.15))
+    warn_threshold = float(opts.get("warn-threshold", 0.05))
+
+    base = load(args[0])
+    cur = load(args[1])
+
+    failed = False
+
+    # --- hard gate: headline throughput ---
+    d = rel_change(base.get("systems_per_sec"), cur.get("systems_per_sec"))
+    if d is None:
+        print("bench_diff: systems_per_sec missing from a report",
+              file=sys.stderr)
+        return 2
+    line = (
+        f"systems_per_sec: {base['systems_per_sec']:.0f} -> "
+        f"{cur['systems_per_sec']:.0f} ({fmt_pct(d)})"
+    )
+    if d < -fail_threshold:
+        print(f"FAIL  {line}  [gate: -{fail_threshold:.0%}]")
+        failed = True
+    elif d < -warn_threshold:
+        print(f"WARN  {line}")
+    else:
+        print(f"OK    {line}")
+
+    # --- warn-only metrics (noisy on shared runners) ---
+    for key in ("solve_ms", "host_stage1_ms", "host_stage2_ms",
+                "host_stage3_ms"):
+        b, c = base.get(key), cur.get(key)
+        if not b or c is None:
+            continue
+        d = (c - b) / b  # positive = slower for time-like metrics
+        tag = "WARN" if d > warn_threshold else "ok  "
+        print(f"{tag}  {key}: {b:.3f} -> {c:.3f} ms ({fmt_pct(d)})")
+
+    # Allocation counts are deterministic — new steady-state allocations
+    # mean pooling regressed, but runner-dependent warm-up variation
+    # keeps this warn-only too.
+    b, c = base.get("host_allocs"), cur.get("host_allocs")
+    if b is not None and c is not None and c > b:
+        print(f"WARN  host_allocs: {b} -> {c} (pooling regression?)")
+
+    # --- thread scaling (informational) ---
+    base_rows = {r["threads"]: r for r in base.get("thread_scaling", [])}
+    for row in cur.get("thread_scaling", []):
+        t = row["threads"]
+        if t in base_rows:
+            d = rel_change(base_rows[t].get("systems_per_sec"),
+                           row.get("systems_per_sec"))
+            if d is not None:
+                print(f"info  threads={t}: "
+                      f"{base_rows[t]['systems_per_sec']:.0f} -> "
+                      f"{row['systems_per_sec']:.0f} ({fmt_pct(d)})")
+
+    if failed:
+        print(f"bench_diff: throughput regressed more than "
+              f"{fail_threshold:.0%} — failing.", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

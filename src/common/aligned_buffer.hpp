@@ -13,6 +13,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "common/alloc_stats.hpp"
 #include "common/check.hpp"
 
 namespace tda {
@@ -62,6 +63,7 @@ class AlignedBuffer {
         kCacheLineBytes,
         round_up(count * sizeof(T), kCacheLineBytes));
     if (p == nullptr) throw std::bad_alloc{};
+    note_host_alloc();
     data_ = static_cast<T*>(p);
     size_ = count;
     for (std::size_t i = 0; i < size_; ++i) data_[i] = T{};

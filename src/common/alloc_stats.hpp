@@ -1,0 +1,27 @@
+#pragma once
+// Process-wide host allocation counter (docs/PERFORMANCE.md).
+//
+// Every AlignedBuffer (re)allocation and every BufferPool miss ticks it,
+// so benches can report allocation churn per solve and the engine tests
+// can prove that pooled steady state performs zero host allocations.
+
+#include <atomic>
+#include <cstdint>
+
+namespace tda {
+
+inline std::atomic<std::uint64_t>& host_alloc_counter() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+/// Host buffer allocations since process start.
+inline std::uint64_t host_alloc_count() {
+  return host_alloc_counter().load(std::memory_order_relaxed);
+}
+
+inline void note_host_alloc() {
+  host_alloc_counter().fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace tda

@@ -1,0 +1,171 @@
+#include "common/buffer_pool.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+
+#include "common/alloc_stats.hpp"
+#include "common/aligned_buffer.hpp"
+
+namespace tda {
+
+namespace {
+
+/// Local copy of gpusim::parse_mem_bytes' grammar (kept dependency-free:
+/// common sits below gpusim). Returns 0 for empty/malformed input.
+std::size_t parse_pool_bytes(const char* text) {
+  if (text == nullptr || *text == '\0') return 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || v < 0.0) return 0;
+  double scale = 1.0;
+  if (end != nullptr && *end != '\0') {
+    switch (*end) {
+      case 'k': case 'K': scale = 1024.0; break;
+      case 'm': case 'M': scale = 1024.0 * 1024.0; break;
+      case 'g': case 'G': scale = 1024.0 * 1024.0 * 1024.0; break;
+      default: return 0;
+    }
+    if (end[1] != '\0') return 0;
+  }
+  return static_cast<std::size_t>(v * scale);
+}
+
+}  // namespace
+
+void PoolBlock::reset() {
+  if (pool_ != nullptr) pool_->release(data_, capacity_);
+  pool_ = nullptr;
+  data_ = nullptr;
+  capacity_ = 0;
+}
+
+BufferPool& BufferPool::global() {
+  static BufferPool* pool = [] {
+    auto* p = new BufferPool();
+    if (const char* env = std::getenv("TDA_POOL_MAX");
+        env != nullptr && *env != '\0') {
+      p->set_max_cached_bytes(parse_pool_bytes(env));
+    }
+    if (const char* env = std::getenv("TDA_POOL_POISON");
+        env != nullptr && *env != '\0' && std::string(env) != "0") {
+      p->set_poison(true);
+    }
+    return p;
+  }();
+  return *pool;
+}
+
+BufferPool::BufferPool(std::size_t max_cached_bytes)
+    : max_cached_bytes_(max_cached_bytes) {}
+
+BufferPool::~BufferPool() { trim(); }
+
+std::size_t BufferPool::size_class(std::size_t bytes) {
+  constexpr std::size_t kClass = 4096;
+  if (bytes == 0) return 0;
+  return (bytes + kClass - 1) / kClass * kClass;
+}
+
+PoolBlock BufferPool::acquire(std::size_t bytes) {
+  if (bytes == 0) return {};
+  const std::size_t cls = size_class(bytes);
+  std::byte* data = nullptr;
+  bool fill_poison = false;
+  {
+    std::lock_guard lk(mu_);
+    ++stats_.acquires;
+    auto it = free_.find(cls);
+    if (it != free_.end() && !it->second.empty()) {
+      data = it->second.back();
+      it->second.pop_back();
+      stats_.cached_bytes -= cls;
+      --stats_.cached_buffers;
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+    }
+    stats_.outstanding_bytes += cls;
+    fill_poison = poison_;
+  }
+  if (data == nullptr) {
+    void* p = std::aligned_alloc(kCacheLineBytes, cls);
+    if (p == nullptr) throw std::bad_alloc{};
+    note_host_alloc();
+    data = static_cast<std::byte*>(p);
+  }
+  if (fill_poison) std::memset(data, 0xFF, cls);
+  return PoolBlock(this, data, cls);
+}
+
+void BufferPool::release(std::byte* data, std::size_t capacity) {
+  if (data == nullptr) return;
+  {
+    std::lock_guard lk(mu_);
+    ++stats_.releases;
+    stats_.outstanding_bytes -= capacity;
+    if (stats_.cached_bytes + capacity <= max_cached_bytes_) {
+      free_[capacity].push_back(data);
+      stats_.cached_bytes += capacity;
+      ++stats_.cached_buffers;
+      return;
+    }
+    ++stats_.evictions;
+  }
+  std::free(data);
+}
+
+void BufferPool::trim() {
+  std::unordered_map<std::size_t, std::vector<std::byte*>> doomed;
+  {
+    std::lock_guard lk(mu_);
+    doomed.swap(free_);
+    stats_.cached_bytes = 0;
+    stats_.cached_buffers = 0;
+  }
+  for (auto& [cls, list] : doomed) {
+    for (std::byte* p : list) std::free(p);
+  }
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+void BufferPool::reset_stats() {
+  std::lock_guard lk(mu_);
+  const std::size_t cached_bytes = stats_.cached_bytes;
+  const std::size_t cached_buffers = stats_.cached_buffers;
+  const std::size_t outstanding = stats_.outstanding_bytes;
+  stats_ = Stats{};
+  stats_.cached_bytes = cached_bytes;
+  stats_.cached_buffers = cached_buffers;
+  stats_.outstanding_bytes = outstanding;
+}
+
+void BufferPool::set_max_cached_bytes(std::size_t bytes) {
+  {
+    std::lock_guard lk(mu_);
+    max_cached_bytes_ = bytes;
+  }
+  if (bytes == 0) trim();
+}
+
+std::size_t BufferPool::max_cached_bytes() const {
+  std::lock_guard lk(mu_);
+  return max_cached_bytes_;
+}
+
+void BufferPool::set_poison(bool on) {
+  std::lock_guard lk(mu_);
+  poison_ = on;
+}
+
+bool BufferPool::poison() const {
+  std::lock_guard lk(mu_);
+  return poison_;
+}
+
+}  // namespace tda

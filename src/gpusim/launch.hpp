@@ -2,19 +2,34 @@
 // Kernel launcher and per-block execution context.
 //
 // A "kernel" is any callable void(BlockContext&). The launcher executes
-// every block functionally (sequentially, deterministic) while each block
-// records cost events through its BlockContext; the cost model then turns
-// the aggregate into simulated time, which the owning Device accumulates
-// on its timeline.
+// every block functionally while each block records cost events through
+// its BlockContext; the cost model then turns the aggregate into
+// simulated time, which the owning Device accumulates on its timeline.
 //
-// BlockContext also owns the block's shared-memory arena: kernels allocate
-// their working set from it, so a configuration whose working set exceeds
-// the declared shared_bytes fails loudly during functional execution —
-// the simulator's analogue of a CUDA launch failure.
+// Execution is parallel across host threads (gpusim::ThreadPool, sized
+// by $TDA_THREADS) yet bitwise deterministic: every block's cost lands
+// in a per-block slot and the slots are reduced in block order after
+// the workers join, so simulated time, solutions and thrown errors are
+// identical to the serial path at any thread count. Each pool lane owns
+// its shared-memory arena and kernel scratch (EngineScratch), and every
+// shared allocation is zeroed (or NaN-poisoned) before the block sees
+// it — a block can never observe another block's arena contents.
+//
+// BlockContext owns the block's shared-memory arena slice: kernels
+// allocate their working set from it, so a configuration whose working
+// set exceeds the declared shared_bytes fails loudly during functional
+// execution — the simulator's analogue of a CUDA launch failure.
 
+#include <atomic>
 #include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <limits>
+#include <mutex>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -26,6 +41,7 @@
 #include "gpusim/memory.hpp"
 #include "gpusim/memory_model.hpp"
 #include "gpusim/occupancy.hpp"
+#include "gpusim/thread_pool.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace tda::gpusim {
@@ -35,19 +51,26 @@ class BlockContext {
  public:
   BlockContext(const DeviceSpec& spec, const LaunchConfig& cfg,
                std::size_t block_index, std::byte* shared_arena,
-               int resident_blocks)
+               int resident_blocks, EngineScratch* scratch = nullptr,
+               bool poison = false)
       : spec_(&spec),
         cfg_(&cfg),
         block_index_(block_index),
         shared_arena_(shared_arena),
-        resident_blocks_(resident_blocks > 0 ? resident_blocks : 1) {}
+        scratch_(scratch),
+        resident_blocks_(resident_blocks > 0 ? resident_blocks : 1),
+        poison_(poison) {}
 
   [[nodiscard]] std::size_t block_index() const { return block_index_; }
   [[nodiscard]] int threads() const { return cfg_->threads_per_block; }
   [[nodiscard]] const DeviceSpec& device() const { return *spec_; }
 
   /// Allocates `count` elements of block-shared memory. Throws when the
-  /// block's declared shared_bytes budget is exceeded.
+  /// block's declared shared_bytes budget is exceeded. The slice is
+  /// zeroed (0xFF-poisoned when the device's arena poison is on) so a
+  /// block can never observe another block's — or a previous launch's —
+  /// arena contents; real shared memory holds garbage, not neighbours'
+  /// secrets.
   template <typename T>
   std::span<T> shared_alloc(std::size_t count) {
     const std::size_t bytes = count * sizeof(T);
@@ -56,9 +79,25 @@ class BlockContext {
         (shared_used_ + alignof(T) - 1) / alignof(T) * alignof(T);
     TDA_REQUIRE(aligned_off + bytes <= cfg_->shared_bytes,
                 "kernel exceeded its declared shared memory budget");
-    T* p = reinterpret_cast<T*>(shared_arena_ + aligned_off);
+    std::byte* raw = shared_arena_ + aligned_off;
+    std::memset(raw, poison_ ? 0xFF : 0x00, bytes);
     shared_used_ = aligned_off + bytes;
-    return {p, count};
+    return {reinterpret_cast<T*>(raw), count};
+  }
+
+  /// Allocates `count` elements of per-block kernel scratch (the
+  /// simulator's stand-in for the register file: PCR register staging
+  /// and the like). Served from the executing lane's grow-only arena —
+  /// no heap allocation in steady state — and valid until the block
+  /// returns. Same fill guarantee as shared_alloc.
+  template <typename T>
+  std::span<T> scratch_alloc(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "kernel scratch is for plain numeric data");
+    TDA_REQUIRE(scratch_ != nullptr, "block context has no scratch arena");
+    void* p = scratch_->scratch_alloc(count * sizeof(T), alignof(T));
+    std::memset(p, poison_ ? 0xFF : 0x00, count * sizeof(T));
+    return {static_cast<T*>(p), count};
   }
 
   /// Records a global-memory access of `useful_bytes` payload performed
@@ -109,7 +148,9 @@ class BlockContext {
   const LaunchConfig* cfg_;
   std::size_t block_index_;
   std::byte* shared_arena_;
+  EngineScratch* scratch_;
   int resident_blocks_;
+  bool poison_;
   std::size_t shared_used_ = 0;
   BlockCost cost_;
 };
@@ -128,16 +169,18 @@ class Device {
  public:
   explicit Device(DeviceSpec spec)
       : spec_(std::move(spec)),
-        mem_(mem_budget_from_env(spec_.global_mem_bytes)) {
-    arena_.resize(spec_.shared_mem_per_sm);
-  }
+        mem_(mem_budget_from_env(spec_.global_mem_bytes)) {}
 
   [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
   [[nodiscard]] DeviceQuery query() const { return spec_.query(); }
 
-  /// Runs `body(BlockContext&)` for every block of the grid, charges the
-  /// aggregate cost, advances the timeline, and returns the launch stats.
-  /// `name` labels the launch in the optional trace.
+  /// Runs `body(BlockContext&)` for every block of the grid — sharded
+  /// across the engine thread pool when it has workers — charges the
+  /// aggregate cost, advances the timeline, and returns the launch
+  /// stats. Bitwise deterministic at any thread count: per-block costs
+  /// are reduced in block order, and the lowest-indexed failing block's
+  /// exception is the one rethrown. `name` labels the launch in the
+  /// optional trace.
   template <typename F>
   KernelStats launch(const LaunchConfig& cfg, F&& body,
                      const char* name = "kernel") {
@@ -156,10 +199,53 @@ class Device {
                     ")");
 
     KernelCost agg;
-    for (std::size_t b = 0; b < cfg.blocks; ++b) {
-      BlockContext ctx(spec_, cfg, b, arena_.data(), occ.blocks_per_sm);
-      body(ctx);
-      agg.add_block(ctx.cost());
+    ThreadPool& pool = ThreadPool::global();
+    if (pool.workers() == 0 || cfg.blocks < 2) {
+      EngineScratch& es = EngineScratch::local();
+      std::byte* arena = es.shared_arena(spec_.shared_mem_per_sm);
+      for (std::size_t b = 0; b < cfg.blocks; ++b) {
+        es.reset_scratch();
+        BlockContext ctx(spec_, cfg, b, arena, occ.blocks_per_sm, &es,
+                         arena_poison_);
+        body(ctx);
+        agg.add_block(ctx.cost());
+      }
+    } else {
+      std::vector<BlockCost> slots(cfg.blocks);
+      // Lowest failing block index; later blocks stop early once a
+      // lower one has failed (their work would be discarded anyway).
+      std::atomic<std::size_t> first_error{
+          std::numeric_limits<std::size_t>::max()};
+      std::mutex err_mu;
+      std::exception_ptr err;
+      std::size_t err_block = std::numeric_limits<std::size_t>::max();
+      pool.run(cfg.blocks, [&](std::size_t begin, std::size_t end) {
+        EngineScratch& es = EngineScratch::local();
+        std::byte* arena = es.shared_arena(spec_.shared_mem_per_sm);
+        for (std::size_t b = begin; b < end; ++b) {
+          if (first_error.load(std::memory_order_relaxed) < b) return;
+          es.reset_scratch();
+          BlockContext ctx(spec_, cfg, b, arena, occ.blocks_per_sm, &es,
+                           arena_poison_);
+          try {
+            body(ctx);
+          } catch (...) {
+            std::lock_guard lk(err_mu);
+            if (b < err_block) {
+              err_block = b;
+              err = std::current_exception();
+              first_error.store(b, std::memory_order_relaxed);
+            }
+            return;
+          }
+          slots[b] = ctx.cost();
+        }
+      });
+      // The chunk owning the overall-lowest failing block always reaches
+      // it (nothing lower can have failed and stopped it), so the
+      // rethrown error is exactly the serial path's.
+      if (err) std::rethrow_exception(err);
+      for (const BlockCost& c : slots) agg.add_block(c);
     }
     const double t0 = elapsed_seconds_;
     KernelStats st = kernel_time(spec_, cfg, agg);
@@ -221,6 +307,14 @@ class Device {
     kernels_launched_ = 0;
   }
 
+  /// Arena fill policy: poisoned allocations are filled with 0xFF (a
+  /// NaN pattern for float/double), so a kernel reading shared or
+  /// scratch memory it never wrote computes NaNs that the guards and
+  /// tests catch loudly, instead of silently reusing stale values.
+  /// Defaults to on in debug builds or when $TDA_ARENA_POISON is set.
+  void set_arena_poison(bool on = true) { arena_poison_ = on; }
+  [[nodiscard]] bool arena_poison() const { return arena_poison_; }
+
   /// Arms the device-level fault sites (DeviceLaunch/DeviceAlloc) on this
   /// device. Off by default: only callers with a recovery story — the
   /// service's retry/failover path, fault tests, the resilience bench —
@@ -275,13 +369,26 @@ class Device {
     }
   }
 
+  static bool default_arena_poison() {
+#ifdef NDEBUG
+    const bool dbg = false;
+#else
+    const bool dbg = true;
+#endif
+    if (const char* env = std::getenv("TDA_ARENA_POISON");
+        env != nullptr && *env != '\0') {
+      return env[0] != '0';
+    }
+    return dbg;
+  }
+
   DeviceSpec spec_;
   MemoryTracker mem_;
-  AlignedBuffer<std::byte> arena_;
   double elapsed_seconds_ = 0.0;
   std::size_t kernels_launched_ = 0;
   bool tracing_ = false;
   bool faults_armed_ = false;
+  bool arena_poison_ = default_arena_poison();
   std::vector<TraceRecord> trace_;
   tda::telemetry::Telemetry* telemetry_ = nullptr;
 };

@@ -1,0 +1,141 @@
+#pragma once
+// Parallel block-execution engine (docs/PERFORMANCE.md).
+//
+// The simulator executes every block of a kernel launch functionally on
+// the host; a persistent pool of worker threads shards those blocks so
+// the hot path uses all host cores instead of one. Determinism is the
+// design constraint: the launcher stores per-block costs in fixed slots
+// and reduces them in block order afterwards, so simulated time and
+// solutions are bitwise identical at every thread count (ISSUE 5).
+//
+// Sizing: $TDA_THREADS lanes (default hardware_concurrency). A lane is
+// one thread that can execute block chunks — the pool spawns lanes-1
+// workers and the calling thread participates as the last lane, so
+// TDA_THREADS=1 never spawns a thread and runs the exact serial path.
+//
+// Each lane owns an EngineScratch (thread-local): the block
+// shared-memory arena plus a grow-only bump allocator for kernel
+// register-staging buffers. Per-lane arenas are what make parallel
+// block execution safe — and they fix the pre-existing cross-block
+// stale-data leak of the single shared Device arena.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+
+namespace tda::gpusim {
+
+/// Per-thread execution scratch of the block engine.
+class EngineScratch {
+ public:
+  /// The calling thread's scratch (created on first use).
+  static EngineScratch& local();
+
+  /// The block shared-memory arena, grown to at least `bytes`.
+  /// Growth is destructive (blocks never rely on arena contents —
+  /// BlockContext zeroes/poisons every allocation).
+  std::byte* shared_arena(std::size_t bytes);
+
+  /// Bump-allocates `bytes` of kernel scratch aligned to `align`.
+  /// Returned memory is stable until reset_scratch(): growth appends
+  /// new chunks, it never moves live ones.
+  void* scratch_alloc(std::size_t bytes, std::size_t align);
+
+  /// Rewinds the bump allocator; chunks are retained for reuse, so a
+  /// steady-state launch performs no allocations at all.
+  void reset_scratch();
+
+  [[nodiscard]] std::size_t scratch_capacity() const;
+
+ private:
+  struct Chunk {
+    AlignedBuffer<std::byte> buf;
+    std::size_t used = 0;
+  };
+
+  AlignedBuffer<std::byte> shared_;
+  std::vector<Chunk> chunks_;
+  std::size_t cursor_ = 0;  ///< chunk currently bump-allocating
+};
+
+/// Persistent host thread pool that shards index ranges across lanes.
+class ThreadPool {
+ public:
+  /// The process-wide pool, sized from $TDA_THREADS on first use
+  /// (invalid/unset falls back to std::thread::hardware_concurrency).
+  static ThreadPool& global();
+
+  /// A pool with `lanes` execution lanes (>= 1). lanes == 1 spawns no
+  /// worker thread: run() executes inline on the caller.
+  explicit ThreadPool(int lanes);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Execution lanes a run() can use at once (workers + caller).
+  [[nodiscard]] int lanes() const;
+  /// Worker threads currently alive (lanes() - 1; 0 in serial mode).
+  [[nodiscard]] int workers() const;
+
+  /// Stops and respawns workers with a new lane count. Callable only
+  /// while no run() is in flight (tests and benches sweeping thread
+  /// counts; the service resizes before its workers start).
+  void resize(int lanes);
+
+  /// Executes fn(begin, end) over contiguous chunks of [0, count),
+  /// load-balanced across lanes; the calling thread participates and
+  /// the call returns once every index is processed. `fn` MUST NOT
+  /// throw — callers that need exceptions record them per index and
+  /// rethrow after run() (see Device::launch). Concurrent run() calls
+  /// from different threads share the workers; a reentrant call from
+  /// inside a pool job runs inline (no deadlock).
+  void run(std::size_t count,
+           const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// run() calls that used the workers vs. executed inline.
+  [[nodiscard]] std::uint64_t parallel_runs() const {
+    return parallel_runs_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t inline_runs() const {
+    return inline_runs_.load(std::memory_order_relaxed);
+  }
+
+  /// Lane count $TDA_THREADS requests (hardware_concurrency fallback).
+  static int lanes_from_env();
+
+ private:
+  struct Job {
+    std::size_t count = 0;
+    std::size_t chunk = 1;
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<int> running{0};
+    std::mutex m;
+    std::condition_variable done_cv;
+  };
+
+  void spawn(int lanes);
+  void stop_workers();
+  void worker_loop();
+  void participate(Job& job);
+  void remove_job(const std::shared_ptr<Job>& job);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> jobs_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+  std::atomic<std::uint64_t> parallel_runs_{0};
+  std::atomic<std::uint64_t> inline_runs_{0};
+};
+
+}  // namespace tda::gpusim

@@ -6,13 +6,26 @@
 // step reads the current buffer and writes the other, then swap() flips
 // parity. The solution array x is single-buffered. download() copies x
 // back into a host batch.
+//
+// Storage is ONE slab from the process BufferPool (9 segments: the 8
+// double-buffered coefficient arrays plus x, each 64-byte aligned), so
+// repeated service flushes of one shape reuse a warm slab instead of
+// paying malloc + zero-fill per solve (docs/PERFORMANCE.md). Pooled
+// memory arrives dirty: the upload path overwrites the ping buffer and
+// the stage pipeline fully writes the pong buffer and x before reading
+// them, which the TDA_POOL_POISON regression tests pin down. The
+// shape-only (cost-only) constructor still zero-fills — tuning batches
+// are off the hot path and must stay numerically inert. Device *budget*
+// accounting is unchanged: tracked batches claim footprint_bytes()
+// through the device's MemoryTracker before acquiring the slab.
 
 #include <algorithm>
 #include <cstddef>
+#include <cstring>
 #include <span>
 #include <utility>
 
-#include "common/aligned_buffer.hpp"
+#include "common/buffer_pool.hpp"
 #include "common/check.hpp"
 #include "gpusim/launch.hpp"
 #include "tridiag/batch.hpp"
@@ -33,7 +46,7 @@ class DeviceBatch {
       : m_(num_systems), n_(system_size) {
     TDA_REQUIRE(m_ >= 1 && n_ >= 1, "empty batch");
     allocate();
-    for (auto& v : b_[0]) v = T{1};
+    make_inert();
   }
 
   explicit DeviceBatch(const TridiagBatch<T>& host)
@@ -51,7 +64,7 @@ class DeviceBatch {
     TDA_REQUIRE(m_ >= 1 && n_ >= 1, "empty batch");
     mem_ = dev.mem_reserve(footprint_bytes(m_, n_), "device batch");
     allocate();
-    for (auto& v : b_[0]) v = T{1};
+    make_inert();
   }
 
   /// Tracked upload of a host batch (see above).
@@ -83,22 +96,22 @@ class DeviceBatch {
   }
   /// Const view of the current coefficients of system s.
   [[nodiscard]] SystemView<const T> cur_system_const(std::size_t s) const {
-    const std::size_t off = s * n_;
     TDA_REQUIRE(s < m_, "system index out of range");
-    return SystemView<const T>{
-        StridedView<const T>(a_[cur_].data() + off, n_, 1),
-        StridedView<const T>(b_[cur_].data() + off, n_, 1),
-        StridedView<const T>(c_[cur_].data() + off, n_, 1),
-        StridedView<const T>(d_[cur_].data() + off, n_, 1)};
+    const std::size_t off = s * n_;
+    const T* const* arr = arr_ + cur_ * 4;
+    return SystemView<const T>{StridedView<const T>(arr[0] + off, n_, 1),
+                               StridedView<const T>(arr[1] + off, n_, 1),
+                               StridedView<const T>(arr[2] + off, n_, 1),
+                               StridedView<const T>(arr[3] + off, n_, 1)};
   }
 
   /// Solution view of system s.
   [[nodiscard]] StridedView<T> solution(std::size_t s) {
     TDA_REQUIRE(s < m_, "system index out of range");
-    return StridedView<T>(x_.data() + s * n_, n_, 1);
+    return StridedView<T>(arr_[8] + s * n_, n_, 1);
   }
-  [[nodiscard]] std::span<T> x() { return x_.span(); }
-  [[nodiscard]] std::span<const T> x() const { return x_.span(); }
+  [[nodiscard]] std::span<T> x() { return {arr_[8], m_ * n_}; }
+  [[nodiscard]] std::span<const T> x() const { return {arr_[8], m_ * n_}; }
 
   /// Flips the ping-pong parity after a split step.
   void swap_buffers() { cur_ = 1 - cur_; }
@@ -107,41 +120,51 @@ class DeviceBatch {
   void download(TridiagBatch<T>& host) const {
     TDA_REQUIRE(host.num_systems() == m_ && host.system_size() == n_,
                 "download: shape mismatch");
-    std::copy(x_.begin(), x_.end(), host.x().begin());
+    std::copy(arr_[8], arr_[8] + m_ * n_, host.x().begin());
   }
 
  private:
   void upload(const TridiagBatch<T>& host) {
-    std::copy(host.a().begin(), host.a().end(), a_[0].begin());
-    std::copy(host.b().begin(), host.b().end(), b_[0].begin());
-    std::copy(host.c().begin(), host.c().end(), c_[0].begin());
-    std::copy(host.d().begin(), host.d().end(), d_[0].begin());
+    std::copy(host.a().begin(), host.a().end(), arr_[0]);
+    std::copy(host.b().begin(), host.b().end(), arr_[1]);
+    std::copy(host.c().begin(), host.c().end(), arr_[2]);
+    std::copy(host.d().begin(), host.d().end(), arr_[3]);
   }
 
+  /// Carves the pooled slab into 9 cache-line-aligned segments:
+  /// [a0 b0 c0 d0 a1 b1 c1 d1 x].
   void allocate() {
-    const std::size_t total = m_ * n_;
-    for (auto* buf : {&a_[0], &b_[0], &c_[0], &d_[0], &a_[1], &b_[1],
-                      &c_[1], &d_[1]}) {
-      buf->resize(total);
-    }
-    x_.resize(total);
+    const std::size_t seg_bytes =
+        (m_ * n_ * sizeof(T) + kCacheLineBytes - 1) / kCacheLineBytes *
+        kCacheLineBytes;
+    slab_ = BufferPool::global().acquire(9 * seg_bytes);
+    const std::size_t seg_elems = seg_bytes / sizeof(T);
+    T* base = reinterpret_cast<T*>(slab_.data());
+    for (int k = 0; k < 9; ++k) arr_[k] = base + k * seg_elems;
+  }
+
+  /// Zero everything, then a unit diagonal (shape-only batches).
+  void make_inert() {
+    std::memset(slab_.data(), 0, slab_.capacity());
+    std::fill(arr_[1], arr_[1] + m_ * n_, T{1});
   }
 
   [[nodiscard]] SystemView<T> view_of(int which, std::size_t s) {
     TDA_REQUIRE(s < m_, "system index out of range");
     const std::size_t off = s * n_;
-    return SystemView<T>{StridedView<T>(a_[which].data() + off, n_, 1),
-                         StridedView<T>(b_[which].data() + off, n_, 1),
-                         StridedView<T>(c_[which].data() + off, n_, 1),
-                         StridedView<T>(d_[which].data() + off, n_, 1)};
+    T* const* arr = arr_ + which * 4;
+    return SystemView<T>{StridedView<T>(arr[0] + off, n_, 1),
+                         StridedView<T>(arr[1] + off, n_, 1),
+                         StridedView<T>(arr[2] + off, n_, 1),
+                         StridedView<T>(arr[3] + off, n_, 1)};
   }
 
   std::size_t m_;
   std::size_t n_;
   int cur_ = 0;
   gpusim::MemoryReservation mem_;  ///< empty for untracked (tuning) batches
-  AlignedBuffer<T> a_[2], b_[2], c_[2], d_[2];
-  AlignedBuffer<T> x_;
+  tda::PoolBlock slab_;
+  T* arr_[9] = {};  ///< a0 b0 c0 d0 a1 b1 c1 d1 x
 };
 
 }  // namespace tda::kernels

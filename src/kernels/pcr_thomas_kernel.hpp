@@ -27,7 +27,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
-#include <vector>
 
 #include "common/check.hpp"
 #include "gpusim/launch.hpp"
@@ -108,8 +107,13 @@ gpusim::KernelStats pcr_thomas_stage(gpusim::Device& dev,
     // holds its equation's next coefficients in registers between the two
     // syncs of a step; the simulator models that register file with a
     // host-side buffer (its capacity is enforced through regs_per_thread
-    // in the launch configuration, not through the shared budget).
-    std::vector<T> ra(n_sub), rb(n_sub), rc(n_sub), rd(n_sub);
+    // in the launch configuration, not through the shared budget). The
+    // buffer comes from the lane's bump arena — one warm slab per worker
+    // thread instead of four heap allocations per block.
+    auto ra = ctx.scratch_alloc<T>(n_sub);
+    auto rb = ctx.scratch_alloc<T>(n_sub);
+    auto rc = ctx.scratch_alloc<T>(n_sub);
+    auto rd = ctx.scratch_alloc<T>(n_sub);
 
     // --- load ---
     if (mode == ExecMode::Full) {

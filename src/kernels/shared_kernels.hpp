@@ -62,7 +62,11 @@ gpusim::KernelStats pure_pcr_kernel(gpusim::Device& dev,
     auto sd = ctx.shared_alloc<T>(n);
     auto sx = ctx.shared_alloc<T>(n);
     (void)sx;
-    std::vector<T> ra(n), rb(n), rc(n), rd(n);  // register staging
+    // Register staging from the lane's bump arena (see pcr_thomas_kernel).
+    auto ra = ctx.scratch_alloc<T>(n);
+    auto rb = ctx.scratch_alloc<T>(n);
+    auto rc = ctx.scratch_alloc<T>(n);
+    auto rd = ctx.scratch_alloc<T>(n);
     for (std::size_t i = 0; i < n; ++i) {
       sa[i] = g.a[i];
       sb[i] = g.b[i];

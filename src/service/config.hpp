@@ -103,6 +103,16 @@ struct ServiceConfig {
   /// and completes as TimedOut (scope InFlight).
   double default_deadline_ms = 0.0;
 
+  /// Lanes of the process-wide block-execution engine
+  /// (gpusim::ThreadPool::global()): the service resizes the shared pool
+  /// to this many lanes at construction. 0 keeps the pool's current
+  /// size (its $TDA_THREADS / hardware default). The pool is shared by
+  /// every worker — workers queue blocks into one engine rather than
+  /// spinning up pools of their own, so total CPU use stays bounded by
+  /// the engine width however many devices the service drives
+  /// (docs/PERFORMANCE.md).
+  int engine_threads = 0;
+
   /// Per-worker device memory budget override in bytes; 0 keeps each
   /// device's own default (its spec / $TDA_MEM_BUDGET). Solves that
   /// exceed the budget are chunked (solver::ChunkedSolver).

@@ -65,6 +65,7 @@
 #include "faults/faults.hpp"
 #include "gpusim/launch.hpp"
 #include "gpusim/memory.hpp"
+#include "gpusim/thread_pool.hpp"
 #include "kernels/device_batch.hpp"
 #include "service/config.hpp"
 #include "service/request.hpp"
@@ -134,6 +135,9 @@ class SolveService {
     TDA_REQUIRE(cfg_.flush_interval_ms >= 0.0,
                 "flush interval must be non-negative");
     if (!cfg_.cache_path.empty()) cache_.load(cfg_.cache_path);
+    if (cfg_.engine_threads > 0) {
+      gpusim::ThreadPool::global().resize(cfg_.engine_threads);
+    }
     telemetry_.tracer.set_clock([this] { return wall_s(Clock::now()); });
     if (telemetry_.metrics.enabled()) {
       telemetry_.metrics.set("service.workers",

@@ -108,10 +108,13 @@ class ChunkedSolver {
 
     std::size_t start = 0;
     std::size_t chunk = planned;
+    // Host-side staging for partial chunks, rebuilt only when the chunk
+    // size changes — steady-state chunking reuses one allocation.
+    tridiag::TridiagBatch<T> scratch;
     while (start < m) {
       const std::size_t take = std::min(chunk, m - start);
       try {
-        solve_range(batch, start, take, result.guarded);
+        solve_range(batch, start, take, result.guarded, scratch);
         ++result.chunking.chunks;
         result.chunking.max_chunk_systems =
             std::max(result.chunking.max_chunk_systems, take);
@@ -164,13 +167,17 @@ class ChunkedSolver {
   /// into the caller's batch/result. Throws OutOfMemory upward for the
   /// chunking loop to absorb.
   void solve_range(tridiag::TridiagBatch<T>& batch, std::size_t start,
-                   std::size_t take, GuardedSolveResult<T>& into) {
+                   std::size_t take, GuardedSolveResult<T>& into,
+                   tridiag::TridiagBatch<T>& scratch) {
     if (take == batch.num_systems()) {
       merge(into, run_one(batch), 0);
       return;
     }
     const std::size_t n = batch.system_size();
-    tridiag::TridiagBatch<T> sub(take, n);
+    if (scratch.num_systems() != take || scratch.system_size() != n) {
+      scratch = tridiag::TridiagBatch<T>(take, n);
+    }
+    tridiag::TridiagBatch<T>& sub = scratch;
     for (std::size_t j = 0; j < take; ++j) {
       const std::size_t src = (start + j) * n;
       const std::size_t dst = j * n;
@@ -219,6 +226,10 @@ class ChunkedSolver {
     into.stats.stage1_ms += part.stats.stage1_ms;
     into.stats.stage2_ms += part.stats.stage2_ms;
     into.stats.stage3_ms += part.stats.stage3_ms;
+    into.stats.host_total_ms += part.stats.host_total_ms;
+    into.stats.host_stage1_ms += part.stats.host_stage1_ms;
+    into.stats.host_stage2_ms += part.stats.host_stage2_ms;
+    into.stats.host_stage3_ms += part.stats.host_stage3_ms;
     into.stats.kernel_launches += part.stats.kernel_launches;
     into.prescreen_routed += part.prescreen_routed;
     into.quarantined += part.quarantined;

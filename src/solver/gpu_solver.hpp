@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/check.hpp"
+#include "common/timer.hpp"
 #include "gpusim/launch.hpp"
 #include "kernels/config.hpp"
 #include "kernels/device_batch.hpp"
@@ -28,13 +29,21 @@
 
 namespace tda::solver {
 
-/// Timing breakdown of one multi-stage solve (simulated milliseconds).
+/// Timing breakdown of one multi-stage solve. The `*_ms` fields are
+/// SIMULATED milliseconds from the cost model (deterministic, identical
+/// across TDA_THREADS settings); the `host_*_ms` fields are measured
+/// wall-clock time the host actually spent executing each stage — what
+/// bench_wall and scripts/bench_diff.py track (docs/PERFORMANCE.md).
 struct SolveStats {
   SolvePlan plan;
   double total_ms = 0.0;
   double stage1_ms = 0.0;
   double stage2_ms = 0.0;
   double stage3_ms = 0.0;
+  double host_total_ms = 0.0;
+  double host_stage1_ms = 0.0;
+  double host_stage2_ms = 0.0;
+  double host_stage3_ms = 0.0;
   std::size_t kernel_launches = 0;
 };
 
@@ -100,11 +109,13 @@ class GpuTridiagonalSolver {
                                                             : "cost_only");
 
     poll_cancel();
+    WallTimer host_total;
     double stage1_bytes = 0.0, stage2_bytes = 0.0, stage3_bytes = 0.0;
     kernels::SplitState st;
     if (plan.stage1_steps > 0) {
       telemetry::ScopedSpan span(telemetry::tracer_of(tel), "stage1",
                                  "solver");
+      WallTimer host;
       for (std::size_t i = 0; i < plan.stage1_steps; ++i) {
         poll_cancel();
         auto ks = kernels::stage1_split_step(*dev_, dbatch, st, mode);
@@ -112,6 +123,7 @@ class GpuTridiagonalSolver {
         stage1_bytes += ks.bytes_moved;
         ++stats.kernel_launches;
       }
+      stats.host_stage1_ms = host.millis();
       span.attr("steps", static_cast<double>(plan.stage1_steps));
       span.attr("ms", stats.stage1_ms);
     }
@@ -119,11 +131,13 @@ class GpuTridiagonalSolver {
     if (plan.stage2_steps > 0) {
       telemetry::ScopedSpan span(telemetry::tracer_of(tel), "stage2",
                                  "solver");
+      WallTimer host;
       auto ks =
           kernels::stage2_split(*dev_, dbatch, st, plan.stage2_steps, mode);
       stats.stage2_ms += ks.seconds * 1e3;
       stage2_bytes += ks.bytes_moved;
       ++stats.kernel_launches;
+      stats.host_stage2_ms = host.millis();
       span.attr("steps", static_cast<double>(plan.stage2_steps));
       span.attr("ms", stats.stage2_ms);
     }
@@ -131,16 +145,19 @@ class GpuTridiagonalSolver {
     {
       telemetry::ScopedSpan span(telemetry::tracer_of(tel), "stage3_4",
                                  "solver");
+      WallTimer host;
       auto ks = kernels::pcr_thomas_stage(
           *dev_, dbatch, st, plan.thomas_switch, plan.variant, mode);
       stats.stage3_ms += ks.seconds * 1e3;
       stage3_bytes += ks.bytes_moved;
       ++stats.kernel_launches;
+      stats.host_stage3_ms = host.millis();
       span.attr("thomas_switch", static_cast<double>(plan.thomas_switch));
       span.attr("variant", kernels::to_string(plan.variant));
       span.attr("ms", stats.stage3_ms);
     }
     stats.total_ms = stats.stage1_ms + stats.stage2_ms + stats.stage3_ms;
+    stats.host_total_ms = host_total.millis();
     solve_span.attr("total_ms", stats.total_ms);
 
     if (tel != nullptr && tel->metrics.enabled()) {
