@@ -33,7 +33,8 @@ void run_precision(const char* label, std::size_t m, std::size_t n_req) {
     const std::size_t cap =
         kernels::max_shared_system_size(dev.query(), sizeof(T));
     const std::size_t n = std::min(n_req, cap);
-    auto host = tridiag::make_diag_dominant<T>(m, n, 17);
+    auto host = tridiag::make_diag_dominant<T>(
+        m, n, 17, 2.0, tridiag::BatchStorage::Pooled);
     auto pristine = host;
 
     auto check = [&](const char* who) {
@@ -102,6 +103,8 @@ int main(int argc, char** argv) {
             << " on-chip systems; times are simulated ms)\n";
   run_precision<float>("single precision (fp32)", m, n);
   run_precision<double>("double precision (fp64)", m, n);
+  std::cout << "\n";
+  bench::report_alloc_gauges(std::cout);
   std::cout << "\npaper claim: hybrid ~= CR-PCR in fp32, better in fp64\n";
   return 0;
 }

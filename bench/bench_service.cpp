@@ -37,9 +37,17 @@
 // fill dominate small-n solves) alongside wall time of the functional
 // simulation. --metrics exports the coalesced run's service metrics
 // JSON (queue depth, batch occupancy, wait times).
+//
+// Env hooks (same spirit as the solo benches' TDA_TRACE/TDA_METRICS):
+// TDA_TRACE=FILE enables request-scoped tracing and writes the Chrome
+// trace of the last run — the file scripts/trace_tree_check.py gates on
+// in CI. TDA_OPENMETRICS=FILE writes the last run's registry in
+// OpenMetrics text format (scripts/openmetrics_lint.py's input).
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <thread>
@@ -146,6 +154,9 @@ RunResult run(std::size_t systems, int clients, int num_devices,
 
   SolveService<double> svc(devices, cfg);
   svc.telemetry().metrics.enable();
+  const char* trace_path = std::getenv("TDA_TRACE");
+  if (trace_path != nullptr && *trace_path != '\0')
+    svc.telemetry().tracer.enable();
 
   const std::size_t per_client =
       systems / static_cast<std::size_t>(clients);
@@ -206,7 +217,19 @@ RunResult run(std::size_t systems, int clients, int num_devices,
   r.chunks = c.chunks;
   r.oom_events = c.oom_events;
   r.oom_fallbacks = c.oom_fallbacks;
-  if (!metrics_path.empty()) svc.export_metrics(metrics_path);
+  if (!metrics_path.empty()) {
+    svc.publish_gauges();  // snapshot queue/breaker/lane/pool gauges
+    svc.export_metrics(metrics_path);
+  }
+  // Successive runs overwrite; the files end up describing the last
+  // (highest-load) configuration, like --metrics does.
+  if (trace_path != nullptr && *trace_path != '\0')
+    svc.export_trace(trace_path);
+  if (const char* om = std::getenv("TDA_OPENMETRICS");
+      om != nullptr && *om != '\0') {
+    svc.publish_gauges();
+    svc.export_openmetrics(om);
+  }
   return r;
 }
 
@@ -422,6 +445,9 @@ int main(int argc, char** argv) {
                     "device_ms", "ksys_per_dev_s", "wall_s", "gain"});
 
   bool coalescing_won = true;
+  RunResult last_coal;
+  double last_thr = 0.0, last_gain = 0.0;
+  int last_clients = 0;
   for (int clients : client_counts) {
     const auto per_req = run(systems, clients, num_devices, flush, flush_ms,
                              /*per_request=*/true, "");
@@ -435,6 +461,10 @@ int main(int argc, char** argv) {
     coalescing_won = coalescing_won && gain > 1.0 &&
                      coal.completed == systems &&
                      per_req.completed == systems;
+    last_coal = coal;
+    last_thr = thr_coal;
+    last_gain = gain;
+    last_clients = clients;
     table.add_row({TextTable::num(static_cast<long long>(clients)),
                    "per-request", TextTable::num(per_req.mean_occupancy, 2),
                    TextTable::num(per_req.wait_p95_ms, 3),
@@ -458,6 +488,27 @@ int main(int argc, char** argv) {
     std::cout << "\nservice metrics (queue depth, batch occupancy, waits) "
                  "written to "
               << metrics_path << "\n";
+
+  // --summary=FILE: the coalesced run at the highest client count as a
+  // flat JSON report — the shape scripts/bench_diff.py appends to the
+  // committed bench/history/ trend files.
+  if (const std::string summary_path = cli.get("summary", "");
+      !summary_path.empty()) {
+    std::ofstream out(summary_path);
+    out << "{\n"
+        << "  \"systems\": " << systems << ",\n"
+        << "  \"clients\": " << last_clients << ",\n"
+        << "  \"devices\": " << num_devices << ",\n"
+        << "  \"ksys_per_dev_s\": " << last_thr << ",\n"
+        << "  \"coalescing_gain\": " << last_gain << ",\n"
+        << "  \"mean_occupancy\": " << last_coal.mean_occupancy << ",\n"
+        << "  \"wait_p95_ms\": " << last_coal.wait_p95_ms << ",\n"
+        << "  \"wall_s\": " << last_coal.wall_s << ",\n"
+        << "  \"completed\": " << last_coal.completed << "\n"
+        << "}\n";
+    std::cout << "summary JSON written to " << summary_path << "\n";
+  }
+
   std::cout << "\ncoalescing beats one-solve-per-request: "
             << (coalescing_won ? "yes  [OK]" : "NO  [FAIL]") << "\n";
   return coalescing_won ? 0 : 1;

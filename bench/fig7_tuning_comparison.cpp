@@ -123,12 +123,16 @@ int run_fig7(const Cli& cli) {
     tuning::DynamicTuner<T> tuner(dev);
     auto dyn = tuner.tune({1024, 1024});
     solver::GpuTridiagonalSolver<T> s(dev, dyn.points);
-    auto batch = tridiag::make_diag_dominant<T>(1024, 1024, 4242);
+    auto batch = tridiag::make_diag_dominant<T>(
+        1024, 1024, 4242, 2.0, tridiag::BatchStorage::Pooled);
     auto pristine = batch;
     s.solve(batch);
     const double res = tridiag::batch_residual_inf(pristine, batch.x());
     std::cout << "\nvalidation: tuned 1Kx1K solve residual = " << res
               << (res < 1e-3 ? "  [OK]" : "  [FAIL]") << "\n";
+    std::cout << "\n";
+    bench::report_alloc_gauges(std::cout,
+                               &telemetry_scope.telemetry().metrics);
   }
 
   std::cout << "\nCSV:\n";

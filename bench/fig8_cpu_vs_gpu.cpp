@@ -65,7 +65,8 @@ int main(int argc, char** argv) {
 
     double host_ms = 0.0;
     if (!skip_host) {
-      auto batch = tridiag::make_diag_dominant<float>(r.m, r.n, 777);
+      auto batch = tridiag::make_diag_dominant<float>(
+          r.m, r.n, 777, 2.0, tridiag::BatchStorage::Pooled);
       cpu::BatchCpuSolver host_solver(0);  // paper policy: 2 threads / 1
       host_ms = host_solver.solve(batch).wall_ms;
     }
@@ -83,7 +84,8 @@ int main(int argc, char** argv) {
   // Functional validation: both solvers produce correct answers on a
   // shared workload.
   {
-    auto batch_gpu = tridiag::make_diag_dominant<float>(64, 1024, 99);
+    auto batch_gpu = tridiag::make_diag_dominant<float>(
+        64, 1024, 99, 2.0, tridiag::BatchStorage::Pooled);
     auto batch_cpu = batch_gpu;
     auto pristine = batch_gpu;
     tuning::DynamicTuner<float> tuner(dev);
@@ -101,6 +103,10 @@ int main(int argc, char** argv) {
               << ((res_gpu < 1e-3 && res_cpu < 1e-3) ? "  [OK]" : "  [FAIL]")
               << "\n";
   }
+
+  std::cout << "\n";
+  bench::report_alloc_gauges(std::cout,
+                             &telemetry_scope.telemetry().metrics);
 
   std::cout << "\nCSV:\n";
   table.print_csv(std::cout);

@@ -1,24 +1,45 @@
 #!/usr/bin/env python3
-"""Compare two bench_wall JSON reports and gate perf regressions.
+"""Perf gating and cross-commit trend history for the bench reports.
 
-Usage:
-    bench_diff.py BASELINE.json CURRENT.json [--fail-threshold=0.15]
-                  [--warn-threshold=0.05]
+Subcommands:
+    compare BASELINE.json CURRENT.json [--fail-threshold=0.15]
+        Legacy two-file gate (also invoked when the first argument is a
+        file, so `bench_diff.py BASE.json CUR.json` keeps working).
 
-Exit status:
-    0 — no gated regression (warnings allowed)
-    1 — systems_per_sec at the default thread count regressed by more
-        than the fail threshold (default 15%)
-    2 — input files missing/malformed
+    append CURRENT.json --history=H.jsonl [--commit=SHA] [--label=wall]
+           [--max-entries=200]
+        Append CURRENT's numeric metrics as one JSONL line to the
+        rolling history (committed under bench/history/). Nested
+        objects of numbers flatten to dotted keys; non-numeric fields
+        are dropped. Oldest lines are trimmed past --max-entries.
 
-Only the headline systems/sec is a hard gate: per-stage host
-milliseconds and the thread-scaling rows are noisy on shared CI runners
-(different core counts, neighbours, thermal state), so they are
-reported as warnings only. Stdlib-only by design — CI runners have no
-extra packages. See docs/PERFORMANCE.md for the update procedure.
+    check CURRENT.json --history=H.jsonl [--baseline=B.json]
+          [--window=8] [--metric=systems_per_sec]
+          [--fail-threshold=0.15] [--warn-threshold=0.05]
+        Gate CURRENT against the MEDIAN of the metric over the last
+        --window history entries — a rolling baseline that tracks
+        gradual runner drift instead of a frozen snapshot. With fewer
+        than 2 history entries the check falls back to --baseline
+        (when given) or passes with a notice.
+
+    report --history=H.jsonl [--current=C.json] [--out=trend.md]
+           [--window=8] [--metric=systems_per_sec]
+        Emit a markdown trend table (written to --out, echoed to
+        stdout) of the metric across history, with the rolling median
+        and the current run's delta against it.
+
+Exit status: 0 = pass (warnings allowed), 1 = gated regression,
+2 = missing/malformed input.
+
+Only throughput-like headline metrics are hard gates: per-stage host
+milliseconds and thread-scaling rows are noisy on shared CI runners, so
+they stay warn-only. Stdlib-only by design — CI runners have no extra
+packages. See docs/PERFORMANCE.md for the update procedure.
 """
 
 import json
+import os
+import statistics
 import sys
 
 
@@ -29,6 +50,45 @@ def load(path):
     except (OSError, ValueError) as e:
         print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+
+
+def load_history(path):
+    """History lines, oldest first; a missing file is an empty history
+    (first run on a fresh branch), a malformed line is fatal."""
+    if not os.path.exists(path):
+        return []
+    entries = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except ValueError as e:
+                    print(f"bench_diff: {path}:{lineno}: bad JSONL: {e}",
+                          file=sys.stderr)
+                    sys.exit(2)
+    except OSError as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    return entries
+
+
+def flatten_numeric(obj, prefix=""):
+    """Dotted-key map of every numeric leaf; lists are skipped (the
+    thread-scaling rows are runner-shaped, not trendable scalars)."""
+    out = {}
+    for key, val in obj.items():
+        name = f"{prefix}{key}"
+        if isinstance(val, bool):
+            continue
+        if isinstance(val, (int, float)):
+            out[name] = val
+        elif isinstance(val, dict):
+            out.update(flatten_numeric(val, f"{name}."))
+    return out
 
 
 def rel_change(base, cur):
@@ -43,11 +103,30 @@ def fmt_pct(x):
     return f"{x * +100:+.1f}%"
 
 
-def main(argv):
-    args = [a for a in argv[1:] if not a.startswith("--")]
-    opts = dict(
-        a.lstrip("-").split("=", 1) for a in argv[1:] if a.startswith("--")
-    )
+def rolling_median(entries, metric, window):
+    """Median of `metric` over the last `window` entries that carry it."""
+    values = [e["metrics"][metric] for e in entries
+              if isinstance(e.get("metrics"), dict)
+              and isinstance(e["metrics"].get(metric), (int, float))]
+    values = values[-window:]
+    if not values:
+        return None, 0
+    return statistics.median(values), len(values)
+
+
+def parse_opts(argv):
+    args = [a for a in argv if not a.startswith("--")]
+    opts = {}
+    for a in argv:
+        if a.startswith("--"):
+            key, _, val = a.lstrip("-").partition("=")
+            opts[key] = val if val else "1"
+    return args, opts
+
+
+# --------------------------------------------------------------- compare
+
+def cmd_compare(args, opts):
     if len(args) != 2:
         print(__doc__, file=sys.stderr)
         return 2
@@ -111,6 +190,160 @@ def main(argv):
               f"{fail_threshold:.0%} — failing.", file=sys.stderr)
         return 1
     return 0
+
+
+# ---------------------------------------------------------------- append
+
+def cmd_append(args, opts):
+    if len(args) != 1 or "history" not in opts:
+        print("usage: bench_diff.py append CURRENT.json --history=H.jsonl "
+              "[--commit=SHA] [--label=NAME] [--max-entries=200]",
+              file=sys.stderr)
+        return 2
+    history_path = opts["history"]
+    max_entries = int(opts.get("max-entries", 200))
+
+    metrics = flatten_numeric(load(args[0]))
+    if not metrics:
+        print(f"bench_diff: {args[0]} has no numeric metrics",
+              file=sys.stderr)
+        return 2
+    entry = {"commit": opts.get("commit", ""), "metrics": metrics}
+    if "label" in opts:
+        entry["label"] = opts["label"]
+
+    entries = load_history(history_path)
+    entries.append(entry)
+    entries = entries[-max_entries:]
+    d = os.path.dirname(history_path)
+    if d:
+        os.makedirs(d, exist_ok=True)
+    with open(history_path, "w", encoding="utf-8") as f:
+        for e in entries:
+            f.write(json.dumps(e, sort_keys=True) + "\n")
+    print(f"bench_diff: appended {len(metrics)} metrics to {history_path} "
+          f"({len(entries)} entries)")
+    return 0
+
+
+# ----------------------------------------------------------------- check
+
+def cmd_check(args, opts):
+    if len(args) != 1 or "history" not in opts:
+        print("usage: bench_diff.py check CURRENT.json --history=H.jsonl "
+              "[--baseline=B.json] [--window=8] [--metric=systems_per_sec] "
+              "[--fail-threshold=0.15] [--warn-threshold=0.05]",
+              file=sys.stderr)
+        return 2
+    metric = opts.get("metric", "systems_per_sec")
+    window = int(opts.get("window", 8))
+    fail_threshold = float(opts.get("fail-threshold", 0.15))
+    warn_threshold = float(opts.get("warn-threshold", 0.05))
+
+    cur = flatten_numeric(load(args[0]))
+    if metric not in cur:
+        print(f"bench_diff: metric {metric} missing from {args[0]}",
+              file=sys.stderr)
+        return 2
+
+    entries = load_history(opts["history"])
+    median, used = rolling_median(entries, metric, window)
+    if used < 2:
+        # Not enough history for a stable median: fall back to the frozen
+        # baseline (legacy gate), or pass with a notice on a fresh branch.
+        if "baseline" in opts:
+            print(f"bench_diff: history has {used} usable entries "
+                  f"(< 2) — falling back to frozen baseline")
+            return cmd_compare([opts["baseline"], args[0]], opts)
+        print(f"bench_diff: history has {used} usable entries (< 2) and "
+              f"no --baseline — passing without a gate")
+        return 0
+
+    d = rel_change(median, cur[metric])
+    line = (f"{metric}: rolling median({used}) {median:.0f} -> "
+            f"{cur[metric]:.0f} ({fmt_pct(d)})")
+    if d < -fail_threshold:
+        print(f"FAIL  {line}  [gate: -{fail_threshold:.0%}]")
+        print(f"bench_diff: {metric} regressed more than "
+              f"{fail_threshold:.0%} vs the rolling median — failing.",
+              file=sys.stderr)
+        return 1
+    if d < -warn_threshold:
+        print(f"WARN  {line}")
+    else:
+        print(f"OK    {line}")
+    return 0
+
+
+# ---------------------------------------------------------------- report
+
+def sparkline(values):
+    """Text sparkline (pure ASCII fallback-free: these block glyphs are
+    fine in GitHub markdown)."""
+    bars = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return bars[3] * len(values)
+    return "".join(
+        bars[int((v - lo) / (hi - lo) * (len(bars) - 1))] for v in values
+    )
+
+
+def cmd_report(args, opts):
+    if "history" not in opts:
+        print("usage: bench_diff.py report --history=H.jsonl "
+              "[--current=C.json] [--out=trend.md] [--window=8] "
+              "[--metric=systems_per_sec]", file=sys.stderr)
+        return 2
+    metric = opts.get("metric", "systems_per_sec")
+    window = int(opts.get("window", 8))
+    entries = load_history(opts["history"])
+
+    lines = [f"## Perf trend — `{metric}`", ""]
+    rows = [(e.get("commit", "")[:10] or "?",
+             e["metrics"].get(metric))
+            for e in entries if isinstance(e.get("metrics"), dict)]
+    rows = [(c, v) for c, v in rows if isinstance(v, (int, float))]
+    if not rows:
+        lines.append("_history is empty — nothing to report yet._")
+    else:
+        median, used = rolling_median(entries, metric, window)
+        lines.append(f"| commit | {metric} | vs rolling median({used}) |")
+        lines.append("|---|---:|---:|")
+        for commit, value in rows[-window:]:
+            d = rel_change(median, value)
+            lines.append(f"| `{commit}` | {value:,.0f} | {fmt_pct(d)} |")
+        if "current" in opts:
+            cur = flatten_numeric(load(opts["current"]))
+            if metric in cur:
+                d = rel_change(median, cur[metric])
+                lines.append(f"| **current** | **{cur[metric]:,.0f}** | "
+                             f"**{fmt_pct(d)}** |")
+        lines.append("")
+        lines.append(f"Trend (oldest → newest): "
+                     f"`{sparkline([v for _, v in rows[-window:]])}`")
+    lines.append("")
+
+    text = "\n".join(lines)
+    out = opts.get("out", "")
+    if out:
+        with open(out, "w", encoding="utf-8") as f:
+            f.write(text)
+    print(text)
+    return 0
+
+
+def main(argv):
+    args, opts = parse_opts(argv[1:])
+    if args and args[0] == "append":
+        return cmd_append(args[1:], opts)
+    if args and args[0] == "check":
+        return cmd_check(args[1:], opts)
+    if args and args[0] == "report":
+        return cmd_report(args[1:], opts)
+    if args and args[0] == "compare":
+        args = args[1:]
+    return cmd_compare(args, opts)
 
 
 if __name__ == "__main__":

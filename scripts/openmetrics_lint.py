@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""Lints an OpenMetrics text-format export (what export_openmetrics and
+the TDA_METRICS_INTERVAL snapshot writer produce).
+
+    openmetrics_lint.py FILE [--quiet]
+
+Checks, against the OpenMetrics 1.0 text format:
+  * the exposition ends with exactly one `# EOF` line;
+  * metric names are valid and each family has at most one TYPE line,
+    declared before its samples, with a known type;
+  * every sample line parses (name, optional {labels}, float value,
+    optional `# {exemplar} value` exemplar) and belongs to a declared
+    family with the suffix its type allows (_total for counters,
+    _bucket/_count/_sum for histograms, ...);
+  * label sets parse, no duplicate label names, quoting is well-formed;
+  * histogram series: every _bucket carries an `le` label, buckets are
+    cumulative (non-decreasing in le order), the `+Inf` bucket exists
+    and equals that series' _count;
+  * exemplars only appear on histogram buckets or counters.
+
+Exit codes: 0 clean, 1 lint findings (all printed), 2 unreadable input.
+"""
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+KNOWN_TYPES = {
+    "counter", "gauge", "histogram", "summary", "unknown",
+    "stateset", "info", "gaugehistogram",
+}
+# Sample-name suffixes each family type may expose.
+TYPE_SUFFIXES = {
+    "counter": {"_total", "_created"},
+    "gauge": {""},
+    "summary": {"", "_count", "_sum", "_created"},
+    "histogram": {"_bucket", "_count", "_sum", "_created"},
+    "gaugehistogram": {"_bucket", "_gcount", "_gsum"},
+    "unknown": {""},
+    "stateset": {""},
+    "info": {"_info"},
+}
+
+
+def parse_labels(text, err):
+    """'k="v",k2="v2"' -> dict; records findings through err()."""
+    labels = {}
+    i = 0
+    while i < len(text):
+        m = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', text[i:])
+        if not m:
+            err(f"bad label syntax at ...{text[i:]!r}")
+            return labels
+        key = m.group(1)
+        i += m.end()
+        val = []
+        while i < len(text):
+            ch = text[i]
+            if ch == "\\":
+                if i + 1 >= len(text):
+                    err("dangling escape in label value")
+                    return labels
+                nxt = text[i + 1]
+                if nxt not in ('"', "\\", "n"):
+                    err(f"invalid escape \\{nxt} in label value")
+                val.append({"n": "\n"}.get(nxt, nxt))
+                i += 2
+                continue
+            if ch == '"':
+                break
+            val.append(ch)
+            i += 1
+        else:
+            err("unterminated label value")
+            return labels
+        i += 1  # closing quote
+        if key in labels:
+            err(f'duplicate label name "{key}"')
+        labels[key] = "".join(val)
+        if i < len(text):
+            if text[i] != ",":
+                err(f"expected ',' between labels, got {text[i]!r}")
+                return labels
+            i += 1
+    return labels
+
+
+def parse_value(tok):
+    if tok in ("+Inf", "Inf"):
+        return math.inf
+    if tok == "-Inf":
+        return -math.inf
+    if tok == "NaN":
+        return math.nan
+    return float(tok)  # raises ValueError on garbage
+
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<ts>\S+))?"
+    r"(?P<exemplar> # \{(?P<exlabels>[^}]*)\} (?P<exvalue>\S+)"
+    r"(?: (?P<exts>\S+))?)?$"
+)
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    quiet = "--quiet" in argv
+    if len(args) != 1:
+        print(__doc__.strip().splitlines()[2].strip())
+        return 2
+    try:
+        with open(args[0], encoding="utf-8") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        print(f"openmetrics_lint: cannot read {args[0]}: {exc}")
+        return 2
+
+    findings = []
+    types = {}  # family -> declared type
+    # (series key) -> list of (le, count) for bucket monotonicity,
+    # and scalar _count values for the +Inf == _count check.
+    buckets = {}
+    counts = {}
+    samples = 0
+    eof_seen = False
+
+    lines = raw.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()  # trailing newline
+
+    for ln, line in enumerate(lines, 1):
+        def err(msg, ln=ln):
+            findings.append(f"line {ln}: {msg}")
+
+        if eof_seen:
+            err("content after # EOF")
+            break
+        if line == "# EOF":
+            eof_seen = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                err(f"malformed TYPE line: {line!r}")
+                continue
+            _, _, family, mtype = parts
+            if not NAME_RE.match(family):
+                err(f"invalid family name {family!r}")
+            if mtype not in KNOWN_TYPES:
+                err(f"unknown metric type {mtype!r}")
+            if family in types:
+                err(f"duplicate TYPE for family {family!r}")
+            types[family] = mtype
+            continue
+        if line.startswith("#"):
+            # HELP/UNIT/comments: tolerated, not checked.
+            continue
+        if not line.strip():
+            err("blank line (not allowed in OpenMetrics)")
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            err(f"unparseable sample line: {line!r}")
+            continue
+        samples += 1
+        name = m.group("name")
+        labels = parse_labels(m.group("labels") or "", err)
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            err(f"bad sample value {m.group('value')!r}")
+            continue
+
+        # Resolve the family this sample belongs to.
+        family, suffix = None, None
+        for fam in types:
+            if name == fam or (
+                name.startswith(fam) and name[len(fam):] in
+                TYPE_SUFFIXES.get(types[fam], {""})
+            ):
+                if family is None or len(fam) > len(family):
+                    family, suffix = fam, name[len(fam):]
+        if family is None:
+            err(f"sample {name!r} has no TYPE declaration")
+            continue
+        mtype = types[family]
+        if suffix not in TYPE_SUFFIXES[mtype]:
+            err(f"{name!r}: suffix {suffix!r} not allowed for {mtype}")
+        if mtype == "counter" and value < 0:
+            err(f"{name!r}: negative counter value {value}")
+        if mtype == "summary" and suffix == "" and "quantile" not in labels:
+            err(f"{name!r}: summary sample without quantile label")
+
+        if m.group("exemplar"):
+            if not (mtype == "histogram" and suffix == "_bucket") and not (
+                mtype == "counter"
+            ):
+                err(f"{name!r}: exemplar on a {mtype}{suffix} sample")
+            parse_labels(m.group("exlabels") or "", err)
+            try:
+                parse_value(m.group("exvalue"))
+            except ValueError:
+                err(f"bad exemplar value {m.group('exvalue')!r}")
+
+        if mtype == "histogram":
+            series = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"))
+            key = (family,) + series
+            if suffix == "_bucket":
+                if "le" not in labels:
+                    err(f"{name!r}: histogram bucket without le label")
+                else:
+                    try:
+                        le = parse_value(labels["le"])
+                        buckets.setdefault(key, []).append((le, value, ln))
+                    except ValueError:
+                        err(f"bad le value {labels['le']!r}")
+            elif suffix == "_count":
+                counts[key] = (value, ln)
+
+    if not eof_seen:
+        findings.append("missing terminating # EOF line")
+
+    for key, series in sorted(buckets.items()):
+        label = key[0] + "{" + ",".join(f'{k}="{v}"' for k, v in key[1:]) + "}"
+        ordered = sorted(series, key=lambda t: t[0])
+        prev = -math.inf
+        for le, count, ln in ordered:
+            if count < prev:
+                findings.append(
+                    f"line {ln}: {label}: bucket le={le} count {count} "
+                    f"below previous bucket ({prev}) — not cumulative")
+            prev = count
+        infs = [c for le, c, _ in ordered if le == math.inf]
+        if not infs:
+            findings.append(f"{label}: missing +Inf bucket")
+        elif key in counts and infs[-1] != counts[key][0]:
+            findings.append(
+                f"{label}: +Inf bucket {infs[-1]} != _count "
+                f"{counts[key][0]}")
+
+    for line in findings:
+        print(f"openmetrics_lint: {line}")
+    if not findings and not quiet:
+        print(f"openmetrics_lint: OK — {len(types)} families, "
+              f"{samples} samples, {len(buckets)} histogram series")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

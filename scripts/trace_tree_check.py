@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Verifies the request-tracing invariant on a Chrome-trace export:
+every span that carries a trace id is reachable, by walking parent
+span ids, from exactly one "request" root span of the same trace —
+i.e. each request renders as one coherent tree.
+
+    trace_tree_check.py TRACE.json [--min-traces=1]
+                        [--require-spans=batch,solve]
+
+  --min-traces=N       fail unless at least N distinct traces appear
+                       (a smoke run that traced nothing is a failure)
+  --require-spans=a,b  fail unless each named span kind appears at
+                       least once inside some request tree
+
+Exit codes: 0 invariant holds, 1 violations (printed), 2 bad input.
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    path = None
+    min_traces = 1
+    require = []
+    for arg in argv[1:]:
+        if arg.startswith("--min-traces="):
+            min_traces = int(arg.split("=", 1)[1])
+        elif arg.startswith("--require-spans="):
+            require = [s for s in arg.split("=", 1)[1].split(",") if s]
+        elif arg.startswith("--"):
+            print(f"trace_tree_check: unknown option {arg}")
+            return 2
+        else:
+            path = arg
+    if path is None:
+        print(__doc__.strip().splitlines()[0])
+        return 2
+
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"trace_tree_check: cannot load {path}: {exc}")
+        return 2
+
+    events = doc.get("traceEvents", [])
+    spans = {}  # span_id -> (name, parent_id, trace_id)
+    for ev in events:
+        args = ev.get("args", {})
+        sid = args.get("span_id", "")
+        if sid == "":
+            continue
+        spans[sid] = (ev.get("name", ""), args.get("parent_id", ""),
+                      args.get("trace_id", ""))
+
+    findings = []
+    roots = {}  # trace_id -> [span_id of "request" roots]
+    for sid, (name, _, trace) in spans.items():
+        if name == "request":
+            if trace == "":
+                findings.append(f"request root span {sid} has no trace id")
+            else:
+                roots.setdefault(trace, []).append(sid)
+    for trace, ids in sorted(roots.items()):
+        if len(ids) > 1:
+            findings.append(
+                f"trace {trace}: {len(ids)} request roots ({ids}) — "
+                f"expected exactly one")
+
+    traced = 0
+    reachable = 0
+    seen_names = set()
+    for sid, (name, parent, trace) in sorted(spans.items()):
+        if trace == "":
+            continue
+        traced += 1
+        # Walk to the root, guarding against dangling links, trace
+        # switches mid-chain, and cycles.
+        cur, hops = sid, 0
+        ok = False
+        while hops <= len(spans):
+            cname, cparent, ctrace = spans[cur]
+            if ctrace != trace:
+                findings.append(
+                    f"span {sid} ({name}): parent chain crosses from "
+                    f"trace {trace} into {ctrace} at span {cur}")
+                break
+            if cname == "request":
+                ok = True
+                break
+            if cparent == "" or cparent not in spans:
+                findings.append(
+                    f"span {sid} ({name}, trace {trace}): parent chain "
+                    f"dangles at span {cur} (parent {cparent!r})")
+                break
+            cur = cparent
+            hops += 1
+        else:
+            findings.append(f"span {sid} ({name}): parent cycle")
+        if ok:
+            reachable += 1
+            seen_names.add(name)
+
+    if len(roots) < min_traces:
+        findings.append(
+            f"only {len(roots)} trace(s) present, need >= {min_traces}")
+    for name in require:
+        if name not in seen_names:
+            findings.append(
+                f"required span kind {name!r} never appeared in a tree")
+
+    for line in findings:
+        print(f"trace_tree_check: {line}")
+    if not findings:
+        pct = 100.0 * reachable / traced if traced else 0.0
+        print(f"trace_tree_check: OK — {len(roots)} request tree(s), "
+              f"{reachable}/{traced} traced spans reachable from their "
+              f"root ({pct:.1f}%)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -198,6 +198,15 @@ class Device {
                 std::string("unlaunchable configuration (") + occ.limiter +
                     ")");
 
+    // When the tracer clock is not this device's simulated timeline
+    // (service workers share one wall-clock session), kernel spans need
+    // wall timestamps bracketing the block execution instead.
+    const double wall0 =
+        (telemetry_ != nullptr && !owns_clock_ &&
+         telemetry_->tracer.enabled())
+            ? telemetry_->tracer.now()
+            : 0.0;
+
     KernelCost agg;
     ThreadPool& pool = ThreadPool::global();
     if (pool.workers() == 0 || cfg.blocks < 2) {
@@ -252,7 +261,7 @@ class Device {
     elapsed_seconds_ += st.seconds;
     ++kernels_launched_;
     if (telemetry_ != nullptr) {
-      record_launch_telemetry(name, cfg, agg, st, t0);
+      record_launch_telemetry(name, cfg, agg, st, t0, wall0);
     }
     if (tracing_) {
       TraceRecord rec{name, {}, cfg.blocks, cfg.threads_per_block, st};
@@ -266,12 +275,18 @@ class Device {
 
   /// Attaches (or detaches, with nullptr) a telemetry session. Every
   /// launch then emits a child span under the caller's open span and
-  /// updates launch counters; the tracer's clock is pointed at this
-  /// device's simulated timeline. The device does not own the session.
-  void set_telemetry(tda::telemetry::Telemetry* tel) {
+  /// updates launch counters. With `adopt_clock` (the default) the
+  /// tracer's clock is pointed at this device's simulated timeline;
+  /// pass false when the session's clock belongs to someone else — the
+  /// service shares one wall-clock session across many worker devices —
+  /// and kernel spans then carry wall timestamps (simulated ms stays in
+  /// the "ms" attr). The device does not own the session.
+  void set_telemetry(tda::telemetry::Telemetry* tel,
+                     bool adopt_clock = true) {
     telemetry_ = tel;
     mem_.set_telemetry(tel);
-    if (tel != nullptr) {
+    owns_clock_ = tel != nullptr && adopt_clock;
+    if (owns_clock_) {
       tel->tracer.set_clock([this] { return elapsed_seconds_; });
     }
   }
@@ -348,10 +363,12 @@ class Device {
  private:
   void record_launch_telemetry(const char* name, const LaunchConfig& cfg,
                                const KernelCost& agg, const KernelStats& st,
-                               double t0) {
+                               double t0, double wall0) {
     auto& tracer = telemetry_->tracer;
     if (tracer.enabled()) {
-      const auto span = tracer.emit(name, "kernel", t0, elapsed_seconds_);
+      const double b = owns_clock_ ? t0 : wall0;
+      const double e = owns_clock_ ? elapsed_seconds_ : tracer.now();
+      const auto span = tracer.emit(name, "kernel", b, e);
       tracer.attr(span, "blocks", static_cast<double>(cfg.blocks));
       tracer.attr(span, "threads",
                   static_cast<double>(cfg.threads_per_block));
@@ -388,6 +405,7 @@ class Device {
   std::size_t kernels_launched_ = 0;
   bool tracing_ = false;
   bool faults_armed_ = false;
+  bool owns_clock_ = false;  ///< tracer clock is this device's timeline
   bool arena_poison_ = default_arena_poison();
   std::vector<TraceRecord> trace_;
   tda::telemetry::Telemetry* telemetry_ = nullptr;

@@ -1,6 +1,7 @@
 #include "gpusim/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 
@@ -101,8 +102,14 @@ void ThreadPool::spawn(int lanes) {
   lanes = std::max(1, lanes);
   std::lock_guard lk(mu_);
   TDA_REQUIRE(threads_.empty(), "pool already has workers");
+  lane_counters_.clear();
+  for (int i = 0; i < lanes; ++i) {
+    lane_counters_.push_back(std::make_unique<LaneCounters>());
+  }
   for (int i = 0; i < lanes - 1; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, lane = static_cast<std::size_t>(i) + 1] {
+      worker_loop(lane);
+    });
   }
 }
 
@@ -136,7 +143,22 @@ void ThreadPool::run(
   if (count == 0) return;
   if (workers() == 0 || count == 1 || t_in_pool_job) {
     inline_runs_.fetch_add(1, std::memory_order_relaxed);
+    LaneCounters* caller = nullptr;
+    {
+      std::lock_guard lk(mu_);
+      if (!lane_counters_.empty()) caller = lane_counters_[0].get();
+    }
+    const auto t0 = std::chrono::steady_clock::now();
     fn(0, count);
+    if (caller != nullptr) {
+      const auto dt = std::chrono::steady_clock::now() - t0;
+      caller->chunks.fetch_add(1, std::memory_order_relaxed);
+      caller->busy_ns.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                  .count()),
+          std::memory_order_relaxed);
+    }
     return;
   }
   parallel_runs_.fetch_add(1, std::memory_order_relaxed);
@@ -149,13 +171,15 @@ void ThreadPool::run(
   // re-balance — while slot-ordered reduction keeps results exact.
   const std::size_t nlanes = static_cast<std::size_t>(lanes());
   job->chunk = std::max<std::size_t>(1, count / (nlanes * 8));
+  LaneCounters* caller = nullptr;
   {
     std::lock_guard lk(mu_);
     jobs_.push_back(job);
+    if (!lane_counters_.empty()) caller = lane_counters_[0].get();
   }
   cv_.notify_all();
 
-  participate(*job);
+  participate(*job, caller);
 
   std::unique_lock lk(job->m);
   job->done_cv.wait(lk, [&] {
@@ -166,7 +190,7 @@ void ThreadPool::run(
   remove_job(job);
 }
 
-void ThreadPool::participate(Job& job) {
+void ThreadPool::participate(Job& job, LaneCounters* counters) {
   const bool was_in_job = t_in_pool_job;
   t_in_pool_job = true;
   job.running.fetch_add(1, std::memory_order_acq_rel);
@@ -175,7 +199,17 @@ void ThreadPool::participate(Job& job) {
         job.next.fetch_add(job.chunk, std::memory_order_acq_rel);
     if (begin >= job.count) break;
     const std::size_t end = std::min(job.count, begin + job.chunk);
+    const auto t0 = std::chrono::steady_clock::now();
     (*job.fn)(begin, end);
+    if (counters != nullptr) {
+      const auto dt = std::chrono::steady_clock::now() - t0;
+      counters->chunks.fetch_add(1, std::memory_order_relaxed);
+      counters->busy_ns.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                  .count()),
+          std::memory_order_relaxed);
+    }
   }
   if (job.running.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     // Last lane out wakes the owner; the lock pairs with the owner's
@@ -192,7 +226,14 @@ void ThreadPool::remove_job(const std::shared_ptr<Job>& job) {
   if (it != jobs_.end()) jobs_.erase(it);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t lane) {
+  LaneCounters* counters = nullptr;
+  {
+    std::lock_guard lk(mu_);
+    if (lane < lane_counters_.size()) {
+      counters = lane_counters_[lane].get();
+    }
+  }
   for (;;) {
     std::shared_ptr<Job> job;
     {
@@ -207,8 +248,23 @@ void ThreadPool::worker_loop() {
         continue;
       }
     }
-    participate(*job);
+    participate(*job, counters);
   }
+}
+
+std::vector<ThreadPool::LaneStats> ThreadPool::lane_stats() const {
+  std::lock_guard lk(mu_);
+  std::vector<LaneStats> out;
+  out.reserve(lane_counters_.size());
+  for (const auto& c : lane_counters_) {
+    LaneStats s;
+    s.chunks = c->chunks.load(std::memory_order_relaxed);
+    s.busy_ms =
+        static_cast<double>(c->busy_ns.load(std::memory_order_relaxed)) /
+        1e6;
+    out.push_back(s);
+  }
+  return out;
 }
 
 }  // namespace tda::gpusim

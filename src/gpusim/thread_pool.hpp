@@ -109,6 +109,17 @@ class ThreadPool {
     return inline_runs_.load(std::memory_order_relaxed);
   }
 
+  /// Cumulative per-lane execution accounting. Index 0 aggregates every
+  /// calling thread's participation (callers come and go; they share a
+  /// slot); 1..workers() are the pool's own threads. Feeds the
+  /// engine.lane.* utilization gauges — a flat thread-scaling curve
+  /// with idle worker lanes is diagnosable from these alone.
+  struct LaneStats {
+    std::uint64_t chunks = 0;  ///< work chunks executed on this lane
+    double busy_ms = 0.0;      ///< wall time spent inside chunks
+  };
+  [[nodiscard]] std::vector<LaneStats> lane_stats() const;
+
   /// Lane count $TDA_THREADS requests (hardware_concurrency fallback).
   static int lanes_from_env();
 
@@ -123,16 +134,22 @@ class ThreadPool {
     std::condition_variable done_cv;
   };
 
+  struct LaneCounters {
+    std::atomic<std::uint64_t> chunks{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+  };
+
   void spawn(int lanes);
   void stop_workers();
-  void worker_loop();
-  void participate(Job& job);
+  void worker_loop(std::size_t lane);
+  void participate(Job& job, LaneCounters* counters);
   void remove_job(const std::shared_ptr<Job>& job);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::shared_ptr<Job>> jobs_;
   std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<LaneCounters>> lane_counters_;  // mu_
   bool stop_ = false;
   std::atomic<std::uint64_t> parallel_runs_{0};
   std::atomic<std::uint64_t> inline_runs_{0};

@@ -6,8 +6,11 @@
 // to see what the service did with it.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
+
+#include "telemetry/tracer.hpp"
 
 namespace tda::service {
 
@@ -42,6 +45,10 @@ struct SolveRequest {
   /// Per-request deadline in ms from admission; 0 = use the config
   /// default (which may itself be "none").
   double deadline_ms = 0.0;
+  /// Optional caller-provided trace context: a non-zero trace_id joins
+  /// the request to an existing trace (e.g. a front door that already
+  /// minted one); zero lets the service mint a fresh id at admission.
+  telemetry::TraceContext trace;
 
   [[nodiscard]] std::size_t size() const { return b.size(); }
 };
@@ -52,6 +59,11 @@ struct SolveResponse {
   std::vector<T> x;  ///< solution (empty unless status == Ok)
 
   // --- scheduling detail ---
+  /// Trace id the service stamped on (or adopted for) this request; 0
+  /// when tracing was disabled. Matches the "request" root span and the
+  /// latency-histogram exemplars, so a slow response can be looked up
+  /// in the exported trace directly.
+  std::uint64_t trace_id = 0;
   std::size_t batch_systems = 0;  ///< systems coalesced into the solve
   double wait_ms = 0.0;           ///< admission -> dispatch wall time
   double solve_ms = 0.0;          ///< simulated ms of the whole batch

@@ -32,11 +32,17 @@
 // dies mid-shift is detected by the scheduler, its job is requeued and
 // the thread restarted — a dead worker never strands its queue.
 //
-// Telemetry: the service owns a session. Metrics record queue depth,
-// wait time, batch occupancy and solve times; the tracer gets whole
-// enqueue -> flush -> solve -> complete spans per coalesced batch
-// (emitted with wall-clock timestamps, serialized by an internal mutex
-// since workers run concurrently).
+// Telemetry: the service owns a session. Every admitted request gets a
+// trace id (minted here, or adopted from SolveRequest::trace) and a
+// "request" root span that stays open until the request reaches a
+// terminal state; the batch/solver/kernel spans a solve emits — across
+// worker threads, retries, failover, chunk splits and the CPU fallback
+// — all nest under that root, so the Chrome-trace export renders one
+// coherent tree per request. Metrics record queue depth, wait time,
+// batch occupancy and solve times, plus per-(shape, dtype, outcome)
+// end-to-end latency histograms whose exemplars carry the trace ids of
+// slow requests. The tracer is internally synchronized; workers record
+// concurrently without service-level serialization.
 //
 // Thread-safety model: one service mutex guards the buckets, the
 // admission count and every worker's job queue; each simulated Device
@@ -61,6 +67,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/alloc_stats.hpp"
+#include "common/buffer_pool.hpp"
 #include "common/check.hpp"
 #include "faults/faults.hpp"
 #include "gpusim/launch.hpp"
@@ -148,6 +156,10 @@ class SolveService {
     workers_.reserve(devices.size());
     for (const auto& spec : devices) {
       workers_.push_back(std::make_unique<Worker>(spec));
+      // Every worker device records into the service session, but must
+      // NOT adopt the simulated clock: kernel spans need wall timestamps
+      // to nest under the service's wall-clock batch spans.
+      workers_.back()->dev.set_telemetry(&telemetry_, /*adopt_clock=*/false);
       if (cfg_.resilience.arm_device_faults) {
         workers_.back()->dev.arm_faults();
       }
@@ -258,6 +270,20 @@ class SolveService {
     p.enqueue_tp = now;
     p.deadline_tp = deadline_of(now, req.deadline_ms);
     p.seq = next_seq_++;
+    p.n = n;
+    if (telemetry_.tracer.enabled()) {
+      // Mint the request's identity at admission: adopt the caller's
+      // trace id when one came in, otherwise start a fresh trace. The
+      // root span stays open until the request reaches a terminal state;
+      // everything the solve path emits parents under it via p.ctx.
+      p.ctx.trace_id = req.trace.trace_id != 0 ? req.trace.trace_id
+                                               : telemetry::next_trace_id();
+      p.root = telemetry_.tracer.open_at(
+          "request", "service", wall_s(now),
+          {p.ctx.trace_id, req.trace.parent});
+      telemetry_.tracer.attr(p.root, "n", static_cast<double>(n));
+      p.ctx.parent = p.root;
+    }
     buckets_[n].push_back(std::move(p));
     ++pending_;
     pending_bytes_ += fp;
@@ -412,13 +438,58 @@ class SolveService {
   }
 
   bool export_trace(const std::string& path) const {
-    std::lock_guard lk(tel_mu_);
     return telemetry::write_text_file(
         path, telemetry::to_chrome_trace(telemetry_.tracer));
   }
   bool export_metrics(const std::string& path) const {
     return telemetry::write_text_file(
         path, telemetry::to_metrics_json(telemetry_.metrics));
+  }
+  /// Writes the registry in OpenMetrics text format (counters, gauges,
+  /// summaries, latency histograms with exemplars, `# EOF`).
+  bool export_openmetrics(const std::string& path) const {
+    return telemetry::write_text_file(
+        path, telemetry::to_openmetrics(telemetry_.metrics));
+  }
+
+  /// Point-in-time view of one worker for dashboards/consoles.
+  struct WorkerHealth {
+    std::string device;       ///< device name
+    const char* breaker;      ///< "closed" / "open" / "half_open"
+    std::size_t restarts;     ///< times the worker thread was revived
+    std::size_t queued_systems;
+    bool busy;                ///< a job is being processed right now
+  };
+
+  [[nodiscard]] std::vector<WorkerHealth> worker_health() const {
+    std::vector<WorkerHealth> out;
+    out.reserve(workers_.size());
+    std::lock_guard lk(mu_);
+    for (const auto& w : workers_) {
+      WorkerHealth h;
+      h.device = w->dev.spec().name;
+      h.breaker = w->breaker == Breaker::Open       ? "open"
+                  : w->breaker == Breaker::HalfOpen ? "half_open"
+                                                    : "closed";
+      h.restarts = w->restarts;
+      h.queued_systems = w->queued_systems;
+      h.busy = w->busy;
+      out.push_back(std::move(h));
+    }
+    return out;
+  }
+
+  /// Refreshes the point-in-time gauges: queue depth, per-worker breaker
+  /// state and restarts, per-lane engine utilization, buffer-pool hit
+  /// rate and host allocation count. The watchdog calls this every tick;
+  /// callers exporting metrics mid-run may call it directly.
+  void publish_gauges() {
+    if (!telemetry_.metrics.enabled()) return;
+    {
+      std::lock_guard lk(mu_);
+      publish_service_gauges_locked();
+    }
+    publish_engine_gauges();
   }
 
  private:
@@ -428,6 +499,12 @@ class SolveService {
     TimePoint enqueue_tp{};
     TimePoint deadline_tp = TimePoint::max();
     std::uint64_t seq = 0;
+    std::size_t n = 0;  ///< system size (latency-bucket label)
+    /// Request identity: trace id + root span ("request"), minted at
+    /// admission while the tracer is enabled. Every span the solve path
+    /// emits for this request hangs under `root`.
+    telemetry::TraceContext ctx;
+    telemetry::SpanId root = telemetry::kInvalidSpan;
   };
 
   struct Job {
@@ -493,6 +570,95 @@ class SolveService {
     resp.status = SolveStatus::TimedOut;
     resp.timeout_scope = scope;
     promise.set_value(std::move(resp));
+  }
+
+  /// Histogram shape label: smallest power-of-two bucket holding n.
+  [[nodiscard]] static std::string shape_bucket(std::size_t n) {
+    std::size_t b = 16;
+    while (b < n && b < (std::size_t{1} << 24)) b <<= 1;
+    return "le" + std::to_string(b);
+  }
+
+  [[nodiscard]] static const char* dtype_name() {
+    return sizeof(T) == 4 ? "f32" : "f64";
+  }
+
+  /// Marks one request terminal for observability: closes its root span
+  /// (stamping the outcome) and records its end-to-end latency into the
+  /// per-(shape, dtype, outcome) histogram with the trace id as the
+  /// exemplar. Idempotent on the span side (root is cleared). Safe to
+  /// call with tracing and/or metrics disabled.
+  void conclude(Pending& p, const char* outcome, TimePoint now) {
+    if (p.root != telemetry::kInvalidSpan) {
+      telemetry_.tracer.attr(p.root, "outcome", outcome);
+      telemetry_.tracer.close_at(p.root, wall_s(now));
+      p.root = telemetry::kInvalidSpan;
+    }
+    if (telemetry_.metrics.enabled()) {
+      const double e2e_ms = std::chrono::duration<double, std::milli>(
+                                now - p.enqueue_tp)
+                                .count();
+      telemetry_.metrics.observe_latency(
+          telemetry::labeled("service.request_latency_ms",
+                             {{"shape", shape_bucket(p.n)},
+                              {"dtype", dtype_name()},
+                              {"outcome", outcome}}),
+          e2e_ms, p.ctx.trace_id);
+    }
+  }
+
+  /// Gauges that read service state. Caller holds mu_.
+  void publish_service_gauges_locked() {
+    auto& mx = telemetry_.metrics;
+    mx.set("service.queue_depth_now", static_cast<double>(pending_));
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      const Worker& w = *workers_[i];
+      const std::string lane = std::to_string(i);
+      // 0 = closed, 1 = half-open, 2 = open (matches alert thresholds:
+      // anything above 0 deserves a look).
+      const double state = w.breaker == Breaker::Open       ? 2.0
+                           : w.breaker == Breaker::HalfOpen ? 1.0
+                                                            : 0.0;
+      mx.set(telemetry::labeled("service.breaker_state",
+                                {{"worker", lane},
+                                 {"device", w.dev.spec().name}}),
+             state);
+      mx.set(telemetry::labeled("service.worker_restarts_now",
+                                {{"worker", lane}}),
+             static_cast<double>(w.restarts));
+    }
+  }
+
+  /// Gauges that read global engine/pool state. No service lock needed.
+  void publish_engine_gauges() {
+    auto& mx = telemetry_.metrics;
+    const auto lanes = gpusim::ThreadPool::global().lane_stats();
+    double busy_ms = 0.0;
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      const std::string lane = std::to_string(i);
+      mx.set(telemetry::labeled("engine.lane.busy_ms", {{"lane", lane}}),
+             lanes[i].busy_ms);
+      mx.set(telemetry::labeled("engine.lane.chunks", {{"lane", lane}}),
+             static_cast<double>(lanes[i].chunks));
+      busy_ms += lanes[i].busy_ms;
+    }
+    const double up_ms = std::chrono::duration<double, std::milli>(
+                             Clock::now() - start_tp_)
+                             .count();
+    if (!lanes.empty() && up_ms > 0.0) {
+      mx.set("engine.utilization",
+             busy_ms / (up_ms * static_cast<double>(lanes.size())));
+    }
+    const auto ps = tda::BufferPool::global().stats();
+    mx.set("pool.hit_rate",
+           ps.acquires > 0
+               ? static_cast<double>(ps.hits) /
+                     static_cast<double>(ps.acquires)
+               : 0.0);
+    mx.set("pool.cached_bytes", static_cast<double>(ps.cached_bytes));
+    mx.set("pool.outstanding_bytes",
+           static_cast<double>(ps.outstanding_bytes));
+    mx.set("host.alloc_count", static_cast<double>(host_alloc_count()));
   }
 
   /// Device-resident bytes one queued system of size n will need.
@@ -575,6 +741,7 @@ class SolveService {
     if (oldest_bucket->second.empty()) buckets_.erase(oldest_bucket);
     --pending_;
     count_terminal(SolveStatus::Shed);
+    conclude(victim, "shed", Clock::now());
     finish(std::move(victim.promise), SolveStatus::Shed);
     return true;
   }
@@ -588,6 +755,7 @@ class SolveService {
         if (p->deadline_tp <= now) {
           count_terminal(SolveStatus::TimedOut);
           count_timeout_scope(TimeoutScope::Queue);
+          conclude(*p, "timed_out", now);
           finish_timeout(std::move(p->promise), TimeoutScope::Queue);
           p = dq.erase(p);
           --pending_;
@@ -912,6 +1080,10 @@ class SolveService {
           }
         }
       }
+      if (telemetry_.metrics.enabled()) {
+        publish_service_gauges_locked();
+        publish_engine_gauges();
+      }
       cv_watchdog_.wait_for(lk, interval);
     }
   }
@@ -931,12 +1103,45 @@ class SolveService {
       if (p.deadline_tp <= t_pickup) {
         count_terminal(SolveStatus::TimedOut);
         count_timeout_scope(TimeoutScope::Queue);
+        conclude(p, "timed_out", t_pickup);
         finish_timeout(std::move(p.promise), TimeoutScope::Queue);
       } else {
         live.push_back(std::move(p));
       }
     }
     if (live.empty()) return;
+
+    // Install the primary member's trace context as this worker thread's
+    // ambient parent and open a "batch" span under it: every span the
+    // solve emits below (tuner, solver stages, chunk splits, kernel
+    // launches, CPU fallback) nests under the batch via the thread-local
+    // span stack. Batchmates riding along carry a link attribute back to
+    // the shared batch trace on their own roots.
+    auto& tr = telemetry_.tracer;
+    telemetry::TraceContext bctx;
+    if (tr.enabled() && live.front().root != telemetry::kInvalidSpan) {
+      bctx = telemetry::TraceContext{live.front().ctx.trace_id,
+                                     live.front().root};
+    }
+    telemetry::TraceScope trace_scope(&tr, bctx);
+    telemetry::ScopedSpan batch_span(tr, "batch", "service");
+    if (batch_span.active()) {
+      batch_span.attr("n", static_cast<double>(job.n));
+      batch_span.attr("systems", static_cast<double>(live.size()));
+      batch_span.attr("device", w.dev.spec().name);
+      batch_span.attr("trigger", job.trigger);
+      if (job.failovers > 0) {
+        batch_span.attr("failovers", static_cast<double>(job.failovers));
+      }
+      if (bctx.valid()) {
+        const std::string hex = telemetry::trace_id_hex(bctx.trace_id);
+        for (std::size_t i = 1; i < live.size(); ++i) {
+          if (live[i].root != telemetry::kInvalidSpan) {
+            tr.attr(live[i].root, "batch_trace", hex);
+          }
+        }
+      }
+    }
 
     auto& inj = faults::FaultInjector::global();
     if (inj.fire(faults::Site::WorkerStall)) {
@@ -1079,10 +1284,13 @@ class SolveService {
       std::unique_lock lk(mu_);
       for (auto& p : live) {
         if (!draining_ && p.deadline_tp > now) {
+          // Requeued members keep their root span open: the re-dispatch
+          // emits a second batch span under the same request tree.
           requeue.push_back(std::move(p));
         } else {
           count_terminal(SolveStatus::TimedOut);
           count_timeout_scope(TimeoutScope::InFlight);
+          conclude(p, "timed_out", now);
           finish_timeout(std::move(p.promise), TimeoutScope::InFlight);
         }
       }
@@ -1152,6 +1360,7 @@ class SolveService {
     if (!solved) {
       count_terminal(SolveStatus::Failed, m);
       for (auto& p : live) {
+        conclude(p, "failed", t_solve1);
         finish(std::move(p.promise), SolveStatus::Failed, error);
       }
       return;
@@ -1228,6 +1437,7 @@ class SolveService {
     }
     for (std::size_t i = 0; i < m; ++i) {
       SolveResponse<T> resp;
+      const char* outcome = "ok";
       switch (sys_status[i]) {
         case solver::SystemStatus::Ok:
           resp.status = SolveStatus::Ok;
@@ -1235,20 +1445,24 @@ class SolveService {
         case solver::SystemStatus::FallbackUsed:
           resp.status = SolveStatus::Ok;
           resp.fallback_used = true;
+          outcome = "fallback";
           break;
         case solver::SystemStatus::Singular:
           resp.status = SolveStatus::Singular;
           resp.error = "system is numerically singular";
+          outcome = "singular";
           break;
         case solver::SystemStatus::NonFinite:
           resp.status = SolveStatus::NonFinite;
           resp.error = "system contains non-finite coefficients";
+          outcome = "nonfinite";
           break;
       }
       if (resp.status == SolveStatus::Ok) {
         resp.x.assign(batch.x().begin() + i * n,
                       batch.x().begin() + (i + 1) * n);
       }
+      resp.trace_id = live[i].ctx.trace_id;
       resp.batch_systems = m;
       resp.retries = batch_retries;
       resp.chunks = chunk_stats.chunks;
@@ -1264,28 +1478,38 @@ class SolveService {
                                   t_solve1 - live[i].enqueue_tp)
                                   .count());
       }
+      if (live[i].root != telemetry::kInvalidSpan) {
+        tr.attr(live[i].root, "device", w.dev.spec().name);
+        if (batch_retries > 0) {
+          tr.attr(live[i].root, "retries",
+                  static_cast<double>(batch_retries));
+        }
+      }
+      conclude(live[i], outcome, t_solve1);
       live[i].promise.set_value(std::move(resp));
     }
     const TimePoint t_done = Clock::now();
 
-    if (telemetry_.tracer.enabled()) {
-      // Whole spans with pre-measured wall timestamps; emit() never
-      // touches the tracer's open-span stack, so a mutex is all the
-      // cross-thread discipline the tracer needs.
-      std::lock_guard tl(tel_mu_);
-      auto& tr = telemetry_.tracer;
-      const auto span = [&](const char* name, TimePoint b, TimePoint e) {
-        const auto id = tr.emit(name, "service", wall_s(b), wall_s(e));
+    if (tr.enabled()) {
+      // Whole spans with pre-measured wall timestamps, parented
+      // explicitly: "enqueue" predates the batch span so it hangs off
+      // the request root; the scheduling phases nest under the batch.
+      const telemetry::TraceContext under_batch{
+          bctx.trace_id, batch_span.active() ? batch_span.id() : bctx.parent};
+      const auto span = [&](const char* name, TimePoint b, TimePoint e,
+                            telemetry::TraceContext ctx) {
+        const auto id =
+            tr.emit_at(name, "service", wall_s(b), wall_s(e), ctx);
         tr.attr(id, "n", static_cast<double>(n));
         tr.attr(id, "systems", static_cast<double>(m));
         tr.attr(id, "device", w.dev.spec().name);
         return id;
       };
       const auto enq =
-          span("enqueue", job.oldest_enqueue_tp, job.flush_tp);
+          span("enqueue", job.oldest_enqueue_tp, job.flush_tp, bctx);
       tr.attr(enq, "trigger", job.trigger);
-      span("flush", job.flush_tp, t_solve0);
-      const auto slv = span("solve", t_solve0, t_solve1);
+      span("flush", job.flush_tp, t_solve0, under_batch);
+      const auto slv = span("solve", t_solve0, t_solve1, under_batch);
       tr.attr(slv, "sim_ms", stats.total_ms);
       if (batch_retries > 0) {
         tr.attr(slv, "retries", static_cast<double>(batch_retries));
@@ -1293,7 +1517,7 @@ class SolveService {
       if (n_fallback > 0) {
         tr.attr(slv, "fallbacks", static_cast<double>(n_fallback));
       }
-      span("complete", t_solve1, t_done);
+      span("complete", t_solve1, t_done, under_batch);
     }
   }
 
@@ -1322,7 +1546,6 @@ class SolveService {
   tuning::TuningCache cache_;
 
   telemetry::Telemetry telemetry_;
-  mutable std::mutex tel_mu_;
   telemetry::EnvExport env_export_{telemetry_, "service"};
 
   std::atomic<std::size_t> counters_submitted_{0};

@@ -63,6 +63,7 @@ class AutoSolver {
 
   /// Solves a uniform batch with per-shape tuned parameters.
   SolveStats solve(tridiag::TridiagBatch<T>& batch) {
+    RequestRoot root(*this, "uniform");
     const Workload w{batch.num_systems(), batch.system_size()};
     GpuTridiagonalSolver<T> solver(*dev_, points_for(w));
     return solver.solve(batch);
@@ -72,6 +73,7 @@ class AutoSolver {
   /// is solved with its own tuned parameters. Returns the total
   /// simulated milliseconds.
   double solve(RaggedBatch<T>& batch) {
+    RequestRoot root(*this, "ragged");
     double total_ms = 0.0;
     for (auto& [n, members] : batch.groups_by_size()) {
       auto group = batch.gather_group(n, members);
@@ -107,6 +109,40 @@ class AutoSolver {
   }
 
  private:
+  /// Opens a per-call "request" root span with a fresh trace id when the
+  /// calling thread is not already inside a trace (the in-process
+  /// counterpart of the service's admission-time minting). Joins the
+  /// ambient trace silently when one is live — a nested solve() (ragged
+  /// groups) or a service-managed call never forks a second tree.
+  class RequestRoot {
+   public:
+    RequestRoot(AutoSolver& s, const char* kind) {
+      auto* tel = s.dev_->telemetry();
+      if (tel == nullptr || !tel->tracer.enabled()) return;
+      if (tel->tracer.ambient().valid()) return;
+      tracer_ = &tel->tracer;
+      prev_ = tracer_->ambient();
+      tracer_->set_ambient({tda::telemetry::next_trace_id(),
+                            tda::telemetry::kInvalidSpan});
+      span_ = tracer_->begin("request", "solver");
+      tracer_->attr(span_, "kind", kind);
+    }
+
+    ~RequestRoot() {
+      if (tracer_ == nullptr) return;
+      if (span_ != tda::telemetry::kInvalidSpan) tracer_->end(span_);
+      tracer_->set_ambient(prev_);
+    }
+
+    RequestRoot(const RequestRoot&) = delete;
+    RequestRoot& operator=(const RequestRoot&) = delete;
+
+   private:
+    tda::telemetry::Tracer* tracer_ = nullptr;
+    tda::telemetry::SpanId span_ = tda::telemetry::kInvalidSpan;
+    tda::telemetry::TraceContext prev_;
+  };
+
   gpusim::Device* dev_;
   std::string cache_path_;
   tuning::TuningCache cache_;

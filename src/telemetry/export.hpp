@@ -1,32 +1,53 @@
 #pragma once
 // Exporters: Chrome trace-event JSON (open in chrome://tracing or
-// https://ui.perfetto.dev) for the span tracer, and a flat JSON dump
-// for the metrics registry. EnvExport is the env-var gate: with
-// TDA_TRACE=<path> and/or TDA_METRICS=<path> set it enables the
-// corresponding telemetry half and writes the file(s) when it goes out
-// of scope.
+// https://ui.perfetto.dev) for the span tracer, a flat JSON dump for
+// the metrics registry, and an OpenMetrics/Prometheus text rendering of
+// the same registry. EnvExport is the env-var gate: with
+// TDA_TRACE=<path>, TDA_METRICS=<path> and/or TDA_OPENMETRICS=<path>
+// set it enables the corresponding telemetry half and writes the
+// file(s) when it goes out of scope; TDA_METRICS_INTERVAL=<seconds>
+// additionally rewrites the metrics file(s) periodically while the
+// scope lives, so a long service run can be scraped mid-flight.
 
+#include <condition_variable>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "telemetry/telemetry.hpp"
 
 namespace tda::telemetry {
 
-/// Chrome trace-event JSON ("X" complete events, simulated-time
-/// timestamps in microseconds). Events are ordered so that a parent
-/// precedes its children even when they share a begin timestamp.
+/// Chrome trace-event JSON ("X" complete events, timestamps in
+/// microseconds). Events are ordered so that a parent precedes its
+/// children even when they share a begin timestamp. Spans carrying a
+/// trace id land on a per-trace tid row and every event's args carry
+/// span_id / parent_id / trace_id, so tooling can rebuild the exact
+/// request tree (scripts/trace_tree_check.py does).
 std::string to_chrome_trace(const Tracer& tracer);
 
 /// Flat metrics JSON: {"counters":{..},"gauges":{..},"histograms":
-/// {name:{count,min,max,mean,p50,p95}}}.
+/// {name:{count,min,max,mean,p50,p95}},"latency":{name:{count,sum,
+/// p50,p95,p99,exemplar...}}}.
 std::string to_metrics_json(const MetricsRegistry& metrics);
+
+/// OpenMetrics text format (the Prometheus exposition format): counters
+/// as <name>_total, gauges plain, sample histograms as summaries with
+/// quantile labels, latency histograms as cumulative _bucket{le="..."}
+/// series with trace-id exemplars, terminated by "# EOF". Metric names
+/// are sanitized (dots -> underscores) and prefixed "tda_"; labeled()
+/// keys contribute their label sets verbatim.
+std::string to_openmetrics(const MetricsRegistry& metrics);
 
 /// Writes `content` to `path`; false on I/O failure.
 bool write_text_file(const std::string& path, const std::string& content);
 
-/// $TDA_TRACE / $TDA_METRICS, empty when unset.
+/// $TDA_TRACE / $TDA_METRICS / $TDA_OPENMETRICS, empty when unset.
 std::string trace_env_path();
 std::string metrics_env_path();
+std::string openmetrics_env_path();
+/// $TDA_METRICS_INTERVAL in seconds; 0 when unset/invalid.
+double metrics_interval_env();
 
 /// Env-gated export scope. `suffix` (optional) is sanitized and
 /// inserted before the file extension so multi-device runs don't
@@ -41,7 +62,8 @@ class EnvExport {
 
   /// True when at least one of the env vars is set.
   [[nodiscard]] bool active() const {
-    return !trace_path_.empty() || !metrics_path_.empty();
+    return !trace_path_.empty() || !metrics_path_.empty() ||
+           !openmetrics_path_.empty();
   }
   [[nodiscard]] const std::string& trace_path() const {
     return trace_path_;
@@ -49,15 +71,32 @@ class EnvExport {
   [[nodiscard]] const std::string& metrics_path() const {
     return metrics_path_;
   }
+  [[nodiscard]] const std::string& openmetrics_path() const {
+    return openmetrics_path_;
+  }
+  /// Seconds between periodic metrics snapshots (0 = disabled).
+  [[nodiscard]] double snapshot_interval_s() const { return interval_s_; }
 
   /// Writes the export files now (the destructor then skips them).
   void flush();
 
  private:
+  void write_metrics_files() const;
+  void snapshot_loop();
+
   Telemetry* tel_;
   std::string trace_path_;
   std::string metrics_path_;
+  std::string openmetrics_path_;
+  double interval_s_ = 0.0;
   bool flushed_ = false;
+
+  // Periodic snapshot writer (only spawned when interval > 0 and a
+  // metrics path is set).
+  std::thread snapshot_thread_;
+  std::mutex snap_mu_;
+  std::condition_variable snap_cv_;
+  bool snap_stop_ = false;
 };
 
 }  // namespace tda::telemetry

@@ -1,19 +1,34 @@
 #pragma once
-// Metrics registry: named counters, gauges and histograms. Counters
-// accumulate (solves, tunes, cache hits, kernel launches, bytes moved),
-// gauges hold the latest value (probe results), histograms keep raw
-// samples and summarize to count/min/max/mean/p50/p95 — the shape of
-// the paper's per-stage timing tables.
+// Metrics registry: named counters, gauges, sample histograms and
+// fixed-bucket latency histograms. Counters accumulate (solves, tunes,
+// cache hits, kernel launches, bytes moved), gauges hold the latest
+// value (probe results, lane utilization, pool hit rate), sample
+// histograms keep raw samples and summarize to count/min/max/mean/
+// p50/p95 — the shape of the paper's per-stage timing tables.
 //
-// Thread-safe behind a single mutex (the CPU baseline solver is
-// multi-threaded); the enabled check is taken before the lock so a
-// disabled registry costs one branch and allocates nothing.
+// Latency histograms are the always-on aggregation path: log-spaced
+// fixed bucket bounds (so recording is O(log buckets) with zero
+// allocation in steady state), keyed by labeled names built with
+// labeled() — e.g. service.request_latency_ms{shape="le64",
+// dtype="f64",outcome="ok"} — and each bucket keeps an *exemplar*: the
+// trace id of the last request that landed there, so the p99 straggler
+// bucket names a concrete trace to go look at.
+//
+// Thread-safe behind a single mutex; the enabled flag is atomic (it is
+// read before the lock on every hot-path call and may race a toggle
+// from another thread — a plain bool here is a TSan data race), so a
+// disabled registry costs one relaxed load and allocates nothing.
 
 #include <cstddef>
+#include <cstdint>
+#include <atomic>
+#include <initializer_list>
 #include <map>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace tda::telemetry {
@@ -32,10 +47,46 @@ struct HistogramSummary {
 /// empty. Exposed for tests.
 double percentile(std::vector<double> samples, double q);
 
+/// Upper bounds (ms) of the fixed latency buckets. The last bound is
+/// +Inf, so every sample lands somewhere.
+std::span<const double> latency_bucket_bounds();
+
+/// Trace id of a request that landed in a bucket (0 = none yet).
+struct LatencyExemplar {
+  std::uint64_t trace_id = 0;
+  double value = 0.0;
+};
+
+/// Locked copy of one latency histogram.
+struct LatencySnapshot {
+  std::vector<std::uint64_t> counts;     ///< per bucket, non-cumulative
+  std::vector<LatencyExemplar> exemplars;  ///< per bucket
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  /// Quantile estimate (q in [0,1]) by linear interpolation inside the
+  /// owning bucket; 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+  /// Exemplar of the highest non-empty bucket at or above quantile q —
+  /// "a p99 straggler's trace id". trace_id 0 when none recorded.
+  [[nodiscard]] LatencyExemplar exemplar_at(double q) const;
+};
+
+/// Builds a labeled metric key: name + {k="v",...} with keys in the
+/// given order. Exporters parse the braces back into label sets.
+std::string labeled(
+    std::string_view name,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
+
 class MetricsRegistry {
  public:
-  void enable(bool on = true) { enabled_ = on; }
-  [[nodiscard]] bool enabled() const { return enabled_; }
+  void enable(bool on = true) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
 
   /// Adds `delta` to a counter (creating it at 0).
   void add(std::string_view name, double delta = 1.0);
@@ -43,18 +94,26 @@ class MetricsRegistry {
   void set(std::string_view name, double value);
   /// Appends one sample to a histogram.
   void observe(std::string_view name, double sample);
+  /// Records one sample (ms) into a fixed-bucket latency histogram,
+  /// stamping `exemplar_trace_id` (when non-zero) on the bucket it
+  /// lands in.
+  void observe_latency(std::string_view name, double ms,
+                       std::uint64_t exemplar_trace_id = 0);
 
   /// Reads a counter / gauge; 0 for names never written.
   [[nodiscard]] double counter(std::string_view name) const;
   [[nodiscard]] double gauge(std::string_view name) const;
   /// Summarizes a histogram; all-zero for names never observed.
   [[nodiscard]] HistogramSummary histogram(std::string_view name) const;
+  /// Snapshot of one latency histogram; empty counts for unknown names.
+  [[nodiscard]] LatencySnapshot latency(std::string_view name) const;
 
   /// Snapshot accessors (copies, so callers need no lock discipline).
   [[nodiscard]] std::map<std::string, double> counters() const;
   [[nodiscard]] std::map<std::string, double> gauges() const;
   [[nodiscard]] std::map<std::string, std::vector<double>> histograms()
       const;
+  [[nodiscard]] std::map<std::string, LatencySnapshot> latencies() const;
 
   /// True when nothing has been recorded.
   [[nodiscard]] bool empty() const;
@@ -62,11 +121,19 @@ class MetricsRegistry {
   void clear();
 
  private:
-  bool enabled_ = false;
+  struct LatencyHist {
+    std::vector<std::uint64_t> counts;
+    std::vector<LatencyExemplar> exemplars;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
   std::map<std::string, double, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
   std::map<std::string, std::vector<double>, std::less<>> histograms_;
+  std::map<std::string, LatencyHist, std::less<>> latencies_;
 };
 
 }  // namespace tda::telemetry

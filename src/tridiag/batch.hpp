@@ -12,14 +12,26 @@
 // threads produces coalesced accesses, exactly the access pattern the
 // paper's kernels rely on. a[0] and c[n-1] are 0 by convention.
 
+#include <algorithm>
 #include <cstddef>
+#include <cstring>
 #include <span>
+#include <utility>
 
 #include "common/aligned_buffer.hpp"
+#include "common/buffer_pool.hpp"
 #include "common/check.hpp"
 #include "common/strided_view.hpp"
 
 namespace tda::tridiag {
+
+/// Where a TridiagBatch's coefficient arrays live.
+enum class BatchStorage {
+  Fresh,  ///< five zero-initialized AlignedBuffers (the default)
+  Pooled  ///< one BufferPool slab shared by all five lanes — repeated
+          ///< same-shape batches (figure benches, generators in loops)
+          ///< reuse a warm allocation instead of paying malloc + free
+};
 
 /// Non-owning view of one (sub)system's coefficients. All four views share
 /// count and stride. PCR rewrites a/b/c/d in place (via a double buffer);
@@ -48,66 +60,178 @@ struct SystemView {
 };
 
 /// Owning batch of m tridiagonal systems of size n (SoA, system-major).
+/// Storage is either five fresh AlignedBuffers or one pooled slab (see
+/// BatchStorage); both are zero-initialized and 64-byte aligned, so the
+/// choice is invisible to everything downstream of the five lane spans.
 template <typename T>
 class TridiagBatch {
  public:
   TridiagBatch() = default;
 
-  TridiagBatch(std::size_t num_systems, std::size_t system_size)
+  TridiagBatch(std::size_t num_systems, std::size_t system_size,
+               BatchStorage storage = BatchStorage::Fresh)
       : m_(num_systems), n_(system_size) {
     TDA_REQUIRE(num_systems > 0, "batch needs at least one system");
     TDA_REQUIRE(system_size > 0, "system size must be positive");
-    const std::size_t total = m_ * n_;
-    a_.resize(total);
-    b_.resize(total);
-    c_.resize(total);
-    d_.resize(total);
-    x_.resize(total);
+    allocate(storage);
+  }
+
+  TridiagBatch(const TridiagBatch& other) : m_(other.m_), n_(other.n_) {
+    if (m_ == 0) return;
+    allocate(other.storage());
+    copy_lanes_from(other);
+  }
+  TridiagBatch& operator=(const TridiagBatch& other) {
+    if (this == &other) return *this;
+    if (m_ != other.m_ || n_ != other.n_ || storage() != other.storage()) {
+      *this = TridiagBatch();  // drop current storage
+      m_ = other.m_;
+      n_ = other.n_;
+      if (m_ > 0) allocate(other.storage());
+    }
+    if (m_ > 0) copy_lanes_from(other);
+    return *this;
+  }
+  // Both storage kinds are heap allocations whose data pointers survive
+  // a move of their owning handle, so the lane pointers transfer as-is;
+  // the source is left empty (not just unspecified) so a stale span can
+  // never be taken from it.
+  TridiagBatch(TridiagBatch&& other) noexcept
+      : m_(other.m_),
+        n_(other.n_),
+        a_(std::move(other.a_)),
+        b_(std::move(other.b_)),
+        c_(std::move(other.c_)),
+        d_(std::move(other.d_)),
+        x_(std::move(other.x_)),
+        slab_(std::move(other.slab_)),
+        pa_(other.pa_),
+        pb_(other.pb_),
+        pc_(other.pc_),
+        pd_(other.pd_),
+        px_(other.px_) {
+    other.clear_handle();
+  }
+  TridiagBatch& operator=(TridiagBatch&& other) noexcept {
+    if (this != &other) {
+      m_ = other.m_;
+      n_ = other.n_;
+      a_ = std::move(other.a_);
+      b_ = std::move(other.b_);
+      c_ = std::move(other.c_);
+      d_ = std::move(other.d_);
+      x_ = std::move(other.x_);
+      slab_ = std::move(other.slab_);
+      pa_ = other.pa_;
+      pb_ = other.pb_;
+      pc_ = other.pc_;
+      pd_ = other.pd_;
+      px_ = other.px_;
+      other.clear_handle();
+    }
+    return *this;
   }
 
   [[nodiscard]] std::size_t num_systems() const { return m_; }
   [[nodiscard]] std::size_t system_size() const { return n_; }
   [[nodiscard]] std::size_t total_equations() const { return m_ * n_; }
+  [[nodiscard]] BatchStorage storage() const {
+    return slab_ ? BatchStorage::Pooled : BatchStorage::Fresh;
+  }
 
-  [[nodiscard]] std::span<T> a() { return a_.span(); }
-  [[nodiscard]] std::span<T> b() { return b_.span(); }
-  [[nodiscard]] std::span<T> c() { return c_.span(); }
-  [[nodiscard]] std::span<T> d() { return d_.span(); }
-  [[nodiscard]] std::span<T> x() { return x_.span(); }
-  [[nodiscard]] std::span<const T> a() const { return a_.span(); }
-  [[nodiscard]] std::span<const T> b() const { return b_.span(); }
-  [[nodiscard]] std::span<const T> c() const { return c_.span(); }
-  [[nodiscard]] std::span<const T> d() const { return d_.span(); }
-  [[nodiscard]] std::span<const T> x() const { return x_.span(); }
+  [[nodiscard]] std::span<T> a() { return {pa_, m_ * n_}; }
+  [[nodiscard]] std::span<T> b() { return {pb_, m_ * n_}; }
+  [[nodiscard]] std::span<T> c() { return {pc_, m_ * n_}; }
+  [[nodiscard]] std::span<T> d() { return {pd_, m_ * n_}; }
+  [[nodiscard]] std::span<T> x() { return {px_, m_ * n_}; }
+  [[nodiscard]] std::span<const T> a() const { return {pa_, m_ * n_}; }
+  [[nodiscard]] std::span<const T> b() const { return {pb_, m_ * n_}; }
+  [[nodiscard]] std::span<const T> c() const { return {pc_, m_ * n_}; }
+  [[nodiscard]] std::span<const T> d() const { return {pd_, m_ * n_}; }
+  [[nodiscard]] std::span<const T> x() const { return {px_, m_ * n_}; }
 
   /// Coefficient view of system s (contiguous, stride 1).
   [[nodiscard]] SystemView<T> system(std::size_t s) {
     TDA_REQUIRE(s < m_, "system index out of range");
     const std::size_t off = s * n_;
-    return SystemView<T>{StridedView<T>(a_.data() + off, n_, 1),
-                         StridedView<T>(b_.data() + off, n_, 1),
-                         StridedView<T>(c_.data() + off, n_, 1),
-                         StridedView<T>(d_.data() + off, n_, 1)};
+    return SystemView<T>{StridedView<T>(pa_ + off, n_, 1),
+                         StridedView<T>(pb_ + off, n_, 1),
+                         StridedView<T>(pc_ + off, n_, 1),
+                         StridedView<T>(pd_ + off, n_, 1)};
   }
 
   /// Solution view of system s.
   [[nodiscard]] StridedView<T> solution(std::size_t s) {
     TDA_REQUIRE(s < m_, "system index out of range");
-    return StridedView<T>(x_.data() + s * n_, n_, 1);
+    return StridedView<T>(px_ + s * n_, n_, 1);
   }
 
   /// Enforces the boundary convention a[0] = c[n-1] = 0 on every system.
   void normalize_boundaries() {
     for (std::size_t s = 0; s < m_; ++s) {
-      a_[s * n_] = T{0};
-      c_[s * n_ + n_ - 1] = T{0};
+      pa_[s * n_] = T{0};
+      pc_[s * n_ + n_ - 1] = T{0};
     }
   }
 
  private:
+  /// One lane's bytes, padded so every lane inside a pooled slab starts
+  /// on a cache-line boundary.
+  [[nodiscard]] std::size_t lane_bytes() const {
+    constexpr std::size_t kAlign = 64;
+    return (m_ * n_ * sizeof(T) + kAlign - 1) / kAlign * kAlign;
+  }
+
+  void allocate(BatchStorage storage) {
+    const std::size_t total = m_ * n_;
+    if (storage == BatchStorage::Pooled) {
+      const std::size_t lane = lane_bytes();
+      slab_ = BufferPool::global().acquire(5 * lane);
+      // Pooled memory is returned dirty; zero it to match Fresh exactly.
+      std::memset(slab_.data(), 0, 5 * lane);
+      pa_ = reinterpret_cast<T*>(slab_.data());
+      pb_ = reinterpret_cast<T*>(slab_.data() + lane);
+      pc_ = reinterpret_cast<T*>(slab_.data() + 2 * lane);
+      pd_ = reinterpret_cast<T*>(slab_.data() + 3 * lane);
+      px_ = reinterpret_cast<T*>(slab_.data() + 4 * lane);
+    } else {
+      a_.resize(total);
+      b_.resize(total);
+      c_.resize(total);
+      d_.resize(total);
+      x_.resize(total);
+      pa_ = a_.data();
+      pb_ = b_.data();
+      pc_ = c_.data();
+      pd_ = d_.data();
+      px_ = x_.data();
+    }
+  }
+
+  void clear_handle() {
+    m_ = 0;
+    n_ = 0;
+    pa_ = pb_ = pc_ = pd_ = px_ = nullptr;
+  }
+
+  void copy_lanes_from(const TridiagBatch& other) {
+    const std::size_t total = m_ * n_;
+    std::copy(other.pa_, other.pa_ + total, pa_);
+    std::copy(other.pb_, other.pb_ + total, pb_);
+    std::copy(other.pc_, other.pc_ + total, pc_);
+    std::copy(other.pd_, other.pd_ + total, pd_);
+    std::copy(other.px_, other.px_ + total, px_);
+  }
+
   std::size_t m_ = 0;
   std::size_t n_ = 0;
-  AlignedBuffer<T> a_, b_, c_, d_, x_;
+  AlignedBuffer<T> a_, b_, c_, d_, x_;  ///< Fresh storage (empty if pooled)
+  PoolBlock slab_;                      ///< Pooled storage (empty if fresh)
+  T* pa_ = nullptr;
+  T* pb_ = nullptr;
+  T* pc_ = nullptr;
+  T* pd_ = nullptr;
+  T* px_ = nullptr;
 };
 
 }  // namespace tda::tridiag
