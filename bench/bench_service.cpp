@@ -7,6 +7,20 @@
 //                   [--faults] [--fault-rates=0,0.01,0.05,0.1]
 //                   [--pressure] [--budget-fractions=1,0.5,0.25,0.1]
 //                   [--admission=2] [--deadline-ms=0]
+//                   [--tenants] [--tenant-requests=150] [--greedy-window=40]
+//                   [--window=4] [--isolation-factor=2]
+//                   [--isolation-slack-ms=5]
+//
+// --tenants switches to the multi-tenant isolation proof: real wire
+// traffic through a FrontDoor on a unix socket. Phase 1 measures each
+// well-behaved tenant's request p95 running ALONE; phase 2 reruns them
+// against a greedy tenant pipelining a 10x window and a slow consumer
+// that dawdles over its reads. The gate asserts contended p95 <=
+// isolation-factor * baseline p95 + slack for every well-behaved
+// tenant — weighted-fair DRR lanes are what makes it hold — and the
+// bench exits nonzero when it doesn't. Clients survive injected
+// net_drop faults by reconnecting and resending what was in flight, so
+// the gate also runs under TDA_FAULTS in CI.
 //
 // --faults switches to the resilience degradation curve: the coalesced
 // configuration is re-run under injected device launch failures at each
@@ -53,12 +67,19 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <unistd.h>
+
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "faults/faults.hpp"
 #include "gpusim/device.hpp"
 #include "kernels/device_batch.hpp"
+#include "net/client.hpp"
+#include "net/front_door.hpp"
 #include "service/solve_service.hpp"
 
 using namespace tda;
@@ -387,6 +408,267 @@ bool run_pressure_sweep(std::size_t systems, int clients, int num_devices,
   return all_typed;
 }
 
+// ---------------------------------------------------------------- tenants
+
+/// One tenant's traffic profile in the isolation bench.
+struct TenantProfile {
+  std::string name;
+  std::string token;
+  std::size_t window = 4;      ///< max requests in flight
+  double recv_sleep_ms = 0.0;  ///< dawdle per received response
+  bool gated = true;           ///< participates in the isolation gate
+};
+
+struct TenantStats {
+  std::vector<double> latency_ms;  ///< per completed request, end to end
+  std::size_t ok = 0;
+  std::size_t rejected = 0;   ///< typed server rejects
+  std::size_t lost = 0;       ///< gave up after transport failures
+  std::size_t reconnects = 0;
+
+  [[nodiscard]] double p95() const {
+    if (latency_ms.empty()) return 0.0;
+    std::vector<double> s = latency_ms;
+    std::sort(s.begin(), s.end());
+    return s[std::min(s.size() - 1,
+                      static_cast<std::size_t>(0.95 * double(s.size())))];
+  }
+};
+
+/// Closed-loop client: keeps `window` requests in flight until
+/// `requests` complete. Survives connection drops (injected net_drop
+/// faults or otherwise) by reconnecting and resending whatever was in
+/// flight — a dropped request is re-solved, never silently lost.
+TenantStats run_tenant_client(const std::string& sock,
+                              const TenantProfile& prof,
+                              std::size_t requests, std::uint64_t seed) {
+  using Clock = std::chrono::steady_clock;
+  TenantStats st;
+  net::Client client;
+  std::string err;
+  const auto connect = [&] {
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      if (client.connect(sock, prof.token, &err)) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return false;
+  };
+  if (!connect()) {
+    st.lost = requests;
+    return st;
+  }
+
+  Rng rng(seed);
+  struct InFlight {
+    SolveRequest<double> sys;
+    Clock::time_point sent;
+  };
+  std::map<std::uint64_t, InFlight> outstanding;
+  std::uint64_t next_id = 0;
+  std::size_t launched = 0;
+
+  const auto send_one = [&](std::uint64_t id, const SolveRequest<double>& s) {
+    return client.send_solve<double>(id, s.a, s.b, s.c, s.d, 0.0, &err);
+  };
+  const auto recover = [&] {
+    ++st.reconnects;
+    if (!connect()) return false;
+    for (const auto& [id, rec] : outstanding) {
+      if (!send_one(id, rec.sys)) return false;  // next recv retries
+    }
+    return true;
+  };
+
+  while (launched < requests || !outstanding.empty()) {
+    bool transport_ok = true;
+    while (launched < requests && outstanding.size() < prof.window) {
+      const std::uint64_t id = ++next_id;
+      InFlight rec;
+      rec.sys = random_request(kShapes[(seed + launched) % 5], rng);
+      rec.sent = Clock::now();
+      const bool sent_ok = send_one(id, rec.sys);
+      outstanding.emplace(id, std::move(rec));
+      ++launched;
+      if (!sent_ok) {
+        transport_ok = false;
+        break;
+      }
+    }
+    if (transport_ok && !outstanding.empty()) {
+      net::WireResult<double> r;
+      if (client.recv_result<double>(r, &err)) {
+        if (prof.recv_sleep_ms > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+              prof.recv_sleep_ms));
+        }
+        const auto it = outstanding.find(r.request_id);
+        if (it != outstanding.end()) {
+          st.latency_ms.push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() -
+                                                        it->second.sent)
+                  .count());
+          (r.ok() ? st.ok : st.rejected) += 1;
+          outstanding.erase(it);
+        }
+      } else {
+        transport_ok = false;
+      }
+    }
+    if (!transport_ok && !recover()) {
+      st.lost += outstanding.size() + (requests - launched);
+      break;
+    }
+  }
+  client.close();
+  return st;
+}
+
+/// Multi-tenant isolation proof over the wire front door. Returns false
+/// when any well-behaved tenant's contended p95 blows past the gate.
+bool run_tenants_bench(int num_devices, std::size_t flush, double flush_ms,
+                       std::size_t requests, std::size_t window,
+                       std::size_t greedy_window, double factor,
+                       double slack_ms, const std::string& metrics_path,
+                       bool csv) {
+  ServiceConfig cfg;
+  cfg.flush_systems = flush;
+  cfg.flush_interval_ms = flush_ms;
+  cfg.queue_capacity = 1 << 14;
+  std::vector<gpusim::DeviceSpec> devices;
+  const auto registry = gpusim::device_registry();
+  for (int i = 0; i < num_devices; ++i)
+    devices.push_back(registry[registry.size() - 1 -
+                               static_cast<std::size_t>(i) % registry.size()]);
+  SolveService<double> svc(devices, cfg);
+  svc.telemetry().metrics.enable();
+  const char* trace_path = std::getenv("TDA_TRACE");
+  if (trace_path != nullptr && *trace_path != '\0')
+    svc.telemetry().tracer.enable();
+
+  const std::string sock = "/tmp/tda_bench_tenants_" +
+                           std::to_string(::getpid()) + ".sock";
+  net::FrontDoorConfig fcfg;
+  fcfg.unix_path = sock;
+  fcfg.poll_interval_ms = 1.0;
+  // Keep the service window tight so the DRR lanes — where fairness is
+  // decided — stay the queueing point under contention.
+  fcfg.max_service_inflight = 4 * flush;
+  net::FrontDoor<double> door(svc, fcfg);
+
+  const std::vector<TenantProfile> profiles = {
+      {"fair-a", "tok-fair-a", window, 0.0, true},
+      {"fair-b", "tok-fair-b", window, 0.0, true},
+      {"greedy", "tok-greedy", greedy_window, 0.0, false},
+      {"slow", "tok-slow", window, 1.0, false},
+  };
+  for (const auto& p : profiles) {
+    net::TenantConfig tc;
+    tc.name = p.name;
+    tc.token = p.token;
+    tc.weight = 1.0;  // equal shares: DRR alone must hold the gate
+    door.add_tenant(tc);
+  }
+  std::string err;
+  if (!door.start(&err)) {
+    std::cout << "[FAIL] front door: " << err << "\n";
+    return false;
+  }
+
+  const std::string spec = "unix:" + sock;
+  std::cout << "Solve service — multi-tenant isolation through the front "
+               "door\n"
+            << "4 tenants on " << spec << ": 2 fair (window " << window
+            << "), 1 greedy (window " << greedy_window
+            << "), 1 slow consumer; " << requests
+            << " requests each, equal DRR weights, " << num_devices
+            << " device(s)\n\n";
+
+  // Warm the tuning cache so neither phase pays first-shape tuning.
+  (void)run_tenant_client(spec, {"fair-a", "tok-fair-a", 2, 0.0, true},
+                          4 * std::size(kShapes), 1);
+
+  // Phase 1: each gated tenant alone — the no-contention baseline.
+  std::map<std::string, TenantStats> baseline;
+  for (const auto& p : profiles) {
+    if (p.gated) baseline[p.name] = run_tenant_client(spec, p, requests, 11);
+  }
+
+  // Phase 2: everyone at once.
+  std::map<std::string, TenantStats> contended;
+  {
+    std::vector<std::thread> threads;
+    std::mutex mu;
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      threads.emplace_back([&, i] {
+        auto stats =
+            run_tenant_client(spec, profiles[i], requests, 23 + i);
+        std::lock_guard lk(mu);
+        contended[profiles[i].name] = std::move(stats);
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+
+  TextTable table("per-tenant p95 latency: alone vs contended");
+  table.set_header({"tenant", "ok", "rejected", "lost", "reconnects",
+                    "p95_alone_ms", "p95_contended_ms", "ratio", "gate"});
+  bool isolated = true;
+  for (const auto& p : profiles) {
+    const auto& c = contended[p.name];
+    std::string alone = "-", ratio = "-", gate = "-";
+    if (p.gated) {
+      const double base = baseline[p.name].p95();
+      const double cont = c.p95();
+      const double limit = factor * base + slack_ms;
+      const bool pass = cont <= limit;
+      isolated = isolated && pass && c.ok > 0;
+      alone = TextTable::num(base, 3);
+      ratio = TextTable::num(base > 0.0 ? cont / base : 0.0, 2);
+      gate = pass ? "pass" : "FAIL";
+    }
+    table.add_row({p.name, TextTable::num(static_cast<long long>(c.ok)),
+                   TextTable::num(static_cast<long long>(c.rejected)),
+                   TextTable::num(static_cast<long long>(c.lost)),
+                   TextTable::num(static_cast<long long>(c.reconnects)),
+                   alone, TextTable::num(c.p95(), 3), ratio, gate});
+  }
+  table.print(std::cout);
+  if (csv) {
+    std::cout << "\n";
+    table.print_csv(std::cout);
+  }
+
+  const auto dc = door.counters();
+  std::cout << "\nfront door: " << dc.connections << " conns, "
+            << dc.requests_admitted << " admitted, " << dc.requests_rejected
+            << " rejected, " << dc.injected_drops << " injected drops, "
+            << dc.injected_corruptions << " injected corruptions, "
+            << dc.bad_frames << " bad frames\n";
+  for (const auto& u : door.tenants().usage()) {
+    std::cout << "  " << u.name << ": admitted " << u.admitted
+              << ", rejected " << u.rejected << "\n";
+  }
+
+  door.shutdown();
+  svc.shutdown();
+  if (!metrics_path.empty()) {
+    svc.publish_gauges();
+    svc.export_metrics(metrics_path);
+  }
+  if (trace_path != nullptr && *trace_path != '\0')
+    svc.export_trace(trace_path);
+  if (const char* om = std::getenv("TDA_OPENMETRICS");
+      om != nullptr && *om != '\0') {
+    svc.publish_gauges();
+    svc.export_openmetrics(om);
+  }
+
+  std::cout << "\nwell-behaved tenants held p95 within " << factor
+            << "x + " << slack_ms << " ms of their no-contention baseline: "
+            << (isolated ? "yes  [OK]" : "NO  [FAIL]") << "\n";
+  return isolated;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -404,6 +686,19 @@ int main(int argc, char** argv) {
     std::stringstream ss(cli.get("clients", "1,2,4,8"));
     for (std::string tok; std::getline(ss, tok, ',');)
       client_counts.push_back(std::stoi(tok));
+  }
+
+  if (cli.has("tenants")) {
+    return run_tenants_bench(
+               num_devices, flush, flush_ms,
+               static_cast<std::size_t>(cli.get_int("tenant-requests", 150)),
+               static_cast<std::size_t>(cli.get_int("window", 4)),
+               static_cast<std::size_t>(cli.get_int("greedy-window", 40)),
+               cli.get_double("isolation-factor", 2.0),
+               cli.get_double("isolation-slack-ms", 5.0), metrics_path,
+               cli.has("csv"))
+               ? 0
+               : 1;
   }
 
   if (cli.has("pressure")) {

@@ -7,11 +7,16 @@
 //   ./tridiag_cli --device-file=myGPU.txt --tuner=static
 //   ./tridiag_cli --save-device="GeForce GTX 470" --out=profile.txt
 
+#include <algorithm>
+#include <chrono>
 #include <iostream>
+#include <span>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/cli.hpp"
+#include "net/client.hpp"
 #include "common/table.hpp"
 #include "cpu/batch_solver.hpp"
 #include "gpusim/device_file.hpp"
@@ -46,6 +51,9 @@ output:     --trace                         print the kernel timeline
             --json=<path>                   dump solve result + metrics JSON
             --cpu                           also run the CPU baseline
             --fp32                          solve in single precision
+remote:     --connect=<host:port|unix:path> solve on a wire front door
+            --token=<tenant token>          tenant auth for --connect
+            --window=<k>                    requests in flight (default 8)
 telemetry:  TDA_TRACE=<path>                write a Chrome trace (Perfetto)
             TDA_METRICS=<path>              write a metrics JSON
 )";
@@ -188,11 +196,121 @@ int run(const Cli& cli, gpusim::Device& dev) {
   return residual < (sizeof(T) == 4 ? 1e-3 : 1e-9) ? 0 : 1;
 }
 
+/// --connect mode: the same workload, solved by a remote front door
+/// over the wire protocol instead of the in-process solver. Requests
+/// are pipelined `--window` deep; solutions land back in the batch and
+/// are verified with the same residual check as the local path.
+template <typename T>
+int remote_run(const Cli& cli) {
+  const std::size_t m = static_cast<std::size_t>(cli.get_int("m", 64));
+  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 4096));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const std::string gen = cli.get("gen", "dominant");
+
+  tridiag::TridiagBatch<T> batch(1, 1);
+  if (gen == "dominant") {
+    batch = tridiag::make_diag_dominant<T>(m, n, seed);
+  } else if (gen == "poisson") {
+    batch = tridiag::make_poisson<T>(m, n, seed);
+  } else if (gen == "spline") {
+    batch = tridiag::make_spline<T>(m, n, seed);
+  } else if (gen == "toeplitz") {
+    batch = tridiag::make_toeplitz<T>(m, n, T{-1}, T{3}, T{-1}, seed);
+  } else {
+    std::cerr << "unknown generator: " << gen << "\n";
+    return 1;
+  }
+
+  const std::string spec = cli.get("connect");
+  net::Client client;
+  std::string err;
+  if (!client.connect(spec, cli.get("token", ""), &err)) {
+    std::cerr << "cannot connect to " << spec << ": " << err << "\n";
+    return 1;
+  }
+  std::cout << "remote   : " << spec
+            << (client.tenant().empty() ? std::string()
+                                        : " (tenant " + client.tenant() + ")")
+            << "\n";
+  std::cout << "workload : " << m << " x " << n << " (" << gen << ", fp"
+            << sizeof(T) * 8 << ")\n";
+
+  const std::size_t window =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   cli.get_int("window", 8)));
+  const auto lane = [n](std::span<const T> s, std::size_t i) {
+    return std::vector<T>(s.begin() + static_cast<std::ptrdiff_t>(i * n),
+                          s.begin() + static_cast<std::ptrdiff_t>((i + 1) * n));
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t sent = 0, received = 0, solved = 0;
+  double server_solve_ms = 0.0, server_wait_ms = 0.0;
+  bool transport_ok = true;
+  while (received < m && transport_ok) {
+    while (sent < m && sent - received < window) {
+      if (!client.send_solve<T>(sent + 1, lane(batch.a(), sent),
+                                lane(batch.b(), sent), lane(batch.c(), sent),
+                                lane(batch.d(), sent), 0.0, &err)) {
+        std::cerr << "send failed: " << err << "\n";
+        transport_ok = false;
+        break;
+      }
+      ++sent;
+    }
+    if (!transport_ok) break;
+    net::WireResult<T> r;
+    if (!client.recv_result<T>(r, &err)) {
+      std::cerr << "receive failed: " << err << "\n";
+      transport_ok = false;
+      break;
+    }
+    ++received;
+    if (!r.ok()) {
+      std::cerr << "system " << r.request_id - 1 << ": "
+                << net::to_string(r.code) << " " << r.error << "\n";
+      continue;
+    }
+    ++solved;
+    server_solve_ms += r.solve_ms;
+    server_wait_ms += r.wait_ms;
+    auto x = batch.x();
+    std::copy(r.x.begin(), r.x.end(),
+              x.begin() + static_cast<std::ptrdiff_t>((r.request_id - 1) * n));
+  }
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  client.close();
+
+  std::cout << "solved   : " << solved << " / " << m << " systems in "
+            << wall_ms << " wall ms (window " << window << ")\n";
+  if (solved > 0) {
+    std::cout << "server   : mean solve " << server_solve_ms / double(solved)
+              << " ms, mean wait " << server_wait_ms / double(solved)
+              << " ms per request\n";
+  }
+  if (solved < m) {
+    std::cout << "residual : skipped (" << m - solved
+              << " unsolved)  [FAIL]\n";
+    return 1;
+  }
+  const double residual = tridiag::batch_residual_inf(batch, batch.x());
+  const bool ok = residual < (sizeof(T) == 4 ? 1e-3 : 1e-9);
+  std::cout << "residual : " << residual << (ok ? "  [OK]" : "  [FAIL]")
+            << "\n";
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   if (cli.has("help")) return usage();
+
+  if (cli.has("connect")) {
+    return cli.has("fp32") ? remote_run<float>(cli) : remote_run<double>(cli);
+  }
 
   if (cli.has("list-devices")) {
     for (const auto& spec : gpusim::device_registry()) {

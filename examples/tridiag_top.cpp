@@ -8,7 +8,10 @@
 //   * the always-on request-latency histograms, one row per
 //     (shape bucket, dtype, outcome) with p50/p95/p99 and the trace id
 //     of a p99 straggler (the exemplar),
-//   * per-lane engine utilization and buffer-pool hit rate.
+//   * per-lane engine utilization and buffer-pool hit rate,
+//   * per-tenant rows: part of the burst arrives through a wire-protocol
+//     front door as two authenticated tenants, so the tenant-labeled
+//     latency keys, admission accounting, and net.* counters all fill.
 //
 //   ./tridiag_top [--clients=4] [--requests=48] [--devices=2]
 //                 [--openmetrics=FILE] [--trace=FILE]
@@ -16,6 +19,8 @@
 // The same numbers leave the process in OpenMetrics text format via
 // --openmetrics (or TDA_METRICS_INTERVAL snapshots); this example is the
 // human-readable view of that export.
+
+#include <unistd.h>
 
 #include <atomic>
 #include <cmath>
@@ -30,6 +35,8 @@
 #include "common/table.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/thread_pool.hpp"
+#include "net/client.hpp"
+#include "net/front_door.hpp"
 #include "service/solve_service.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -86,11 +93,29 @@ int main(int argc, char** argv) {
   svc.telemetry().metrics.enable();
   svc.telemetry().tracer.enable();
 
+  // --- the wire side: a front door with two named tenants ---
+  const std::string sock =
+      "/tmp/tda_top_" + std::to_string(::getpid()) + ".sock";
+  net::FrontDoorConfig fcfg;
+  fcfg.unix_path = sock;
+  net::FrontDoor<double> door(svc, fcfg);
+  const char* tenant_names[] = {"alpha", "beta"};
+  for (const char* name : tenant_names) {
+    net::TenantConfig tc;
+    tc.name = name;
+    tc.token = std::string("tok-") + name;
+    tc.weight = name == tenant_names[0] ? 2.0 : 1.0;
+    door.add_tenant(tc);
+  }
+  std::string door_err;
+  const bool door_up = door.start(&door_err);
+  if (!door_up) std::cerr << "front door: " << door_err << "\n";
+
   // --- the burst: mixed shapes, so several latency buckets fill ---
   const std::size_t shapes[] = {33, 64, 128, 200, 512};
   std::atomic<int> solved{0}, failed{0};
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(clients));
+  threads.reserve(static_cast<std::size_t>(clients) + 2);
   for (int t = 0; t < clients; ++t) {
     threads.emplace_back([&, t] {
       Rng rng(4100 + static_cast<std::uint64_t>(t));
@@ -103,6 +128,29 @@ int main(int argc, char** argv) {
         (f.get().status == SolveStatus::Ok ? solved : failed).fetch_add(1);
       }
     });
+  }
+  // Two tenants push the same mixed shapes through the front door so
+  // every pane below has wire-side rows too.
+  if (door_up) {
+    for (int t = 0; t < 2; ++t) {
+      threads.emplace_back([&, t] {
+        Rng rng(7800 + static_cast<std::uint64_t>(t));
+        net::Client client;
+        std::string err;
+        if (!client.connect("unix:" + sock,
+                            std::string("tok-") + tenant_names[t], &err)) {
+          failed.fetch_add(requests);
+          return;
+        }
+        for (int i = 0; i < requests; ++i) {
+          const std::size_t n = shapes[(t + i) % 5];
+          const auto req = random_request(n, rng);
+          const auto r = client.solve<double>(req.a, req.b, req.c, req.d);
+          (r.ok() ? solved : failed).fetch_add(1);
+        }
+        client.close();
+      });
+    }
   }
   for (auto& th : threads) th.join();
 
@@ -139,17 +187,48 @@ int main(int argc, char** argv) {
   }
   workers.print(std::cout);
 
-  // --- pane 3: request latency by (shape, dtype, outcome) ---
+  // --- pane 3: per-tenant accounting + wire-side latency ---
+  std::cout << "\n";
+  TextTable tenants_tbl("tenants (wire)");
+  tenants_tbl.set_header({"tenant", "weight", "admitted", "rejected",
+                          "requests", "count", "p95 (ms)"});
+  std::size_t tenant_rows = 0;
+  for (const auto& u : door.tenants().usage()) {
+    // Aggregate the tenant's labeled latency keys (they split by shape
+    // bucket); report the total count and the worst per-key p95.
+    std::uint64_t count = 0;
+    double p95 = 0.0;
+    const std::string needle = "tenant=\"" + u.name + "\"";
+    for (const auto& [name, snap] : mx.latencies()) {
+      if (name.rfind("service.request_latency_ms{", 0) != 0) continue;
+      if (name.find(needle) == std::string::npos) continue;
+      count += snap.count;
+      p95 = std::max(p95, snap.quantile(0.95));
+    }
+    tenants_tbl.add_row(
+        {u.name, TextTable::num(u.weight, 1), std::to_string(u.admitted),
+         std::to_string(u.rejected),
+         TextTable::num(mx.counter(telemetry::labeled(
+                            "net.requests", {{"tenant", u.name}})),
+                        0),
+         std::to_string(count), TextTable::num(p95, 3)});
+    ++tenant_rows;
+  }
+  tenants_tbl.print(std::cout);
+
+  // --- pane 4: request latency by (tenant, shape, dtype, outcome) ---
   std::cout << "\n";
   TextTable lat("request latency (ms)");
-  lat.set_header({"shape", "dtype", "outcome", "count", "p50", "p95", "p99",
-                  "p99 exemplar trace"});
+  lat.set_header({"tenant", "shape", "dtype", "outcome", "count", "p50",
+                  "p95", "p99", "p99 exemplar trace"});
   std::size_t latency_rows = 0;
   for (const auto& [name, snap] : mx.latencies()) {
     if (name.rfind("service.request_latency_ms{", 0) != 0) continue;
     const auto ex = snap.exemplar_at(0.99);
-    lat.add_row({label_of("shape", name), label_of("dtype", name),
-                 label_of("outcome", name), std::to_string(snap.count),
+    const std::string tenant = label_of("tenant", name);
+    lat.add_row({tenant.empty() ? "-" : tenant, label_of("shape", name),
+                 label_of("dtype", name), label_of("outcome", name),
+                 std::to_string(snap.count),
                  TextTable::num(snap.quantile(0.50), 3),
                  TextTable::num(snap.quantile(0.95), 3),
                  TextTable::num(snap.quantile(0.99), 3),
@@ -159,7 +238,7 @@ int main(int argc, char** argv) {
   }
   lat.print(std::cout);
 
-  // --- pane 4: engine lanes + pool ---
+  // --- pane 5: engine lanes + pool ---
   std::cout << "\n";
   TextTable lanes_tbl("engine lanes");
   lanes_tbl.set_header({"lane", "busy_ms", "chunks"});
@@ -181,10 +260,12 @@ int main(int argc, char** argv) {
   if (!trace_path.empty() && svc.export_trace(trace_path))
     std::cout << "trace -> " << trace_path << "\n";
 
+  door.shutdown();
   svc.shutdown();
 
-  const bool ok = failed.load() == 0 &&
-                  solved.load() == clients * requests && latency_rows > 0;
+  const int expected = (clients + (door_up ? 2 : 0)) * requests;
+  const bool ok = failed.load() == 0 && solved.load() == expected &&
+                  latency_rows > 0 && tenant_rows == 2;
   std::cout << "\nsnapshot " << (ok ? "[OK]" : "[FAIL]") << "\n";
   return ok ? 0 : 1;
 }

@@ -7,7 +7,7 @@ Subcommands:
         file, so `bench_diff.py BASE.json CUR.json` keeps working).
 
     append CURRENT.json --history=H.jsonl [--commit=SHA] [--label=wall]
-           [--max-entries=200]
+           [--max-entries=50]
         Append CURRENT's numeric metrics as one JSONL line to the
         rolling history (committed under bench/history/). Nested
         objects of numbers flatten to dotted keys; non-numeric fields
@@ -197,11 +197,11 @@ def cmd_compare(args, opts):
 def cmd_append(args, opts):
     if len(args) != 1 or "history" not in opts:
         print("usage: bench_diff.py append CURRENT.json --history=H.jsonl "
-              "[--commit=SHA] [--label=NAME] [--max-entries=200]",
+              "[--commit=SHA] [--label=NAME] [--max-entries=50]",
               file=sys.stderr)
         return 2
     history_path = opts["history"]
-    max_entries = int(opts.get("max-entries", 200))
+    max_entries = int(opts.get("max-entries", 50))
 
     metrics = flatten_numeric(load(args[0]))
     if not metrics:

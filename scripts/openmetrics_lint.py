@@ -2,7 +2,7 @@
 """Lints an OpenMetrics text-format export (what export_openmetrics and
 the TDA_METRICS_INTERVAL snapshot writer produce).
 
-    openmetrics_lint.py FILE [--quiet]
+    openmetrics_lint.py FILE [--quiet] [--require-label=NAME ...]
 
 Checks, against the OpenMetrics 1.0 text format:
   * the exposition ends with exactly one `# EOF` line;
@@ -16,7 +16,10 @@ Checks, against the OpenMetrics 1.0 text format:
   * histogram series: every _bucket carries an `le` label, buckets are
     cumulative (non-decreasing in le order), the `+Inf` bucket exists
     and equals that series' _count;
-  * exemplars only appear on histogram buckets or counters.
+  * exemplars only appear on histogram buckets or counters;
+  * each --require-label=NAME (repeatable) demands at least one sample
+    carrying that label — CI uses --require-label=tenant to prove the
+    per-tenant observability plumbing survives export.
 
 Exit codes: 0 clean, 1 lint findings (all printed), 2 unreadable input.
 """
@@ -110,6 +113,10 @@ SAMPLE_RE = re.compile(
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     quiet = "--quiet" in argv
+    required_labels = [
+        a.split("=", 1)[1] for a in argv[1:]
+        if a.startswith("--require-label=") and "=" in a
+    ]
     if len(args) != 1:
         print(__doc__.strip().splitlines()[2].strip())
         return 2
@@ -127,6 +134,7 @@ def main(argv):
     buckets = {}
     counts = {}
     samples = 0
+    label_hits = {name: 0 for name in required_labels}
     eof_seen = False
 
     lines = raw.split("\n")
@@ -171,6 +179,9 @@ def main(argv):
         samples += 1
         name = m.group("name")
         labels = parse_labels(m.group("labels") or "", err)
+        for want in required_labels:
+            if labels.get(want):
+                label_hits[want] += 1
         try:
             value = parse_value(m.group("value"))
         except ValueError:
@@ -245,11 +256,19 @@ def main(argv):
                 f"{label}: +Inf bucket {infs[-1]} != _count "
                 f"{counts[key][0]}")
 
+    for want in required_labels:
+        if label_hits[want] == 0:
+            findings.append(
+                f'no sample carries required label "{want}"')
+
     for line in findings:
         print(f"openmetrics_lint: {line}")
     if not findings and not quiet:
+        extra = "".join(
+            f', {label_hits[w]} samples labeled "{w}"'
+            for w in required_labels)
         print(f"openmetrics_lint: OK — {len(types)} families, "
-              f"{samples} samples, {len(buckets)} histogram series")
+              f"{samples} samples, {len(buckets)} histogram series{extra}")
     return 1 if findings else 0
 
 

@@ -38,6 +38,8 @@ constexpr KeyName kRateKeys[] = {
     {"cache_corrupt", Site::CacheCorrupt},
     {"nan_systems", Site::PoisonNaN},
     {"zero_pivot_systems", Site::PoisonZeroPivot},
+    {"net_drop", Site::NetDrop},
+    {"net_corrupt", Site::NetCorrupt},
 };
 
 }  // namespace
@@ -52,6 +54,8 @@ const char* to_string(Site s) {
     case Site::CacheCorrupt: return "cache_corrupt";
     case Site::PoisonNaN: return "nan_systems";
     case Site::PoisonZeroPivot: return "zero_pivot_systems";
+    case Site::NetDrop: return "net_drop";
+    case Site::NetCorrupt: return "net_corrupt";
   }
   return "?";
 }

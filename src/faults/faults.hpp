@@ -19,7 +19,10 @@
 //   * CacheCorrupt — tuning-cache bytes are flipped between disk and the
 //     parser (exercises the cache's header/checksum rejection);
 //   * PoisonNaN / PoisonZeroPivot — a submitted system is contaminated
-//     before solving (exercises the numerical guards and quarantine).
+//     before solving (exercises the numerical guards and quarantine);
+//   * NetDrop / NetCorrupt — the wire front door (src/net/) loses a
+//     connection mid-stream or receives corrupted frame bytes
+//     (exercises client reconnect and the decoder's reject path).
 //
 // The process-wide injector (FaultInjector::global()) configures itself
 // from $TDA_FAULTS on first use; code under test overrides it with a
@@ -49,8 +52,10 @@ enum class Site : int {
   CacheCorrupt,      ///< tuning-cache bytes flipped before parsing
   PoisonNaN,         ///< system contaminated with NaN coefficients
   PoisonZeroPivot,   ///< system given an exactly singular leading pivot
+  NetDrop,           ///< front-door connection dropped mid-stream
+  NetCorrupt,        ///< received frame bytes corrupted before decoding
 };
-inline constexpr int kSiteCount = 8;
+inline constexpr int kSiteCount = 10;
 
 const char* to_string(Site s);
 
@@ -72,7 +77,8 @@ struct FaultConfig {
 
 /// Parses a TDA_FAULTS spec: comma-separated key=value pairs. Keys:
 ///   seed, stall_ms, launch_fail, alloc_fail, oom, worker_stall,
-///   worker_crash, cache_corrupt, nan_systems, zero_pivot_systems
+///   worker_crash, cache_corrupt, nan_systems, zero_pivot_systems,
+///   net_drop, net_corrupt
 /// Rates are clamped to [0, 1]; unknown keys and unparsable values are
 /// log-warned and skipped (a typo in an env var must not take the
 /// process down — this is the robustness layer).

@@ -1,0 +1,113 @@
+#include "net/client.hpp"
+
+namespace tda::net {
+
+bool Client::connect(const std::string& spec, const std::string& token,
+                     std::string* err) {
+  close();
+  const auto ep = parse_endpoint(spec);
+  if (!ep) {
+    if (err != nullptr) *err = "bad endpoint spec: " + spec;
+    return false;
+  }
+  fd_ = connect_endpoint(*ep, err);
+  if (!fd_.valid()) return false;
+  rbuf_.clear();
+  tenant_.clear();
+  if (token.empty()) return true;
+
+  std::string hello;
+  encode_hello(hello, token);
+  if (!send_bytes(hello, err)) return false;
+  FrameType type{};
+  std::uint64_t rid = 0;
+  std::string payload;
+  if (!next_frame(type, rid, payload, err)) return false;
+  if (type == FrameType::HelloOk) {
+    const auto ok = parse_hello_ok(payload);
+    if (!ok) {
+      if (err != nullptr) *err = "unparsable HelloOk";
+      close_fd();
+      return false;
+    }
+    tenant_ = ok->tenant;
+    return true;
+  }
+  if (type == FrameType::SolveErr) {
+    const auto e = parse_solve_err(payload);
+    if (err != nullptr) {
+      *err = e ? "auth rejected: " + e->message : "auth rejected";
+    }
+  } else if (err != nullptr) {
+    *err = "unexpected handshake frame";
+  }
+  close_fd();
+  return false;
+}
+
+void Client::close() {
+  if (!fd_.valid()) return;
+  std::string bye;
+  encode_goodbye(bye);
+  (void)write_all(fd_.get(), bye.data(), bye.size());
+  close_fd();
+}
+
+void Client::close_fd() {
+  fd_.reset();
+  rbuf_.clear();
+}
+
+bool Client::send_bytes(const std::string& bytes, std::string* err) {
+  if (!fd_.valid()) {
+    if (err != nullptr) *err = "not connected";
+    return false;
+  }
+  if (!write_all(fd_.get(), bytes.data(), bytes.size())) {
+    if (err != nullptr) *err = "send failed (connection lost)";
+    close_fd();
+    return false;
+  }
+  return true;
+}
+
+bool Client::next_frame(FrameType& type, std::uint64_t& request_id,
+                        std::string& payload, std::string* err) {
+  if (!fd_.valid()) {
+    if (err != nullptr) *err = "not connected";
+    return false;
+  }
+  char tmp[16384];
+  for (;;) {
+    const DecodeResult r = decode_frame(rbuf_, kAbsoluteMaxPayload);
+    if (r.status == DecodeStatus::Ok) {
+      type = r.frame.type;
+      request_id = r.frame.request_id;
+      payload.assign(r.frame.payload);
+      rbuf_.erase(0, r.consumed);
+      return true;
+    }
+    if (r.status == DecodeStatus::Corrupt) {
+      if (err != nullptr) {
+        *err = std::string("corrupt frame from server: ") + r.error;
+      }
+      close_fd();
+      return false;
+    }
+    const long n = read_some(fd_.get(), tmp, sizeof(tmp));
+    if (n == 0) {
+      if (err != nullptr) *err = "connection closed by server";
+      close_fd();
+      return false;
+    }
+    if (n < 0 && n != -2) {
+      if (err != nullptr) *err = "read failed (connection lost)";
+      close_fd();
+      return false;
+    }
+    if (n > 0) rbuf_.append(tmp, static_cast<std::size_t>(n));
+    // n == -2 (EAGAIN) cannot happen on a blocking socket; loop anyway.
+  }
+}
+
+}  // namespace tda::net

@@ -1,0 +1,149 @@
+#pragma once
+// Client side of the wire protocol (docs/NET.md). Blocking I/O over one
+// connection: connect() runs the Hello handshake, solve() is the
+// one-shot convenience, and send_solve()/recv_result() expose the
+// windowed form — fire several request ids, then collect responses in
+// arrival order — which is what the bench's closed-loop tenants use.
+//
+// Not thread-safe; one Client per thread.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace tda::net {
+
+/// Outcome of one wire solve. code == ErrorCode::None means x holds the
+/// solution; anything else is the server's typed reject/failure, with
+/// `error` carrying its diagnostic.
+template <typename T>
+struct WireResult {
+  std::uint64_t request_id = 0;
+  ErrorCode code = ErrorCode::None;
+  std::string error;
+  std::vector<T> x;
+  std::uint64_t trace_id = 0;
+  double solve_ms = 0.0;
+  double wait_ms = 0.0;
+  bool fallback_used = false;
+
+  [[nodiscard]] bool ok() const { return code == ErrorCode::None; }
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Connects to "host:port" or "unix:/path" and, when `token` is
+  /// non-empty, authenticates with a Hello. False (with *err) on
+  /// connect, handshake, or auth failure.
+  bool connect(const std::string& spec, const std::string& token,
+               std::string* err);
+
+  [[nodiscard]] bool connected() const { return fd_.valid(); }
+
+  /// Tenant name the server acknowledged in HelloOk ("" before auth).
+  [[nodiscard]] const std::string& tenant() const { return tenant_; }
+
+  /// Sends Goodbye (best effort) and closes the socket.
+  void close();
+
+  /// Sends one Solve frame without waiting. Pick distinct request ids;
+  /// responses may come back in any order.
+  template <typename Tv>
+  bool send_solve(std::uint64_t request_id, const std::vector<Tv>& a,
+                  const std::vector<Tv>& b, const std::vector<Tv>& c,
+                  const std::vector<Tv>& d, double deadline_ms,
+                  std::string* err) {
+    std::string out;
+    encode_solve<Tv>(out, request_id, a, b, c, d, deadline_ms);
+    return send_bytes(out, err);
+  }
+
+  /// Blocks for the next SolveOk/SolveErr frame. False on transport
+  /// failure or server Goodbye (mid-drain close) — *err says which.
+  template <typename Tv>
+  bool recv_result(WireResult<Tv>& out, std::string* err) {
+    FrameType type{};
+    std::uint64_t rid = 0;
+    std::string payload;
+    for (;;) {
+      if (!next_frame(type, rid, payload, err)) return false;
+      if (type == FrameType::SolveOk) {
+        const auto ok = parse_solve_ok<Tv>(payload);
+        if (!ok) {
+          if (err != nullptr) *err = "unparsable SolveOk payload";
+          return false;
+        }
+        out.request_id = rid;
+        out.code = ErrorCode::None;
+        out.error.clear();
+        out.x = std::move(ok->x);
+        out.trace_id = ok->trace_id;
+        out.solve_ms = ok->solve_ms;
+        out.wait_ms = ok->wait_ms;
+        out.fallback_used = ok->fallback_used;
+        return true;
+      }
+      if (type == FrameType::SolveErr) {
+        const auto e = parse_solve_err(payload);
+        if (!e) {
+          if (err != nullptr) *err = "unparsable SolveErr payload";
+          return false;
+        }
+        out.request_id = rid;
+        out.code = e->code;
+        out.error = e->message;
+        out.x.clear();
+        out.trace_id = 0;
+        return true;
+      }
+      if (type == FrameType::Goodbye) {
+        if (err != nullptr) *err = "server said goodbye";
+        close_fd();
+        return false;
+      }
+      // HelloOk after the handshake window etc.: skip.
+    }
+  }
+
+  /// One-shot blocking solve.
+  template <typename Tv>
+  WireResult<Tv> solve(const std::vector<Tv>& a, const std::vector<Tv>& b,
+                       const std::vector<Tv>& c, const std::vector<Tv>& d,
+                       double deadline_ms = 0.0) {
+    WireResult<Tv> r;
+    std::string err;
+    const std::uint64_t rid = ++next_id_;
+    if (!send_solve<Tv>(rid, a, b, c, d, deadline_ms, &err) ||
+        !recv_result<Tv>(r, &err)) {
+      r.code = ErrorCode::Internal;
+      r.error = err.empty() ? "transport failure" : err;
+      return r;
+    }
+    return r;
+  }
+
+ private:
+  bool send_bytes(const std::string& bytes, std::string* err);
+  /// Reads until one full frame decodes; copies its payload out.
+  bool next_frame(FrameType& type, std::uint64_t& request_id,
+                  std::string& payload, std::string* err);
+  void close_fd();
+
+  Fd fd_;
+  std::string rbuf_;
+  std::string tenant_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace tda::net

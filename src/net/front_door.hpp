@@ -1,0 +1,786 @@
+#pragma once
+// FrontDoor — the wire-protocol server in front of SolveService
+// (docs/NET.md).
+//
+// One poll-based event thread owns every connection: it accepts from a
+// TCP and/or unix-domain listener, reads frames into per-connection
+// buffers, authenticates tenants (Hello), enforces tenant quotas at
+// admission with typed SolveErr rejects, and queues admitted requests
+// into per-tenant deficit-round-robin lanes. The pump drains lanes into
+// SolveService::submit (callback form) while the service-side in-flight
+// window has room; the service's own shape-bucketed coalescer then
+// merges same-shape systems across tenants into single ragged solves.
+//
+// Completions arrive on service worker threads. The callback encodes
+// the response, parks it on a mutex-guarded queue and writes one byte
+// to the wake pipe — it never touches the service or the poll thread's
+// state, so the service-mutex -> completions-mutex lock order is the
+// only one that exists. The poll thread swaps the queue out under the
+// lock and does all socket work unlocked.
+//
+// Flow control:
+//   * slow consumers: a connection whose write buffer passes
+//     write_buffer_limit stops being read (POLLIN off) until it drains
+//     below half the limit — one stalled reader cannot balloon memory
+//     or starve the loop;
+//   * idle timeout: a connection with no traffic and nothing in flight
+//     for idle_timeout_ms is closed;
+//   * drain: begin_drain() stops accepting connections, answers new
+//     Solve frames with ErrorCode::Draining, lets everything already
+//     admitted finish through the service, flushes write buffers, says
+//     Goodbye and only then lets shutdown() return — a client
+//     mid-stream at drain time gets its completed response or a typed
+//     Draining frame, never a silent close.
+//
+// Faults (TDA_FAULTS): net_drop closes a connection mid-read; bytes
+// read while net_corrupt fires are bit-flipped before decoding, which
+// the checksum turns into a BadFrame reject + close. Both are counted.
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "faults/faults.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "net/tenant.hpp"
+#include "service/solve_service.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace tda::net {
+
+struct FrontDoorConfig {
+  /// TCP listen spec ("127.0.0.1:0" for an ephemeral port); empty = no
+  /// TCP listener.
+  std::string tcp;
+  /// Unix-domain socket path; empty = no unix listener. At least one
+  /// listener must be configured.
+  std::string unix_path;
+
+  /// Per-request equation cap (ErrorCode::TooLarge beyond it).
+  std::size_t max_systems = std::size_t{1} << 22;
+  /// Decoder payload cap; larger length prefixes are Corrupt.
+  std::size_t max_payload_bytes = std::size_t{256} << 20;
+  /// Write-buffer high-water mark: past it the connection stops being
+  /// read until the buffer drains below half of it.
+  std::size_t write_buffer_limit = std::size_t{4} << 20;
+  /// Close connections idle (no traffic, nothing in flight) this long.
+  /// 0 disables.
+  double idle_timeout_ms = 0.0;
+  /// Systems submitted into the service and not yet completed; the DRR
+  /// pump stops at this window so lanes (where fairness is decided)
+  /// stay the queueing point instead of the service's FIFO buckets.
+  std::size_t max_service_inflight = 256;
+  /// DRR quantum in equations per weight unit per round.
+  double drr_quantum = 1024.0;
+  /// Refuse Solve frames from connections that never authenticated.
+  bool require_auth = true;
+  /// Poll timeout (ms) — the cadence of idle/timeout housekeeping.
+  double poll_interval_ms = 10.0;
+  /// During drain, force-close connections whose write buffers have not
+  /// flushed after this long (a consumer that stopped reading cannot
+  /// hold shutdown hostage). Completion callbacks are always awaited.
+  double drain_flush_timeout_ms = 5000.0;
+};
+
+/// Monotonic counters of the front door (snapshot via counters()).
+struct FrontDoorCounters {
+  std::uint64_t connections = 0;      ///< accepted
+  std::uint64_t closed = 0;           ///< closed (any reason)
+  std::uint64_t frames_rx = 0;
+  std::uint64_t frames_tx = 0;
+  std::uint64_t bytes_rx = 0;
+  std::uint64_t bytes_tx = 0;
+  std::uint64_t bad_frames = 0;       ///< corrupt/unparsable frames
+  std::uint64_t auth_failures = 0;
+  std::uint64_t requests_admitted = 0;
+  std::uint64_t requests_rejected = 0; ///< typed rejects incl. quota/drain
+  std::uint64_t responses_sent = 0;
+  std::uint64_t backpressure_pauses = 0;
+  std::uint64_t idle_closes = 0;
+  std::uint64_t injected_drops = 0;
+  std::uint64_t injected_corruptions = 0;
+};
+
+template <typename T>
+class FrontDoor {
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+
+ public:
+  FrontDoor(service::SolveService<T>& svc, FrontDoorConfig cfg)
+      : svc_(svc), cfg_(std::move(cfg)), lanes_(cfg_.drr_quantum) {}
+
+  ~FrontDoor() { shutdown(); }
+
+  FrontDoor(const FrontDoor&) = delete;
+  FrontDoor& operator=(const FrontDoor&) = delete;
+
+  /// Registers a tenant. Call before start().
+  void add_tenant(TenantConfig cfg) { tenants_.add(std::move(cfg)); }
+
+  [[nodiscard]] TenantRegistry& tenants() { return tenants_; }
+
+  /// Opens the listeners and starts the poll thread. False (with *err
+  /// set) when no listener could be opened.
+  bool start(std::string* err) {
+    if (running_) return true;
+    if (cfg_.tcp.empty() && cfg_.unix_path.empty()) {
+      if (err != nullptr) *err = "front door has no listener configured";
+      return false;
+    }
+    if (!cfg_.tcp.empty()) {
+      const auto ep = parse_endpoint(cfg_.tcp);
+      if (!ep || ep->is_unix) {
+        if (err != nullptr) *err = "bad tcp listen spec: " + cfg_.tcp;
+        return false;
+      }
+      tcp_listener_ = listen_endpoint(*ep, 64, err);
+      if (!tcp_listener_.valid()) return false;
+      tcp_port_ = bound_port(tcp_listener_.get());
+      set_nonblocking(tcp_listener_.get());
+    }
+    if (!cfg_.unix_path.empty()) {
+      Endpoint ep;
+      ep.is_unix = true;
+      ep.path = cfg_.unix_path;
+      unix_listener_ = listen_endpoint(ep, 64, err);
+      if (!unix_listener_.valid()) return false;
+      set_nonblocking(unix_listener_.get());
+    }
+    if (!cfg_.require_auth && anon_ == nullptr) {
+      // Unauthenticated connections still need a lane and accounting;
+      // the token starts with a NUL so no wire Hello can match it.
+      TenantConfig anon;
+      anon.name = "anon";
+      anon.token = std::string("\0anon", 5);
+      tenants_.add(anon);
+      anon_ = tenants_.authenticate(anon.token);
+    }
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      if (err != nullptr) *err = "wake pipe failed";
+      return false;
+    }
+    wake_rd_ = Fd(fds[0]);
+    wake_wr_ = Fd(fds[1]);
+    set_nonblocking(wake_rd_.get());
+    set_nonblocking(wake_wr_.get());
+    running_ = true;
+    thread_ = std::thread([this] { loop(); });
+    return true;
+  }
+
+  /// The TCP port actually bound (resolves an ephemeral ":0" spec).
+  [[nodiscard]] std::uint16_t tcp_port() const { return tcp_port_; }
+
+  /// Starts the graceful drain without waiting: stops accepting, new
+  /// Solve frames answer Draining, admitted work keeps flowing.
+  void begin_drain() {
+    draining_.store(true, std::memory_order_relaxed);
+    wake();
+  }
+
+  /// Drains and stops: waits for every admitted request's completion to
+  /// be delivered (or its connection's flush window to lapse), closes
+  /// all sockets and joins the poll thread. Idempotent.
+  void shutdown() {
+    if (!running_) return;
+    begin_drain();
+    if (thread_.joinable()) thread_.join();
+    running_ = false;
+    tcp_listener_.reset();
+    unix_listener_.reset();
+    wake_rd_.reset();
+    wake_wr_.reset();
+    if (!cfg_.unix_path.empty()) ::unlink(cfg_.unix_path.c_str());
+  }
+
+  [[nodiscard]] FrontDoorCounters counters() const {
+    std::lock_guard lk(counters_mu_);
+    return counters_;
+  }
+
+  /// Admitted-but-unanswered systems inside the service window.
+  [[nodiscard]] std::size_t service_inflight() const {
+    return service_inflight_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn {
+    Fd fd;
+    std::uint64_t id = 0;
+    std::string rbuf, wbuf;
+    Tenant* tenant = nullptr;
+    TimePoint last_rx{};
+    std::size_t inflight = 0;  ///< admitted requests not yet answered
+    bool paused = false;       ///< POLLIN off (write-buffer high water)
+    bool closing = false;      ///< flush wbuf, then close
+  };
+
+  /// A request admitted past quotas, parked in its tenant's DRR lane.
+  struct Queued {
+    std::uint64_t conn_id = 0;
+    std::uint64_t request_id = 0;
+    Tenant* tenant = nullptr;
+    std::size_t bytes = 0;
+    SolveFrame<T> frame;
+  };
+
+  /// An encoded response on its way from a worker callback to a
+  /// connection's write buffer.
+  struct Done {
+    std::uint64_t conn_id = 0;
+    Tenant* tenant = nullptr;
+    std::size_t systems = 0;
+    std::size_t bytes = 0;
+    std::string encoded;
+  };
+
+  void wake() {
+    if (wake_wr_.valid()) {
+      const char b = 1;
+      (void)::write(wake_wr_.get(), &b, 1);
+    }
+  }
+
+  [[nodiscard]] double now_s() const {
+    return std::chrono::duration<double>(Clock::now() - epoch_).count();
+  }
+
+  void count(std::uint64_t FrontDoorCounters::* field,
+             std::uint64_t delta = 1) {
+    std::lock_guard lk(counters_mu_);
+    counters_.*field += delta;
+  }
+
+  telemetry::MetricsRegistry& metrics() {
+    return svc_.telemetry().metrics;
+  }
+
+  void send_frame(Conn& conn, std::string bytes) {
+    count(&FrontDoorCounters::frames_tx);
+    count(&FrontDoorCounters::bytes_tx, bytes.size());
+    if (metrics().enabled()) {
+      metrics().add("net.frames_tx");
+      metrics().add("net.bytes_tx", static_cast<double>(bytes.size()));
+    }
+    conn.wbuf.append(bytes);
+    maybe_pause(conn);
+  }
+
+  void send_err(Conn& conn, std::uint64_t request_id, ErrorCode code,
+                std::string_view msg) {
+    std::string out;
+    encode_solve_err(out, request_id, code, msg);
+    send_frame(conn, std::move(out));
+  }
+
+  void reject(Conn& conn, std::uint64_t request_id, ErrorCode code,
+              std::string_view msg) {
+    count(&FrontDoorCounters::requests_rejected);
+    if (metrics().enabled()) {
+      const std::string tenant =
+          conn.tenant != nullptr ? conn.tenant->cfg.name : "-";
+      metrics().add(telemetry::labeled(
+          "net.rejects",
+          {{"tenant", tenant}, {"reason", to_string(code)}}));
+    }
+    send_err(conn, request_id, code, msg);
+  }
+
+  void maybe_pause(Conn& conn) {
+    if (!conn.paused && conn.wbuf.size() > cfg_.write_buffer_limit) {
+      conn.paused = true;
+      count(&FrontDoorCounters::backpressure_pauses);
+      if (metrics().enabled()) metrics().add("net.backpressure_pauses");
+    }
+  }
+
+  void maybe_resume(Conn& conn) {
+    if (conn.paused && conn.wbuf.size() < cfg_.write_buffer_limit / 2) {
+      conn.paused = false;
+    }
+  }
+
+  void close_conn(std::uint64_t id) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    // Requests still parked in lanes die with the connection; their
+    // quota charge is returned. Requests already inside the service
+    // complete later — delivery just finds the connection gone and
+    // drops the bytes (the charge is returned on delivery as always).
+    lanes_.drop_if(
+        [id](const Queued& q) { return q.conn_id == id; },
+        [this](const Queued& q) {
+          tenants_.release(*q.tenant, 1, q.bytes);
+        });
+    conns_.erase(it);
+    count(&FrontDoorCounters::closed);
+    if (metrics().enabled()) {
+      metrics().set("net.connections_now",
+                    static_cast<double>(conns_.size()));
+    }
+  }
+
+  void accept_from(Fd& listener) {
+    if (!listener.valid()) return;
+    for (;;) {
+      const int fd = ::accept(listener.get(), nullptr, nullptr);
+      if (fd < 0) return;
+      if (draining_.load(std::memory_order_relaxed)) {
+        // Too late: an orderly Goodbye tells the client why.
+        std::string out;
+        encode_goodbye(out);
+        (void)write_all(fd, out.data(), out.size());
+        ::close(fd);
+        continue;
+      }
+      set_nonblocking(fd);
+      Conn conn;
+      conn.fd = Fd(fd);
+      conn.id = next_conn_id_++;
+      conn.last_rx = Clock::now();
+      count(&FrontDoorCounters::connections);
+      if (metrics().enabled()) {
+        metrics().add("net.connections");
+        metrics().set("net.connections_now",
+                      static_cast<double>(conns_.size() + 1));
+      }
+      conns_.emplace(conn.id, std::move(conn));
+    }
+  }
+
+  void handle_hello(Conn& conn, const FrameView& frame) {
+    const auto hello = parse_hello(frame.payload);
+    if (!hello) {
+      bad_frame(conn, "unparsable hello");
+      return;
+    }
+    Tenant* t = tenants_.authenticate(hello->token);
+    if (t == nullptr) {
+      count(&FrontDoorCounters::auth_failures);
+      if (metrics().enabled()) metrics().add("net.auth_failed");
+      send_err(conn, frame.request_id, ErrorCode::AuthFailed,
+               "unknown tenant token");
+      conn.closing = true;
+      return;
+    }
+    conn.tenant = t;
+    std::string out;
+    encode_hello_ok(out, t->cfg.name);
+    send_frame(conn, std::move(out));
+  }
+
+  void handle_solve(Conn& conn, const FrameView& frame) {
+    Tenant* tenant = conn.tenant != nullptr ? conn.tenant : anon_;
+    if (tenant == nullptr) {
+      reject(conn, frame.request_id, ErrorCode::AuthRequired,
+             "hello first");
+      return;
+    }
+    if (draining_.load(std::memory_order_relaxed)) {
+      reject(conn, frame.request_id, ErrorCode::Draining,
+             "server is draining");
+      return;
+    }
+    const std::uint8_t width = solve_dtype(frame.payload);
+    if (width != 0 && width != sizeof(T)) {
+      reject(conn, frame.request_id, ErrorCode::Dtype,
+             sizeof(T) == 4 ? "server dtype is f32" : "server dtype is f64");
+      return;
+    }
+    auto solve = parse_solve<T>(frame.payload);
+    if (!solve) {
+      bad_frame(conn, "unparsable solve payload");
+      return;
+    }
+    if (solve->n > cfg_.max_systems) {
+      reject(conn, frame.request_id, ErrorCode::TooLarge,
+             "n exceeds server limit");
+      return;
+    }
+    const std::size_t bytes = solve_bytes<T>(solve->n);
+    const Admission verdict = tenants_.admit(*tenant, 1, bytes, now_s());
+    if (verdict != Admission::Ok) {
+      const ErrorCode code =
+          verdict == Admission::QuotaInflight ? ErrorCode::QuotaInflight
+          : verdict == Admission::QuotaBytes  ? ErrorCode::QuotaBytes
+                                              : ErrorCode::QuotaRate;
+      reject(conn, frame.request_id, code, to_string(verdict));
+      return;
+    }
+    count(&FrontDoorCounters::requests_admitted);
+    inflight_bytes_ += bytes;
+    if (metrics().enabled()) {
+      metrics().add(telemetry::labeled("net.requests",
+                                       {{"tenant", tenant->cfg.name}}));
+      metrics().set("net.inflight_bytes_now",
+                    static_cast<double>(inflight_bytes_));
+    }
+    Queued q;
+    q.conn_id = conn.id;
+    q.request_id = frame.request_id;
+    q.tenant = tenant;
+    q.bytes = bytes;
+    q.frame = std::move(*solve);
+    const double cost = static_cast<double>(q.frame.n);
+    ++conn.inflight;
+    lanes_.enqueue(tenant, std::move(q), cost);
+  }
+
+  void bad_frame(Conn& conn, std::string_view why) {
+    count(&FrontDoorCounters::bad_frames);
+    if (metrics().enabled()) metrics().add("net.bad_frames");
+    send_err(conn, 0, ErrorCode::BadFrame, why);
+    conn.closing = true;
+  }
+
+  void handle_frame(Conn& conn, const FrameView& frame) {
+    count(&FrontDoorCounters::frames_rx);
+    if (metrics().enabled()) metrics().add("net.frames_rx");
+    switch (frame.type) {
+      case FrameType::Hello:
+        handle_hello(conn, frame);
+        return;
+      case FrameType::Solve:
+        handle_solve(conn, frame);
+        return;
+      case FrameType::Goodbye:
+        conn.closing = true;
+        return;
+      case FrameType::HelloOk:
+      case FrameType::SolveOk:
+      case FrameType::SolveErr:
+        bad_frame(conn, "server-only frame from client");
+        return;
+    }
+    bad_frame(conn, "unknown frame type");
+  }
+
+  /// Reads everything available from a connection; returns false when
+  /// the connection should be closed (EOF, error, injected drop, or a
+  /// corrupt stream).
+  bool read_conn(Conn& conn) {
+    auto& inj = faults::FaultInjector::global();
+    char tmp[16384];
+    for (;;) {
+      const long n = read_some(conn.fd.get(), tmp, sizeof(tmp));
+      if (n == -2) break;    // drained
+      if (n <= 0) return false;
+      conn.last_rx = Clock::now();
+      count(&FrontDoorCounters::bytes_rx,
+            static_cast<std::uint64_t>(n));
+      if (metrics().enabled()) {
+        metrics().add("net.bytes_rx", static_cast<double>(n));
+      }
+      if (inj.fire(faults::Site::NetDrop)) {
+        count(&FrontDoorCounters::injected_drops);
+        if (metrics().enabled()) metrics().add("net.faults.drop");
+        return false;
+      }
+      std::string chunk(tmp, static_cast<std::size_t>(n));
+      if (inj.fire(faults::Site::NetCorrupt)) {
+        count(&FrontDoorCounters::injected_corruptions);
+        if (metrics().enabled()) metrics().add("net.faults.corrupt");
+        faults::corrupt_bytes(chunk, inj.config().seed ^ conn.id, 3);
+      }
+      conn.rbuf.append(chunk);
+      if (static_cast<std::size_t>(n) < sizeof(tmp)) break;
+    }
+    while (!conn.closing) {
+      const DecodeResult r =
+          decode_frame(conn.rbuf, cfg_.max_payload_bytes);
+      if (r.status == DecodeStatus::NeedMore) break;
+      if (r.status == DecodeStatus::Corrupt) {
+        bad_frame(conn, r.error);
+        break;
+      }
+      handle_frame(conn, r.frame);
+      conn.rbuf.erase(0, r.consumed);
+    }
+    return true;
+  }
+
+  /// Flushes a connection's write buffer; false = close it.
+  bool write_conn(Conn& conn) {
+    while (!conn.wbuf.empty()) {
+      const long n =
+          write_some(conn.fd.get(), conn.wbuf.data(), conn.wbuf.size());
+      if (n == -2) break;  // kernel buffer full; POLLOUT will retry
+      if (n < 0) return false;
+      conn.wbuf.erase(0, static_cast<std::size_t>(n));
+    }
+    maybe_resume(conn);
+    if (conn.closing && conn.wbuf.empty()) return false;
+    return true;
+  }
+
+  /// Moves lane heads into the service while the in-flight window has
+  /// room. The completion callback runs on a worker thread (or inline
+  /// for admission rejects): it encodes the response, parks it and
+  /// wakes the poll loop — nothing else.
+  void pump() {
+    while (service_inflight_.load(std::memory_order_relaxed) <
+           cfg_.max_service_inflight) {
+      Queued q;
+      if (!lanes_.dequeue(q)) break;
+      service_inflight_.fetch_add(1, std::memory_order_relaxed);
+      service::SolveRequest<T> req;
+      req.a = std::move(q.frame.a);
+      req.b = std::move(q.frame.b);
+      req.c = std::move(q.frame.c);
+      req.d = std::move(q.frame.d);
+      req.deadline_ms = q.frame.deadline_ms;
+      if (q.tenant != nullptr) req.tenant = q.tenant->cfg.name;
+      const std::uint64_t conn_id = q.conn_id;
+      const std::uint64_t request_id = q.request_id;
+      Tenant* tenant = q.tenant;
+      const std::size_t bytes = q.bytes;
+      svc_.submit(std::move(req),
+                  [this, conn_id, request_id, tenant,
+                   bytes](service::SolveResponse<T> resp) {
+                    Done d;
+                    d.conn_id = conn_id;
+                    d.tenant = tenant;
+                    d.systems = 1;
+                    d.bytes = bytes;
+                    encode_response(request_id, resp, d.encoded);
+                    {
+                      std::lock_guard lk(done_mu_);
+                      done_.push_back(std::move(d));
+                    }
+                    wake();
+                  });
+    }
+  }
+
+  void encode_response(std::uint64_t request_id,
+                       const service::SolveResponse<T>& resp,
+                       std::string& out) {
+    using service::SolveStatus;
+    switch (resp.status) {
+      case SolveStatus::Ok:
+        encode_solve_ok(out, request_id, resp.x, resp.trace_id,
+                        resp.solve_ms, resp.wait_ms, resp.fallback_used);
+        return;
+      case SolveStatus::Rejected:
+        // A service-side reject during our drain IS the drain from the
+        // client's point of view.
+        encode_solve_err(out, request_id,
+                         draining_.load(std::memory_order_relaxed)
+                             ? ErrorCode::Draining
+                             : ErrorCode::Rejected,
+                         resp.error.empty() ? "service rejected"
+                                            : resp.error);
+        return;
+      case SolveStatus::Shed:
+        encode_solve_err(out, request_id, ErrorCode::Shed,
+                         "shed by backpressure");
+        return;
+      case SolveStatus::TimedOut:
+        encode_solve_err(out, request_id, ErrorCode::TimedOut,
+                         "deadline lapsed");
+        return;
+      case SolveStatus::Failed:
+        encode_solve_err(out, request_id, ErrorCode::Failed, resp.error);
+        return;
+      case SolveStatus::Singular:
+        encode_solve_err(out, request_id, ErrorCode::Singular,
+                         resp.error);
+        return;
+      case SolveStatus::NonFinite:
+        encode_solve_err(out, request_id, ErrorCode::NonFinite,
+                         resp.error);
+        return;
+    }
+    encode_solve_err(out, request_id, ErrorCode::Internal,
+                     "unknown status");
+  }
+
+  /// Delivers parked completions into write buffers.
+  void drain_done() {
+    std::vector<Done> batch;
+    {
+      std::lock_guard lk(done_mu_);
+      batch.swap(done_);
+    }
+    for (auto& d : batch) {
+      service_inflight_.fetch_sub(d.systems, std::memory_order_relaxed);
+      if (d.tenant != nullptr) {
+        tenants_.release(*d.tenant, d.systems, d.bytes);
+      }
+      inflight_bytes_ -= d.bytes <= inflight_bytes_ ? d.bytes
+                                                    : inflight_bytes_;
+      // (saturating: a mismatch here would mean double delivery)
+      count(&FrontDoorCounters::responses_sent);
+      if (metrics().enabled()) {
+        metrics().add("net.responses");
+        metrics().set("net.inflight_bytes_now",
+                      static_cast<double>(inflight_bytes_));
+      }
+      auto it = conns_.find(d.conn_id);
+      if (it == conns_.end()) continue;  // connection died meanwhile
+      if (it->second.inflight > 0) --it->second.inflight;
+      send_frame(it->second, std::move(d.encoded));
+    }
+  }
+
+  void sweep_idle(TimePoint now) {
+    if (cfg_.idle_timeout_ms <= 0.0) return;
+    const auto limit = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(cfg_.idle_timeout_ms));
+    std::vector<std::uint64_t> victims;
+    for (auto& [id, conn] : conns_) {
+      if (conn.inflight == 0 && conn.wbuf.empty() &&
+          now - conn.last_rx > limit) {
+        victims.push_back(id);
+      }
+    }
+    for (const auto id : victims) {
+      count(&FrontDoorCounters::idle_closes);
+      if (metrics().enabled()) metrics().add("net.idle_closed");
+      close_conn(id);
+    }
+  }
+
+  void loop() {
+    TimePoint drain_started{};
+    for (;;) {
+      const bool draining = draining_.load(std::memory_order_relaxed);
+      if (draining && drain_started == TimePoint{}) {
+        drain_started = Clock::now();
+        tcp_listener_.reset();
+        unix_listener_.reset();
+      }
+
+      drain_done();
+      pump();
+
+      if (draining) {
+        const bool callbacks_pending =
+            service_inflight_.load(std::memory_order_relaxed) > 0 ||
+            !lanes_.empty();
+        bool flushing = false;
+        for (auto& [id, conn] : conns_) {
+          if (!conn.wbuf.empty()) flushing = true;
+        }
+        const bool flush_expired =
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      drain_started)
+                .count() > cfg_.drain_flush_timeout_ms;
+        if (!callbacks_pending && (!flushing || flush_expired)) {
+          // Every response is out (or its consumer has forfeited its
+          // flush window): say Goodbye and stop.
+          for (auto& [id, conn] : conns_) {
+            std::string out;
+            encode_goodbye(out);
+            conn.wbuf.append(out);
+            (void)write_conn(conn);
+          }
+          const std::size_t remaining = conns_.size();
+          conns_.clear();
+          count(&FrontDoorCounters::closed, remaining);
+          return;
+        }
+      }
+
+      std::vector<pollfd> fds;
+      std::vector<std::uint64_t> fd_conn;  // conn id per pollfd (0 = infra)
+      const auto add_fd = [&](int fd, short events, std::uint64_t id) {
+        fds.push_back(pollfd{fd, events, 0});
+        fd_conn.push_back(id);
+      };
+      add_fd(wake_rd_.get(), POLLIN, 0);
+      if (tcp_listener_.valid()) add_fd(tcp_listener_.get(), POLLIN, 0);
+      if (unix_listener_.valid())
+        add_fd(unix_listener_.get(), POLLIN, 0);
+      for (auto& [id, conn] : conns_) {
+        short events = 0;
+        if (!conn.paused && !conn.closing) events |= POLLIN;
+        if (!conn.wbuf.empty()) events |= POLLOUT;
+        if (events == 0) events = POLLERR;
+        add_fd(conn.fd.get(), events, id);
+      }
+
+      const int timeout =
+          static_cast<int>(cfg_.poll_interval_ms < 1.0
+                               ? 1
+                               : cfg_.poll_interval_ms);
+      (void)::poll(fds.data(), fds.size(), timeout);
+
+      // Drain the wake pipe.
+      if ((fds[0].revents & POLLIN) != 0) {
+        char sink[256];
+        while (::read(wake_rd_.get(), sink, sizeof(sink)) > 0) {
+        }
+      }
+      accept_from(tcp_listener_);
+      accept_from(unix_listener_);
+
+      std::vector<std::uint64_t> dead;
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        const std::uint64_t id = fd_conn[i];
+        if (id == 0) continue;
+        auto it = conns_.find(id);
+        if (it == conns_.end()) continue;
+        Conn& conn = it->second;
+        bool alive = true;
+        if ((fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+            (fds[i].revents & POLLIN) == 0) {
+          // Half-close with pending output still flushes below; a hard
+          // error drops the connection.
+          if ((fds[i].revents & (POLLERR | POLLNVAL)) != 0) alive = false;
+        }
+        if (alive && (fds[i].revents & POLLIN) != 0) {
+          alive = read_conn(conn);
+        }
+        if (alive && ((fds[i].revents & POLLOUT) != 0 || conn.closing)) {
+          alive = write_conn(conn);
+        }
+        if (!alive) dead.push_back(id);
+      }
+      for (const auto id : dead) close_conn(id);
+      sweep_idle(Clock::now());
+    }
+  }
+
+  service::SolveService<T>& svc_;
+  FrontDoorConfig cfg_;
+  TenantRegistry tenants_;
+
+  Fd tcp_listener_, unix_listener_, wake_rd_, wake_wr_;
+  std::uint16_t tcp_port_ = 0;
+  bool running_ = false;
+  std::thread thread_;
+  std::atomic<bool> draining_{false};
+  const TimePoint epoch_ = Clock::now();
+
+  // --- poll-thread-owned state ---
+  std::map<std::uint64_t, Conn> conns_;
+  std::uint64_t next_conn_id_ = 1;
+  DrrScheduler<Queued> lanes_;
+  Tenant* anon_ = nullptr;  ///< implicit tenant when require_auth is off
+  std::size_t inflight_bytes_ = 0;
+
+  // --- shared with worker callbacks ---
+  std::atomic<std::size_t> service_inflight_{0};
+  std::mutex done_mu_;
+  std::vector<Done> done_;
+
+  mutable std::mutex counters_mu_;
+  FrontDoorCounters counters_;
+};
+
+}  // namespace tda::net

@@ -1,0 +1,373 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+
+namespace tda::net {
+
+namespace {
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+template <typename T>
+void put_values(std::string& out, const std::vector<T>& v) {
+  const std::size_t bytes = v.size() * sizeof(T);
+  const std::size_t at = out.size();
+  out.resize(at + bytes);
+  if (bytes > 0) std::memcpy(out.data() + at, v.data(), bytes);
+}
+
+std::uint16_t get_u16(std::string_view b, std::size_t at) {
+  return static_cast<std::uint16_t>(
+      static_cast<std::uint8_t>(b[at]) |
+      (static_cast<std::uint16_t>(static_cast<std::uint8_t>(b[at + 1]))
+       << 8));
+}
+
+std::uint32_t get_u32(std::string_view b, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) |
+        static_cast<std::uint8_t>(b[at + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(std::string_view b, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) |
+        static_cast<std::uint8_t>(b[at + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+double get_f64(std::string_view b, std::size_t at) {
+  const std::uint64_t bits = get_u64(b, at);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+template <typename T>
+std::vector<T> get_values(std::string_view b, std::size_t at,
+                          std::size_t count) {
+  std::vector<T> out(count);
+  if (count > 0) std::memcpy(out.data(), b.data() + at, count * sizeof(T));
+  return out;
+}
+
+/// Appends a header + payload with the checksum patched in. The header
+/// is built first with checksum 0, then the hash runs over the first 20
+/// header bytes and the payload.
+void append_frame(std::string& out, FrameType type,
+                  std::uint64_t request_id, std::string_view payload) {
+  const std::size_t head = out.size();
+  put_u32(out, kMagic);
+  put_u16(out, kVersion);
+  put_u16(out, static_cast<std::uint16_t>(type));
+  put_u64(out, request_id);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  std::uint32_t sum = fnv1a32(std::string_view(out).substr(head, 20));
+  sum = fnv1a32(payload, sum);
+  put_u32(out, sum);
+  out.append(payload);
+}
+
+bool known_type(std::uint16_t t) {
+  return t >= static_cast<std::uint16_t>(FrameType::Hello) &&
+         t <= static_cast<std::uint16_t>(FrameType::Goodbye);
+}
+
+}  // namespace
+
+const char* to_string(FrameType t) {
+  switch (t) {
+    case FrameType::Hello: return "hello";
+    case FrameType::HelloOk: return "hello_ok";
+    case FrameType::Solve: return "solve";
+    case FrameType::SolveOk: return "solve_ok";
+    case FrameType::SolveErr: return "solve_err";
+    case FrameType::Goodbye: return "goodbye";
+  }
+  return "?";
+}
+
+const char* to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::None: return "none";
+    case ErrorCode::BadFrame: return "bad_frame";
+    case ErrorCode::AuthRequired: return "auth_required";
+    case ErrorCode::AuthFailed: return "auth_failed";
+    case ErrorCode::Dtype: return "dtype";
+    case ErrorCode::TooLarge: return "too_large";
+    case ErrorCode::QuotaInflight: return "quota_inflight";
+    case ErrorCode::QuotaBytes: return "quota_bytes";
+    case ErrorCode::QuotaRate: return "quota_rate";
+    case ErrorCode::Draining: return "draining";
+    case ErrorCode::Rejected: return "rejected";
+    case ErrorCode::Shed: return "shed";
+    case ErrorCode::TimedOut: return "timed_out";
+    case ErrorCode::Failed: return "failed";
+    case ErrorCode::Singular: return "singular";
+    case ErrorCode::NonFinite: return "nonfinite";
+    case ErrorCode::Internal: return "internal";
+  }
+  return "?";
+}
+
+std::uint32_t fnv1a32(std::string_view bytes, std::uint32_t state) {
+  for (const char c : bytes) {
+    state ^= static_cast<std::uint8_t>(c);
+    state *= 0x01000193u;
+  }
+  return state;
+}
+
+DecodeResult decode_frame(std::string_view buf, std::size_t max_payload) {
+  DecodeResult r;
+  if (buf.size() < kHeaderSize) {
+    // Reject a hopeless prefix early: a wrong magic can never grow into
+    // a valid frame, and flagging it now keeps a garbage-spewing peer
+    // from pinning buffer space while we "wait for more".
+    if (!buf.empty() && buf.size() >= 4 && get_u32(buf, 0) != kMagic) {
+      r.status = DecodeStatus::Corrupt;
+      r.error = "bad magic";
+      return r;
+    }
+    r.status = DecodeStatus::NeedMore;
+    return r;
+  }
+  if (get_u32(buf, 0) != kMagic) {
+    r.status = DecodeStatus::Corrupt;
+    r.error = "bad magic";
+    return r;
+  }
+  if (get_u16(buf, 4) != kVersion) {
+    r.status = DecodeStatus::Corrupt;
+    r.error = "unsupported version";
+    return r;
+  }
+  const std::uint16_t type = get_u16(buf, 6);
+  if (!known_type(type)) {
+    r.status = DecodeStatus::Corrupt;
+    r.error = "unknown frame type";
+    return r;
+  }
+  const std::size_t payload_len = get_u32(buf, 16);
+  const std::size_t cap = max_payload < kAbsoluteMaxPayload
+                              ? max_payload
+                              : kAbsoluteMaxPayload;
+  if (payload_len > cap) {
+    r.status = DecodeStatus::Corrupt;
+    r.error = "payload too large";
+    return r;
+  }
+  if (buf.size() < kHeaderSize + payload_len) {
+    r.status = DecodeStatus::NeedMore;
+    return r;
+  }
+  const std::string_view payload = buf.substr(kHeaderSize, payload_len);
+  std::uint32_t sum = fnv1a32(buf.substr(0, 20));
+  sum = fnv1a32(payload, sum);
+  if (sum != get_u32(buf, 20)) {
+    r.status = DecodeStatus::Corrupt;
+    r.error = "checksum mismatch";
+    return r;
+  }
+  r.status = DecodeStatus::Ok;
+  r.consumed = kHeaderSize + payload_len;
+  r.frame.type = static_cast<FrameType>(type);
+  r.frame.request_id = get_u64(buf, 8);
+  r.frame.payload = payload;
+  return r;
+}
+
+void encode_hello(std::string& out, std::string_view token) {
+  std::string payload;
+  put_u16(payload, static_cast<std::uint16_t>(token.size()));
+  put_u16(payload, 0);
+  payload.append(token);
+  append_frame(out, FrameType::Hello, 0, payload);
+}
+
+void encode_hello_ok(std::string& out, std::string_view tenant) {
+  std::string payload;
+  put_u16(payload, static_cast<std::uint16_t>(tenant.size()));
+  put_u16(payload, 0);
+  payload.append(tenant);
+  append_frame(out, FrameType::HelloOk, 0, payload);
+}
+
+void encode_goodbye(std::string& out) {
+  append_frame(out, FrameType::Goodbye, 0, {});
+}
+
+void encode_solve_err(std::string& out, std::uint64_t request_id,
+                      ErrorCode code, std::string_view message) {
+  std::string payload;
+  put_u16(payload, static_cast<std::uint16_t>(code));
+  put_u16(payload, 0);
+  put_u32(payload, static_cast<std::uint32_t>(message.size()));
+  payload.append(message);
+  append_frame(out, FrameType::SolveErr, request_id, payload);
+}
+
+template <typename T>
+void encode_solve(std::string& out, std::uint64_t request_id,
+                  const std::vector<T>& a, const std::vector<T>& b,
+                  const std::vector<T>& c, const std::vector<T>& d,
+                  double deadline_ms) {
+  std::string payload;
+  payload.reserve(16 + 4 * b.size() * sizeof(T));
+  payload.push_back(static_cast<char>(sizeof(T)));
+  payload.push_back(0);
+  put_u16(payload, 0);
+  put_u32(payload, static_cast<std::uint32_t>(b.size()));
+  put_f64(payload, deadline_ms);
+  put_values(payload, a);
+  put_values(payload, b);
+  put_values(payload, c);
+  put_values(payload, d);
+  append_frame(out, FrameType::Solve, request_id, payload);
+}
+
+template <typename T>
+void encode_solve_ok(std::string& out, std::uint64_t request_id,
+                     const std::vector<T>& x, std::uint64_t trace_id,
+                     double solve_ms, double wait_ms, bool fallback_used) {
+  std::string payload;
+  payload.reserve(32 + x.size() * sizeof(T));
+  payload.push_back(static_cast<char>(sizeof(T)));
+  payload.push_back(fallback_used ? 1 : 0);
+  put_u16(payload, 0);
+  put_u32(payload, static_cast<std::uint32_t>(x.size()));
+  put_u64(payload, trace_id);
+  put_f64(payload, solve_ms);
+  put_f64(payload, wait_ms);
+  put_values(payload, x);
+  append_frame(out, FrameType::SolveOk, request_id, payload);
+}
+
+std::optional<HelloFrame> parse_hello(std::string_view payload) {
+  if (payload.size() < 4) return std::nullopt;
+  const std::size_t len = get_u16(payload, 0);
+  if (payload.size() != 4 + len) return std::nullopt;
+  HelloFrame f;
+  f.token.assign(payload.substr(4, len));
+  return f;
+}
+
+std::optional<HelloOkFrame> parse_hello_ok(std::string_view payload) {
+  if (payload.size() < 4) return std::nullopt;
+  const std::size_t len = get_u16(payload, 0);
+  if (payload.size() != 4 + len) return std::nullopt;
+  HelloOkFrame f;
+  f.tenant.assign(payload.substr(4, len));
+  return f;
+}
+
+std::optional<SolveErrFrame> parse_solve_err(std::string_view payload) {
+  if (payload.size() < 8) return std::nullopt;
+  const std::size_t len = get_u32(payload, 4);
+  if (payload.size() != 8 + len) return std::nullopt;
+  SolveErrFrame f;
+  f.code = static_cast<ErrorCode>(get_u16(payload, 0));
+  f.message.assign(payload.substr(8, len));
+  return f;
+}
+
+std::uint8_t solve_dtype(std::string_view payload) {
+  if (payload.empty()) return 0;
+  return static_cast<std::uint8_t>(payload[0]);
+}
+
+template <typename T>
+std::optional<SolveFrame<T>> parse_solve(std::string_view payload) {
+  if (payload.size() < 16) return std::nullopt;
+  if (static_cast<std::uint8_t>(payload[0]) != sizeof(T))
+    return std::nullopt;
+  const std::uint32_t n = get_u32(payload, 4);
+  if (n == 0) return std::nullopt;
+  const std::size_t want =
+      16 + 4 * static_cast<std::size_t>(n) * sizeof(T);
+  if (payload.size() != want) return std::nullopt;
+  SolveFrame<T> f;
+  f.n = n;
+  f.deadline_ms = get_f64(payload, 8);
+  std::size_t at = 16;
+  const std::size_t stride = static_cast<std::size_t>(n) * sizeof(T);
+  f.a = get_values<T>(payload, at, n);
+  at += stride;
+  f.b = get_values<T>(payload, at, n);
+  at += stride;
+  f.c = get_values<T>(payload, at, n);
+  at += stride;
+  f.d = get_values<T>(payload, at, n);
+  return f;
+}
+
+template <typename T>
+std::optional<SolveOkFrame<T>> parse_solve_ok(std::string_view payload) {
+  if (payload.size() < 32) return std::nullopt;
+  if (static_cast<std::uint8_t>(payload[0]) != sizeof(T))
+    return std::nullopt;
+  const std::uint32_t n = get_u32(payload, 4);
+  const std::size_t want = 32 + static_cast<std::size_t>(n) * sizeof(T);
+  if (payload.size() != want) return std::nullopt;
+  SolveOkFrame<T> f;
+  f.n = n;
+  f.fallback_used = (static_cast<std::uint8_t>(payload[1]) & 1u) != 0;
+  f.trace_id = get_u64(payload, 8);
+  f.solve_ms = get_f64(payload, 16);
+  f.wait_ms = get_f64(payload, 24);
+  f.x = get_values<T>(payload, 32, n);
+  return f;
+}
+
+template void encode_solve<float>(std::string&, std::uint64_t,
+                                  const std::vector<float>&,
+                                  const std::vector<float>&,
+                                  const std::vector<float>&,
+                                  const std::vector<float>&, double);
+template void encode_solve<double>(std::string&, std::uint64_t,
+                                   const std::vector<double>&,
+                                   const std::vector<double>&,
+                                   const std::vector<double>&,
+                                   const std::vector<double>&, double);
+template void encode_solve_ok<float>(std::string&, std::uint64_t,
+                                     const std::vector<float>&,
+                                     std::uint64_t, double, double, bool);
+template void encode_solve_ok<double>(std::string&, std::uint64_t,
+                                      const std::vector<double>&,
+                                      std::uint64_t, double, double, bool);
+template std::optional<SolveFrame<float>> parse_solve<float>(
+    std::string_view);
+template std::optional<SolveFrame<double>> parse_solve<double>(
+    std::string_view);
+template std::optional<SolveOkFrame<float>> parse_solve_ok<float>(
+    std::string_view);
+template std::optional<SolveOkFrame<double>> parse_solve_ok<double>(
+    std::string_view);
+
+}  // namespace tda::net

@@ -1,0 +1,190 @@
+#pragma once
+// Wire protocol of the solver front door (docs/NET.md).
+//
+// Frames are length-prefixed little-endian binary with a fixed 24-byte
+// header:
+//
+//   offset  size  field
+//        0     4  magic        0x50414454 ("TDAP")
+//        4     2  version      1
+//        6     2  type         FrameType
+//        8     8  request_id   caller-chosen correlation id
+//       16     4  payload_len  bytes following the header
+//       20     4  checksum     FNV-1a-32 over header[0,20) + payload
+//
+// The checksum makes corruption detectable rather than merely unlikely
+// to parse: every FNV-1a step s' = (s ^ byte) * prime is a bijection of
+// the 32-bit state, so any single flipped byte in the covered range
+// always lands on a different checksum — the fuzz harness leans on that
+// to assert "no mutated frame is ever accepted".
+//
+// decode_frame is strictly bounds-checked and allocation-free: it
+// either needs more bytes, yields a view into the caller's buffer, or
+// rejects the stream as corrupt (at which point the connection is
+// unrecoverable — framing is lost). Payload parsers (parse_solve, ...)
+// validate exact lengths before allocating anything.
+//
+// Dtype width is carried per Solve frame (4 = f32, 8 = f64); a server
+// instantiated for one T rejects the other with ErrorCode::Dtype
+// instead of guessing.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tda::net {
+
+inline constexpr std::uint32_t kMagic = 0x50414454u;  // "TDAP" on the wire
+inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::size_t kHeaderSize = 24;
+/// Hard ceiling a decoder enforces even when the caller passes a larger
+/// limit — no payload_len may imply a buffer this large.
+inline constexpr std::size_t kAbsoluteMaxPayload =
+    std::size_t{1} << 30;  // 1 GiB
+
+enum class FrameType : std::uint16_t {
+  Hello = 1,    ///< client -> server: tenant auth token
+  HelloOk = 2,  ///< server -> client: resolved tenant name
+  Solve = 3,    ///< client -> server: one tridiagonal system
+  SolveOk = 4,  ///< server -> client: solution
+  SolveErr = 5, ///< server -> client: typed rejection / failure
+  Goodbye = 6,  ///< either way: orderly close (empty payload)
+};
+
+/// Typed error codes carried by SolveErr frames.
+enum class ErrorCode : std::uint16_t {
+  None = 0,
+  BadFrame = 1,      ///< malformed/corrupt frame; connection closes after
+  AuthRequired = 2,  ///< Solve before a successful Hello
+  AuthFailed = 3,    ///< Hello token matched no tenant
+  Dtype = 4,         ///< dtype width does not match the server's T
+  TooLarge = 5,      ///< n exceeds the server's per-request limit
+  QuotaInflight = 6, ///< tenant at max in-flight systems
+  QuotaBytes = 7,    ///< tenant at max in-flight decoded bytes
+  QuotaRate = 8,     ///< tenant over requests_per_sec
+  Draining = 9,      ///< server is draining; request not accepted
+  Rejected = 10,     ///< service admission refused (queue/memory)
+  Shed = 11,         ///< evicted by service backpressure
+  TimedOut = 12,     ///< deadline lapsed before/while solving
+  Failed = 13,       ///< the solve itself failed
+  Singular = 14,     ///< system is numerically singular
+  NonFinite = 15,    ///< system carried NaN/Inf coefficients
+  Internal = 16,     ///< anything else
+};
+
+const char* to_string(FrameType t);
+const char* to_string(ErrorCode c);
+
+/// FNV-1a-32 over `bytes` continuing from `state` (pass the offset
+/// basis for a fresh hash). Exposed for tests.
+std::uint32_t fnv1a32(std::string_view bytes,
+                      std::uint32_t state = 0x811C9DC5u);
+
+/// One decoded frame: a non-owning view into the receive buffer.
+struct FrameView {
+  FrameType type = FrameType::Goodbye;
+  std::uint64_t request_id = 0;
+  std::string_view payload;
+};
+
+enum class DecodeStatus {
+  NeedMore,  ///< buffer holds a frame prefix; read more bytes
+  Ok,        ///< `frame` is valid; drop `consumed` bytes from the buffer
+  Corrupt,   ///< framing is broken; close the connection
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::NeedMore;
+  std::size_t consumed = 0;   ///< valid only when status == Ok
+  FrameView frame;            ///< valid only when status == Ok
+  const char* error = "";     ///< reason when status == Corrupt
+};
+
+/// Decodes the first frame of `buf` without allocating. `max_payload`
+/// caps payload_len (clamped to kAbsoluteMaxPayload); anything larger
+/// is Corrupt — the decoder never asks the caller to buffer unbounded
+/// bytes on the say-so of an unauthenticated length field.
+DecodeResult decode_frame(std::string_view buf, std::size_t max_payload);
+
+// --- payload shapes -----------------------------------------------------
+
+struct HelloFrame {
+  std::string token;
+};
+
+struct HelloOkFrame {
+  std::string tenant;
+};
+
+/// Solve payload: u8 dtype_size, u8+u16 reserved, u32 n, f64 deadline_ms,
+/// then diagonals a,b,c and rhs d — 4*n values of dtype_size bytes each.
+template <typename T>
+struct SolveFrame {
+  std::uint32_t n = 0;
+  double deadline_ms = 0.0;
+  std::vector<T> a, b, c, d;
+};
+
+/// SolveOk payload: u8 dtype_size, u8 flags (bit0 = fallback_used),
+/// u16 reserved, u32 n, u64 trace_id, f64 solve_ms, f64 wait_ms, then
+/// n solution values.
+template <typename T>
+struct SolveOkFrame {
+  std::uint32_t n = 0;
+  std::uint64_t trace_id = 0;
+  double solve_ms = 0.0;
+  double wait_ms = 0.0;
+  bool fallback_used = false;
+  std::vector<T> x;
+};
+
+struct SolveErrFrame {
+  ErrorCode code = ErrorCode::None;
+  std::string message;
+};
+
+// --- encoders (append a complete frame to `out`) ------------------------
+
+void encode_hello(std::string& out, std::string_view token);
+void encode_hello_ok(std::string& out, std::string_view tenant);
+void encode_goodbye(std::string& out);
+void encode_solve_err(std::string& out, std::uint64_t request_id,
+                      ErrorCode code, std::string_view message);
+
+template <typename T>
+void encode_solve(std::string& out, std::uint64_t request_id,
+                  const std::vector<T>& a, const std::vector<T>& b,
+                  const std::vector<T>& c, const std::vector<T>& d,
+                  double deadline_ms);
+
+template <typename T>
+void encode_solve_ok(std::string& out, std::uint64_t request_id,
+                     const std::vector<T>& x, std::uint64_t trace_id,
+                     double solve_ms, double wait_ms, bool fallback_used);
+
+// --- payload parsers (nullopt on any shape violation) -------------------
+
+std::optional<HelloFrame> parse_hello(std::string_view payload);
+std::optional<HelloOkFrame> parse_hello_ok(std::string_view payload);
+std::optional<SolveErrFrame> parse_solve_err(std::string_view payload);
+
+/// Peeks the dtype width of a Solve payload (0 when too short).
+std::uint8_t solve_dtype(std::string_view payload);
+
+template <typename T>
+std::optional<SolveFrame<T>> parse_solve(std::string_view payload);
+
+template <typename T>
+std::optional<SolveOkFrame<T>> parse_solve_ok(std::string_view payload);
+
+/// Per-request decoded-payload bytes a Solve of size n pins on the
+/// server (the four diagonals) — what tenant byte quotas account.
+template <typename T>
+[[nodiscard]] constexpr std::size_t solve_bytes(std::size_t n) {
+  return 4 * n * sizeof(T);
+}
+
+}  // namespace tda::net

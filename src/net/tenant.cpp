@@ -1,0 +1,87 @@
+#include "net/tenant.hpp"
+
+namespace tda::net {
+
+const char* to_string(Admission a) {
+  switch (a) {
+    case Admission::Ok: return "ok";
+    case Admission::QuotaInflight: return "quota_inflight";
+    case Admission::QuotaBytes: return "quota_bytes";
+    case Admission::QuotaRate: return "quota_rate";
+  }
+  return "?";
+}
+
+void TenantRegistry::add(TenantConfig cfg) {
+  if (cfg.weight < 0.01) cfg.weight = 0.01;
+  if (cfg.burst <= 0.0) {
+    cfg.burst = cfg.requests_per_sec > 4.0 ? cfg.requests_per_sec / 4.0
+                                           : 1.0;
+  }
+  auto t = std::make_unique<Tenant>();
+  t->cfg = std::move(cfg);
+  t->bucket = TokenBucket(t->cfg.requests_per_sec, t->cfg.burst);
+  std::lock_guard lk(mu_);
+  tenants_.push_back(std::move(t));
+}
+
+Tenant* TenantRegistry::authenticate(const std::string& token) {
+  std::lock_guard lk(mu_);
+  for (auto& t : tenants_) {
+    if (t->cfg.token == token) return t.get();
+  }
+  return nullptr;
+}
+
+Admission TenantRegistry::admit(Tenant& t, std::size_t systems,
+                                std::size_t bytes, double now_s) {
+  std::lock_guard lk(mu_);
+  // Check every quota before charging any: an all-or-nothing verdict
+  // keeps partial charges from leaking when the last check fails.
+  if (t.cfg.max_inflight > 0 &&
+      t.inflight_systems + systems > t.cfg.max_inflight) {
+    ++t.rejected;
+    return Admission::QuotaInflight;
+  }
+  if (t.cfg.max_inflight_bytes > 0 &&
+      t.inflight_bytes + bytes > t.cfg.max_inflight_bytes) {
+    ++t.rejected;
+    return Admission::QuotaBytes;
+  }
+  if (!t.bucket.try_take(now_s)) {
+    ++t.rejected;
+    return Admission::QuotaRate;
+  }
+  t.inflight_systems += systems;
+  t.inflight_bytes += bytes;
+  ++t.admitted;
+  return Admission::Ok;
+}
+
+void TenantRegistry::release(Tenant& t, std::size_t systems,
+                             std::size_t bytes) {
+  std::lock_guard lk(mu_);
+  t.inflight_systems -= systems <= t.inflight_systems
+                            ? systems
+                            : t.inflight_systems;
+  t.inflight_bytes -= bytes <= t.inflight_bytes ? bytes
+                                                : t.inflight_bytes;
+}
+
+std::vector<TenantRegistry::Usage> TenantRegistry::usage() const {
+  std::lock_guard lk(mu_);
+  std::vector<Usage> out;
+  out.reserve(tenants_.size());
+  for (const auto& t : tenants_) {
+    out.push_back(Usage{t->cfg.name, t->cfg.weight, t->inflight_systems,
+                        t->inflight_bytes, t->admitted, t->rejected});
+  }
+  return out;
+}
+
+std::size_t TenantRegistry::size() const {
+  std::lock_guard lk(mu_);
+  return tenants_.size();
+}
+
+}  // namespace tda::net

@@ -1,0 +1,264 @@
+#pragma once
+// Multi-tenant admission + fair queueing for the front door
+// (docs/NET.md).
+//
+// A TenantRegistry owns the configured tenants. Each carries a bearer
+// token (auth), quotas enforced at admission — in-flight systems,
+// in-flight decoded payload bytes, and a token-bucket requests/sec
+// limit — and a scheduling weight. Admission is all-or-nothing with a
+// typed verdict so the front door can answer a rejected Solve with the
+// exact quota it tripped.
+//
+// Fair queueing is deficit round-robin over per-tenant lanes: each
+// round an active lane earns quantum * weight deficit (in equations),
+// and dequeues requests while its head's cost (n equations) fits. DRR
+// gives weighted max-min fairness with O(1) work per dequeue, and
+// because it sits *in front of* SolveService's shape-bucketed
+// coalescer, requests of the same n from different tenants still merge
+// into one ragged solve — isolation happens at admission order, not by
+// partitioning batches.
+//
+// Thread-safety: the registry locks internally. Admission runs on the
+// front door's poll thread while releases arrive from service worker
+// callbacks, so every counter mutation takes the mutex. The DRR lanes
+// themselves are owned (and only touched) by the poll thread.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tda::net {
+
+struct TenantConfig {
+  std::string name;
+  std::string token;
+  /// DRR weight (relative share of service bandwidth); min 0.01.
+  double weight = 1.0;
+  /// Max systems admitted but not yet answered. 0 = unlimited.
+  std::size_t max_inflight = 0;
+  /// Max decoded payload bytes admitted but not yet answered.
+  /// 0 = unlimited.
+  std::size_t max_inflight_bytes = 0;
+  /// Sustained request rate (token bucket). 0 = unlimited.
+  double requests_per_sec = 0.0;
+  /// Bucket depth; <= 0 defaults to max(1, requests_per_sec / 4).
+  double burst = 0.0;
+};
+
+/// Typed admission verdict — maps 1:1 onto SolveErr codes.
+enum class Admission {
+  Ok,
+  QuotaInflight,
+  QuotaBytes,
+  QuotaRate,
+};
+
+const char* to_string(Admission a);
+
+/// Continuous-refill token bucket. Time is an explicit seconds value so
+/// tests drive it deterministically.
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+  /// Takes one token at time `now_s`; false when the bucket is dry.
+  /// A zero-rate bucket always admits (the quota is "unlimited").
+  bool try_take(double now_s) {
+    if (rate_ <= 0.0) return true;
+    if (now_s > last_s_) {
+      tokens_ += (now_s - last_s_) * rate_;
+      if (tokens_ > burst_) tokens_ = burst_;
+      last_s_ = now_s;
+    }
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  [[nodiscard]] double tokens() const { return tokens_; }
+
+ private:
+  double rate_ = 0.0;
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  double last_s_ = 0.0;
+};
+
+/// One configured tenant plus its live accounting.
+struct Tenant {
+  TenantConfig cfg;
+  TokenBucket bucket;
+
+  // --- live state (guarded by the registry mutex) ---
+  std::size_t inflight_systems = 0;
+  std::size_t inflight_bytes = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+
+  // --- DRR lane state (poll-thread-owned, not under the mutex) ---
+  double deficit = 0.0;
+};
+
+class TenantRegistry {
+ public:
+  /// Registers a tenant (weight clamped to >= 0.01, burst defaulted).
+  /// Later add() with a duplicate token wins on lookup order — don't.
+  void add(TenantConfig cfg);
+
+  /// Token -> tenant; nullptr when no tenant matches. The pointer stays
+  /// valid for the registry's lifetime (tenants are never removed).
+  [[nodiscard]] Tenant* authenticate(const std::string& token);
+
+  /// Admits one request of `systems`/`bytes` at time `now_s`, charging
+  /// the quotas on success. All-or-nothing.
+  Admission admit(Tenant& t, std::size_t systems, std::size_t bytes,
+                  double now_s);
+
+  /// Returns an admitted request's charge (on completion delivery, or
+  /// when a queued lane entry dies with its connection).
+  void release(Tenant& t, std::size_t systems, std::size_t bytes);
+
+  /// Snapshot of one tenant's live accounting.
+  struct Usage {
+    std::string name;
+    double weight = 1.0;
+    std::size_t inflight_systems = 0;
+    std::size_t inflight_bytes = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+  };
+  [[nodiscard]] std::vector<Usage> usage() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  // Stable addresses: Tenant* handles live in connections and lane
+  // entries across the registry's whole life.
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+};
+
+/// Deficit round-robin over per-tenant lanes of opaque items. The front
+/// door instantiates it with its queued-request type; tests drive it
+/// with ints. Single-threaded (poll-loop-owned).
+template <typename Item>
+class DrrScheduler {
+ public:
+  explicit DrrScheduler(double quantum) : quantum_(quantum) {}
+
+  void enqueue(Tenant* t, Item item, double cost) {
+    Lane& lane = lane_of(t);
+    lane.items.push_back({std::move(item), cost});
+    total_ += 1;
+  }
+
+  [[nodiscard]] bool empty() const { return total_ == 0; }
+  [[nodiscard]] std::size_t size() const { return total_; }
+
+  /// Dequeues the next item under DRR order; false when idle. A lane
+  /// earns quantum * weight once per round-robin visit and serves while
+  /// its deficit covers the head's cost; an expensive head simply waits
+  /// more rounds, it never underpays. Consecutive dequeue() calls keep
+  /// serving the same lane until its deficit runs out (classic DRR
+  /// "serve the quantum through").
+  bool dequeue(Item& out) {
+    if (total_ == 0) return false;
+    // Each full sweep tops every non-empty lane up by one quantum, so a
+    // head of cost C is served within ceil(C / (quantum * weight))
+    // sweeps. The cap is a defensive bound for absurd cost/quantum
+    // ratios; past it, the head of the next non-empty lane is served
+    // regardless so the scheduler can never wedge.
+    constexpr int kMaxSweeps = 1 << 14;
+    for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+      for (std::size_t step = 0; step < lanes_.size(); ++step) {
+        Lane& lane = lanes_[cursor_ % lanes_.size()];
+        if (lane.items.empty()) {
+          lane.tenant->deficit = 0.0;
+          lane.charged_this_visit = false;
+          ++cursor_;
+          continue;
+        }
+        if (!lane.charged_this_visit) {
+          lane.tenant->deficit += quantum_ * lane.tenant->cfg.weight;
+          lane.charged_this_visit = true;
+        }
+        if (lane.tenant->deficit >= lane.items.front().cost) {
+          return serve(lane, out);
+        }
+        lane.charged_this_visit = false;
+        ++cursor_;
+      }
+    }
+    for (std::size_t step = 0; step < lanes_.size(); ++step) {
+      Lane& lane = lanes_[cursor_ % lanes_.size()];
+      if (!lane.items.empty()) return serve(lane, out);
+      ++cursor_;
+    }
+    return false;  // unreachable while total_ > 0; defensive
+  }
+
+  /// Drops every queued item satisfying `pred`, calling `on_drop` for
+  /// each (used when a connection dies with requests still queued).
+  template <typename Pred, typename OnDrop>
+  void drop_if(Pred pred, OnDrop on_drop) {
+    for (Lane& lane : lanes_) {
+      for (auto it = lane.items.begin(); it != lane.items.end();) {
+        if (pred(it->item)) {
+          on_drop(it->item);
+          it = lane.items.erase(it);
+          total_ -= 1;
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+ private:
+  struct Entry {
+    Item item;
+    double cost = 0.0;
+  };
+  struct Lane {
+    Tenant* tenant = nullptr;
+    std::deque<Entry> items;
+    bool charged_this_visit = false;
+  };
+
+  /// Pops `lane`'s head into `out`, charging its deficit. The cursor
+  /// stays on a lane that still has deficit and items (it may serve
+  /// again next call); an emptied lane resets and passes the turn.
+  bool serve(Lane& lane, Item& out) {
+    out = std::move(lane.items.front().item);
+    lane.tenant->deficit -= lane.items.front().cost;
+    lane.items.pop_front();
+    total_ -= 1;
+    if (lane.items.empty()) {
+      lane.tenant->deficit = 0.0;
+      lane.charged_this_visit = false;
+      ++cursor_;
+    }
+    return true;
+  }
+
+  Lane& lane_of(Tenant* t) {
+    for (Lane& lane : lanes_) {
+      if (lane.tenant == t) return lane;
+    }
+    lanes_.push_back(Lane{t, {}, false});
+    return lanes_.back();
+  }
+
+  double quantum_;
+  std::vector<Lane> lanes_;
+  std::size_t cursor_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace tda::net

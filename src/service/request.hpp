@@ -49,6 +49,11 @@ struct SolveRequest {
   /// the request to an existing trace (e.g. a front door that already
   /// minted one); zero lets the service mint a fresh id at admission.
   telemetry::TraceContext trace;
+  /// Tenant label of the submitting client (the wire front door stamps
+  /// it after auth). Non-empty adds a tenant="..." label to the
+  /// request-latency histogram and an attr on the request root span;
+  /// empty (in-process callers) keeps the label set unchanged.
+  std::string tenant;
 
   [[nodiscard]] std::size_t size() const { return b.size(); }
 };

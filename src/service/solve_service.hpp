@@ -56,6 +56,7 @@
 #include <cstdint>
 #include <deque>
 #include <exception>
+#include <functional>
 #include <future>
 #include <limits>
 #include <map>
@@ -186,24 +187,60 @@ class SolveService {
   SolveService(const SolveService&) = delete;
   SolveService& operator=(const SolveService&) = delete;
 
+  /// How a finished request is delivered: through a promise (the
+  /// future-returning submit) or a callback (the wire front door, which
+  /// must not burn a thread per outstanding future). Exactly one is
+  /// armed. A callback may run on a service worker thread — or on the
+  /// submitting thread, under the service mutex, for admission-time
+  /// rejections — so it must be cheap and MUST NOT call back into the
+  /// service (enqueue the response and return).
+  struct Completion {
+    std::promise<SolveResponse<T>> promise;
+    std::function<void(SolveResponse<T>)> callback;
+
+    void deliver(SolveResponse<T> resp) {
+      if (callback) {
+        callback(std::move(resp));
+      } else {
+        promise.set_value(std::move(resp));
+      }
+    }
+  };
+
   /// Submits one system; the future resolves when the request reaches a
   /// terminal state (see SolveStatus). Never blocks except under
   /// BackpressurePolicy::Block with a full queue.
   std::future<SolveResponse<T>> submit(SolveRequest<T> req) {
+    Completion done;
+    auto future = done.promise.get_future();
+    submit_impl(std::move(req), std::move(done));
+    return future;
+  }
+
+  /// Callback-delivery submit: `on_done` fires exactly once with the
+  /// terminal response (possibly before this call returns, for
+  /// admission rejections). See Completion for the callback contract.
+  void submit(SolveRequest<T> req,
+              std::function<void(SolveResponse<T>)> on_done) {
+    Completion done;
+    done.callback = std::move(on_done);
+    submit_impl(std::move(req), std::move(done));
+  }
+
+ private:
+  void submit_impl(SolveRequest<T> req, Completion done) {
     const std::size_t n = req.size();
     TDA_REQUIRE(n >= 1, "solve request needs at least one equation");
     TDA_REQUIRE(req.a.size() == n && req.c.size() == n && req.d.size() == n,
                 "request diagonals must have equal length");
-    std::promise<SolveResponse<T>> promise;
-    auto future = promise.get_future();
 
     std::unique_lock lk(mu_);
     counters_submitted_.fetch_add(1, std::memory_order_relaxed);
     if (!accepting_) {
       lk.unlock();
       count_terminal(SolveStatus::Rejected);
-      finish(std::move(promise), SolveStatus::Rejected);
-      return future;
+      finish(std::move(done), SolveStatus::Rejected);
+      return;
     }
     if (pending_ >= cfg_.queue_capacity) {
       switch (cfg_.backpressure) {
@@ -214,15 +251,15 @@ class SolveService {
           if (!accepting_) {
             lk.unlock();
             count_terminal(SolveStatus::Rejected);
-            finish(std::move(promise), SolveStatus::Rejected);
-            return future;
+            finish(std::move(done), SolveStatus::Rejected);
+            return;
           }
           break;
         case BackpressurePolicy::Reject:
           lk.unlock();
           count_terminal(SolveStatus::Rejected);
-          finish(std::move(promise), SolveStatus::Rejected);
-          return future;
+          finish(std::move(done), SolveStatus::Rejected);
+          return;
         case BackpressurePolicy::ShedOldest:
           shed_oldest_locked();
           break;
@@ -254,9 +291,9 @@ class SolveService {
         }
         lk.unlock();
         count_terminal(SolveStatus::Rejected);
-        finish(std::move(promise), SolveStatus::Rejected,
+        finish(std::move(done), SolveStatus::Rejected,
                "memory admission: projected footprint exceeds budget");
-        return future;
+        return;
       }
     }
 
@@ -266,7 +303,8 @@ class SolveService {
     p.b = std::move(req.b);
     p.c = std::move(req.c);
     p.d = std::move(req.d);
-    p.promise = std::move(promise);
+    p.done = std::move(done);
+    p.tenant = std::move(req.tenant);
     p.enqueue_tp = now;
     p.deadline_tp = deadline_of(now, req.deadline_ms);
     p.seq = next_seq_++;
@@ -282,6 +320,9 @@ class SolveService {
           "request", "service", wall_s(now),
           {p.ctx.trace_id, req.trace.parent});
       telemetry_.tracer.attr(p.root, "n", static_cast<double>(n));
+      if (!p.tenant.empty()) {
+        telemetry_.tracer.attr(p.root, "tenant", p.tenant);
+      }
       p.ctx.parent = p.root;
     }
     buckets_[n].push_back(std::move(p));
@@ -294,9 +335,9 @@ class SolveService {
     }
     lk.unlock();
     cv_sched_.notify_one();
-    return future;
   }
 
+ public:
   /// Submits every system of a ragged batch (one request each); the
   /// scheduler re-coalesces equal sizes — possibly together with other
   /// callers' systems. Futures are in system order.
@@ -495,7 +536,8 @@ class SolveService {
  private:
   struct Pending {
     std::vector<T> a, b, c, d;
-    std::promise<SolveResponse<T>> promise;
+    Completion done;
+    std::string tenant;  ///< latency-histogram label ("" = unlabeled)
     TimePoint enqueue_tp{};
     TimePoint deadline_tp = TimePoint::max();
     std::uint64_t seq = 0;
@@ -556,20 +598,19 @@ class SolveService {
                      std::chrono::duration<double, std::milli>(ms));
   }
 
-  static void finish(std::promise<SolveResponse<T>> promise,
-                     SolveStatus status, std::string error = {}) {
+  static void finish(Completion done, SolveStatus status,
+                     std::string error = {}) {
     SolveResponse<T> resp;
     resp.status = status;
     resp.error = std::move(error);
-    promise.set_value(std::move(resp));
+    done.deliver(std::move(resp));
   }
 
-  static void finish_timeout(std::promise<SolveResponse<T>> promise,
-                             TimeoutScope scope) {
+  static void finish_timeout(Completion done, TimeoutScope scope) {
     SolveResponse<T> resp;
     resp.status = SolveStatus::TimedOut;
     resp.timeout_scope = scope;
-    promise.set_value(std::move(resp));
+    done.deliver(std::move(resp));
   }
 
   /// Histogram shape label: smallest power-of-two bucket holding n.
@@ -598,12 +639,21 @@ class SolveService {
       const double e2e_ms = std::chrono::duration<double, std::milli>(
                                 now - p.enqueue_tp)
                                 .count();
-      telemetry_.metrics.observe_latency(
-          telemetry::labeled("service.request_latency_ms",
-                             {{"shape", shape_bucket(p.n)},
-                              {"dtype", dtype_name()},
-                              {"outcome", outcome}}),
-          e2e_ms, p.ctx.trace_id);
+      // Wire-submitted requests carry their tenant into the label set;
+      // in-process callers keep the original three labels so existing
+      // dashboards/parsers see an unchanged key shape.
+      const std::string key =
+          p.tenant.empty()
+              ? telemetry::labeled("service.request_latency_ms",
+                                   {{"shape", shape_bucket(p.n)},
+                                    {"dtype", dtype_name()},
+                                    {"outcome", outcome}})
+              : telemetry::labeled("service.request_latency_ms",
+                                   {{"tenant", p.tenant},
+                                    {"shape", shape_bucket(p.n)},
+                                    {"dtype", dtype_name()},
+                                    {"outcome", outcome}});
+      telemetry_.metrics.observe_latency(key, e2e_ms, p.ctx.trace_id);
     }
   }
 
@@ -742,7 +792,7 @@ class SolveService {
     --pending_;
     count_terminal(SolveStatus::Shed);
     conclude(victim, "shed", Clock::now());
-    finish(std::move(victim.promise), SolveStatus::Shed);
+    finish(std::move(victim.done), SolveStatus::Shed);
     return true;
   }
 
@@ -756,7 +806,7 @@ class SolveService {
           count_terminal(SolveStatus::TimedOut);
           count_timeout_scope(TimeoutScope::Queue);
           conclude(*p, "timed_out", now);
-          finish_timeout(std::move(p->promise), TimeoutScope::Queue);
+          finish_timeout(std::move(p->done), TimeoutScope::Queue);
           p = dq.erase(p);
           --pending_;
           pending_bytes_ -= std::min(pending_bytes_,
@@ -1104,7 +1154,7 @@ class SolveService {
         count_terminal(SolveStatus::TimedOut);
         count_timeout_scope(TimeoutScope::Queue);
         conclude(p, "timed_out", t_pickup);
-        finish_timeout(std::move(p.promise), TimeoutScope::Queue);
+        finish_timeout(std::move(p.done), TimeoutScope::Queue);
       } else {
         live.push_back(std::move(p));
       }
@@ -1291,7 +1341,7 @@ class SolveService {
           count_terminal(SolveStatus::TimedOut);
           count_timeout_scope(TimeoutScope::InFlight);
           conclude(p, "timed_out", now);
-          finish_timeout(std::move(p.promise), TimeoutScope::InFlight);
+          finish_timeout(std::move(p.done), TimeoutScope::InFlight);
         }
       }
       if (!requeue.empty()) {
@@ -1361,7 +1411,7 @@ class SolveService {
       count_terminal(SolveStatus::Failed, m);
       for (auto& p : live) {
         conclude(p, "failed", t_solve1);
-        finish(std::move(p.promise), SolveStatus::Failed, error);
+        finish(std::move(p.done), SolveStatus::Failed, error);
       }
       return;
     }
@@ -1486,7 +1536,7 @@ class SolveService {
         }
       }
       conclude(live[i], outcome, t_solve1);
-      live[i].promise.set_value(std::move(resp));
+      live[i].done.deliver(std::move(resp));
     }
     const TimePoint t_done = Clock::now();
 
