@@ -9,7 +9,9 @@
 //                   [--admission=2] [--deadline-ms=0]
 //                   [--tenants] [--tenant-requests=150] [--greedy-window=40]
 //                   [--window=4] [--isolation-factor=2]
-//                   [--isolation-slack-ms=5]
+//                   [--isolation-slack-ms=5] [--processes]
+//                   [--chaos] [--chaos-requests=100] [--chaos-seed=42]
+//                   [--goodput-floor=0.7] [--overload-factor=3]
 //
 // --tenants switches to the multi-tenant isolation proof: real wire
 // traffic through a FrontDoor on a unix socket. Phase 1 measures each
@@ -20,7 +22,26 @@
 // tenant — weighted-fair DRR lanes are what makes it hold — and the
 // bench exits nonzero when it doesn't. Clients survive injected
 // net_drop faults by reconnecting and resending what was in flight, so
-// the gate also runs under TDA_FAULTS in CI.
+// the gate also runs under TDA_FAULTS in CI. --processes forks every
+// tenant client into its own process (stats come back over a pipe), so
+// the contention is between real OS processes rather than threads
+// sharing one allocator and scheduler.
+//
+// --chaos switches to the end-to-end reliability proof
+// (docs/ROBUSTNESS.md): clients with idempotent retries talk to the
+// front door through a seeded ChaosProxy. Four phases, each gated:
+//   1. baseline   proxy transparent — peak goodput, all residuals checked
+//   2. chaos      seeded drops / mid-frame resets / latency spikes /
+//                 partial writes — every acked Ok must carry a
+//                 residual-verified solution, nothing may be lost, and
+//                 net.duplicate_executions must stay 0 (exactly-once)
+//   3. overload   offered load at --overload-factor x the baseline —
+//                 CoDel + AIMD shedding must hold goodput at >=
+//                 --goodput-floor of the baseline
+//   4. expired    requests arrive with lapsed deadlines — every one is
+//                 rejected DeadlineExpired at the door, none reaches
+//                 the service
+// The bench exits nonzero when any gate fails.
 //
 // --faults switches to the resilience degradation curve: the coalesced
 // configuration is re-run under injected device launch failures at each
@@ -68,8 +89,10 @@
 #include <vector>
 
 #include <algorithm>
+#include <cerrno>
 #include <map>
 #include <memory>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "common/cli.hpp"
@@ -78,6 +101,7 @@
 #include "faults/faults.hpp"
 #include "gpusim/device.hpp"
 #include "kernels/device_batch.hpp"
+#include "net/chaos_proxy.hpp"
 #include "net/client.hpp"
 #include "net/front_door.hpp"
 #include "service/solve_service.hpp"
@@ -523,13 +547,127 @@ TenantStats run_tenant_client(const std::string& sock,
   return st;
 }
 
+// ------------------------------------------------------- process clients
+
+/// Full-write loop over a pipe fd (socket.hpp's write_all uses send(),
+/// which pipes refuse).
+bool pipe_write(int fd, const void* buf, std::size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool pipe_read(int fd, void* buf, std::size_t len) {
+  char* p = static_cast<char*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::read(fd, p, len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+struct TenantProc {
+  pid_t pid = -1;
+  int rd = -1;
+};
+
+/// Forks one tenant client into its own process — OS-level isolation
+/// (own address space and scheduler entity) instead of a thread. The
+/// child serializes its TenantStats down a pipe (five u64s, then the
+/// raw latency doubles) and _exits without touching parent state.
+TenantProc spawn_tenant_client(const std::string& sock,
+                               const TenantProfile& prof,
+                               std::size_t requests, std::uint64_t seed) {
+  TenantProc proc;
+  int fds[2];
+  if (::pipe(fds) != 0) return proc;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return proc;
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    const TenantStats st = run_tenant_client(sock, prof, requests, seed);
+    const std::uint64_t head[5] = {
+        st.ok, st.rejected, st.lost,
+        static_cast<std::uint64_t>(st.reconnects), st.latency_ms.size()};
+    bool ok = pipe_write(fds[1], head, sizeof(head));
+    if (ok && !st.latency_ms.empty()) {
+      ok = pipe_write(fds[1], st.latency_ms.data(),
+                      st.latency_ms.size() * sizeof(double));
+    }
+    ::close(fds[1]);
+    ::_exit(ok ? 0 : 1);
+  }
+  ::close(fds[1]);
+  proc.pid = pid;
+  proc.rd = fds[0];
+  return proc;
+}
+
+/// Blocks until the child finishes and reads its stats back. A child
+/// that died mid-run (short pipe read) reports every request lost, so
+/// the gate fails loudly instead of silently shrinking the sample.
+TenantStats collect_tenant_client(TenantProc& proc, std::size_t requests) {
+  TenantStats st;
+  if (proc.pid < 0) {
+    st.lost = requests;
+    return st;
+  }
+  std::uint64_t head[5] = {0, 0, 0, 0, 0};
+  bool ok = pipe_read(proc.rd, head, sizeof(head));
+  if (ok) {
+    st.ok = head[0];
+    st.rejected = head[1];
+    st.lost = head[2];
+    st.reconnects = head[3];
+    st.latency_ms.resize(head[4]);
+    if (head[4] > 0) {
+      ok = pipe_read(proc.rd, st.latency_ms.data(),
+                     head[4] * sizeof(double));
+    }
+  }
+  ::close(proc.rd);
+  int wstatus = 0;
+  (void)::waitpid(proc.pid, &wstatus, 0);
+  if (!ok) {
+    st = TenantStats{};
+    st.lost = requests;
+  }
+  return st;
+}
+
+TenantStats run_tenant_client_proc(const std::string& sock,
+                                   const TenantProfile& prof,
+                                   std::size_t requests,
+                                   std::uint64_t seed) {
+  TenantProc proc = spawn_tenant_client(sock, prof, requests, seed);
+  return collect_tenant_client(proc, requests);
+}
+
 /// Multi-tenant isolation proof over the wire front door. Returns false
 /// when any well-behaved tenant's contended p95 blows past the gate.
+/// `processes` forks the clients instead of threading them.
 bool run_tenants_bench(int num_devices, std::size_t flush, double flush_ms,
                        std::size_t requests, std::size_t window,
                        std::size_t greedy_window, double factor,
-                       double slack_ms, const std::string& metrics_path,
-                       bool csv) {
+                       double slack_ms, bool processes,
+                       const std::string& metrics_path, bool csv) {
   ServiceConfig cfg;
   cfg.flush_systems = flush;
   cfg.flush_interval_ms = flush_ms;
@@ -581,7 +719,8 @@ bool run_tenants_bench(int num_devices, std::size_t flush, double flush_ms,
             << "), 1 greedy (window " << greedy_window
             << "), 1 slow consumer; " << requests
             << " requests each, equal DRR weights, " << num_devices
-            << " device(s)\n\n";
+            << " device(s), clients as "
+            << (processes ? "processes" : "threads") << "\n\n";
 
   // Warm the tuning cache so neither phase pays first-shape tuning.
   (void)run_tenant_client(spec, {"fair-a", "tok-fair-a", 2, 0.0, true},
@@ -590,12 +729,28 @@ bool run_tenants_bench(int num_devices, std::size_t flush, double flush_ms,
   // Phase 1: each gated tenant alone — the no-contention baseline.
   std::map<std::string, TenantStats> baseline;
   for (const auto& p : profiles) {
-    if (p.gated) baseline[p.name] = run_tenant_client(spec, p, requests, 11);
+    if (!p.gated) continue;
+    baseline[p.name] = processes
+                           ? run_tenant_client_proc(spec, p, requests, 11)
+                           : run_tenant_client(spec, p, requests, 11);
   }
 
   // Phase 2: everyone at once.
   std::map<std::string, TenantStats> contended;
-  {
+  if (processes) {
+    // Fork first, collect after: the blocking pipe reads happen while
+    // the other children are still running, so contention is preserved.
+    std::vector<TenantProc> procs;
+    procs.reserve(profiles.size());
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      procs.push_back(
+          spawn_tenant_client(spec, profiles[i], requests, 23 + i));
+    }
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      contended[profiles[i].name] =
+          collect_tenant_client(procs[i], requests);
+    }
+  } else {
     std::vector<std::thread> threads;
     std::mutex mu;
     for (std::size_t i = 0; i < profiles.size(); ++i) {
@@ -669,6 +824,367 @@ bool run_tenants_bench(int num_devices, std::size_t flush, double flush_ms,
   return isolated;
 }
 
+// ----------------------------------------------------------------- chaos
+
+/// Worst relative residual of one acked solution: max_i |(Ax - d)_i| /
+/// (|d_i| + 1). The client-side half of the exactly-once gate — an ack
+/// only counts if it carries a genuine solution of the system the
+/// client actually sent.
+double residual_inf(const SolveRequest<double>& s,
+                    const std::vector<double>& x) {
+  if (x.size() != s.d.size()) return 1e300;
+  const std::size_t n = x.size();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double r = s.b[i] * x[i] - s.d[i];
+    if (i > 0) r += s.a[i] * x[i - 1];
+    if (i + 1 < n) r += s.c[i] * x[i + 1];
+    const double rel = std::abs(r) / (std::abs(s.d[i]) + 1.0);
+    worst = std::max(worst, rel);
+  }
+  return worst;
+}
+
+struct ChaosStats {
+  std::size_t ok = 0;            ///< acked with a verified solution
+  std::size_t shed = 0;          ///< typed Shed/TimedOut (overload works)
+  std::size_t expired = 0;       ///< typed DeadlineExpired
+  std::size_t errors = 0;        ///< other typed verdicts left unretried
+  std::size_t lost = 0;          ///< no terminal verdict (gate: 0)
+  std::size_t retried = 0;       ///< error verdicts resent, same idem key
+  std::size_t residual_bad = 0;  ///< acks that failed the residual check
+  std::uint64_t reconnects = 0;
+  std::uint64_t resends = 0;
+  double wall_s = 0.0;
+};
+
+/// Closed-loop reliability client: keeps `window` keyed v2 requests in
+/// flight. Transport failures are absorbed by the net::Client's own
+/// reconnect + resend machinery; typed retryable verdicts (Shed,
+/// TimedOut, Internal — e.g. "original request aborted with its
+/// connection") are resent under the SAME idempotency key, which is
+/// legitimate re-execution: the server abandoned the key with the
+/// verdict. DeadlineExpired is always terminal.
+ChaosStats run_chaos_client(const std::string& spec, std::size_t requests,
+                            std::size_t window, std::uint64_t seed,
+                            double deadline_ms, bool retry_errors) {
+  ChaosStats st;
+  net::Client client;
+  net::RetryPolicy rp;
+  rp.max_attempts = 60;
+  rp.base_backoff_ms = 0.5;
+  rp.max_backoff_ms = 20.0;
+  rp.seed = seed;
+  client.set_retry(rp);
+  std::string err;
+  bool connected = false;
+  for (int attempt = 0; attempt < 200 && !connected; ++attempt) {
+    connected = client.connect(spec, "tok-chaos", &err);
+    if (!connected)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  if (!connected) {
+    st.lost = requests;
+    return st;
+  }
+
+  struct Pending {
+    SolveRequest<double> sys;
+    std::uint64_t key = 0;
+    int attempts = 0;
+  };
+  Rng rng(seed);
+  std::map<std::uint64_t, Pending> live;
+  std::uint64_t next_id = 0;
+  std::size_t launched = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto send = [&](std::uint64_t rid, const Pending& p) {
+    return client.send_solve2<double>(rid, p.sys.a, p.sys.b, p.sys.c,
+                                      p.sys.d, deadline_ms, p.key, &err);
+  };
+
+  bool dead = false;
+  while (!dead && (launched < requests || !live.empty())) {
+    while (launched < requests && live.size() < window) {
+      const std::uint64_t rid = ++next_id;
+      Pending p;
+      p.sys = random_request(kShapes[(seed + launched) % 5], rng);
+      p.key = client.mint_key();
+      ++launched;
+      const bool sent = send(rid, p);
+      live.emplace(rid, std::move(p));
+      if (!sent) {
+        dead = true;
+        break;
+      }
+    }
+    if (dead || live.empty()) break;
+    net::WireResult<double> r;
+    if (!client.recv_result<double>(r, &err)) {
+      dead = true;
+      break;
+    }
+    const auto it = live.find(r.request_id);
+    if (it == live.end()) continue;  // answer for an already-settled id
+    if (r.ok()) {
+      if (residual_inf(it->second.sys, r.x) > 1e-6) ++st.residual_bad;
+      ++st.ok;
+      live.erase(it);
+      continue;
+    }
+    if (r.code == net::ErrorCode::DeadlineExpired) {
+      ++st.expired;
+      live.erase(it);
+      continue;
+    }
+    if (retry_errors && it->second.attempts < 50) {
+      ++it->second.attempts;
+      ++st.retried;
+      if (!send(r.request_id, it->second)) dead = true;
+      continue;
+    }
+    if (r.code == net::ErrorCode::Shed ||
+        r.code == net::ErrorCode::TimedOut) {
+      ++st.shed;
+    } else {
+      ++st.errors;
+    }
+    live.erase(it);
+  }
+  st.lost += live.size() + (requests - launched);
+  st.wall_s = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  st.reconnects = client.stats().reconnects;
+  st.resends = client.stats().resends;
+  client.close();
+  return st;
+}
+
+struct ChaosPhase {
+  ChaosStats total;      ///< summed over clients; wall_s = slowest
+  double goodput = 0.0;  ///< verified acks per wall second
+};
+
+ChaosPhase run_chaos_phase(const std::string& spec, int clients,
+                           std::size_t requests, std::size_t window,
+                           std::uint64_t seed, double deadline_ms,
+                           bool retry_errors) {
+  std::vector<ChaosStats> stats(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(stats.size());
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    threads.emplace_back([&, i] {
+      stats[i] = run_chaos_client(spec, requests, window,
+                                  seed + 101 * (i + 1), deadline_ms,
+                                  retry_errors);
+    });
+  }
+  for (auto& th : threads) th.join();
+  ChaosPhase r;
+  for (const auto& s : stats) {
+    r.total.ok += s.ok;
+    r.total.shed += s.shed;
+    r.total.expired += s.expired;
+    r.total.errors += s.errors;
+    r.total.lost += s.lost;
+    r.total.retried += s.retried;
+    r.total.residual_bad += s.residual_bad;
+    r.total.reconnects += s.reconnects;
+    r.total.resends += s.resends;
+    r.total.wall_s = std::max(r.total.wall_s, s.wall_s);
+  }
+  r.goodput = r.total.wall_s > 0.0
+                  ? static_cast<double>(r.total.ok) / r.total.wall_s
+                  : 0.0;
+  return r;
+}
+
+/// End-to-end reliability proof (see the file header). Returns false
+/// when any of the four gates fails.
+bool run_chaos_bench(int num_devices, std::size_t flush, double flush_ms,
+                     std::size_t requests, std::uint64_t seed,
+                     double goodput_floor, int overload_factor,
+                     const std::string& metrics_path, bool csv) {
+  ServiceConfig cfg;
+  cfg.flush_systems = flush;
+  cfg.flush_interval_ms = flush_ms;
+  cfg.queue_capacity = 1 << 14;
+  std::vector<gpusim::DeviceSpec> devices;
+  const auto registry = gpusim::device_registry();
+  for (int i = 0; i < num_devices; ++i)
+    devices.push_back(registry[registry.size() - 1 -
+                               static_cast<std::size_t>(i) % registry.size()]);
+  SolveService<double> svc(devices, cfg);
+  svc.telemetry().metrics.enable();
+  const char* trace_path = std::getenv("TDA_TRACE");
+  if (trace_path != nullptr && *trace_path != '\0')
+    svc.telemetry().tracer.enable();
+
+  const std::string up =
+      "/tmp/tda_chaos_up_" + std::to_string(::getpid()) + ".sock";
+  const std::string px =
+      "/tmp/tda_chaos_px_" + std::to_string(::getpid()) + ".sock";
+  net::FrontDoorConfig fcfg;
+  fcfg.unix_path = up;
+  fcfg.poll_interval_ms = 1.0;
+  fcfg.max_service_inflight = 2 * flush;
+  net::FrontDoor<double> door(svc, fcfg);
+  net::TenantConfig tc;
+  tc.name = "chaos";
+  tc.token = "tok-chaos";
+  door.add_tenant(tc);
+  std::string err;
+  if (!door.start(&err)) {
+    std::cout << "[FAIL] front door: " << err << "\n";
+    return false;
+  }
+
+  net::ChaosConfig ccfg;
+  ccfg.seed = seed;
+  ccfg.drop_rate = 0.06;
+  ccfg.reset_rate = 0.03;
+  ccfg.latency_rate = 0.08;
+  ccfg.latency_ms = 2.0;
+  ccfg.partial_rate = 0.15;
+  ccfg.partial_delay_ms = 0.2;
+  net::ChaosProxy proxy("unix:" + px, "unix:" + up, ccfg);
+  proxy.set_enabled(false);
+  if (!proxy.start(&err)) {
+    std::cout << "[FAIL] chaos proxy: " << err << "\n";
+    return false;
+  }
+  const std::string spec = "unix:" + px;
+
+  std::cout << "Solve service — end-to-end reliability through a chaos "
+               "proxy\n"
+            << "clients -> " << px << " -> " << up << " -> service; seed "
+            << seed << ", " << requests << " requests per client, "
+            << num_devices << " device(s)\n\n";
+
+  // Warm the tuning cache so phase walls compare like for like.
+  (void)run_chaos_phase(spec, 1, 2 * std::size(kShapes), 2, 1, 0.0, true);
+
+  TextTable table("reliability phases");
+  table.set_header({"phase", "ok", "shed", "expired", "errors", "lost",
+                    "retried", "reconnects", "resends", "wall_s",
+                    "goodput_rps"});
+  const auto add_row = [&](const char* name, const ChaosPhase& p) {
+    table.add_row({name, TextTable::num(static_cast<long long>(p.total.ok)),
+                   TextTable::num(static_cast<long long>(p.total.shed)),
+                   TextTable::num(static_cast<long long>(p.total.expired)),
+                   TextTable::num(static_cast<long long>(p.total.errors)),
+                   TextTable::num(static_cast<long long>(p.total.lost)),
+                   TextTable::num(static_cast<long long>(p.total.retried)),
+                   TextTable::num(static_cast<long long>(p.total.reconnects)),
+                   TextTable::num(static_cast<long long>(p.total.resends)),
+                   TextTable::num(p.total.wall_s, 2),
+                   TextTable::num(p.goodput, 1)});
+  };
+
+  // Phase 1: transparent proxy — peak goodput and a clean bill.
+  const auto baseline =
+      run_chaos_phase(spec, 3, requests, 8, seed + 1, 0.0, true);
+  add_row("baseline", baseline);
+  const bool baseline_ok = baseline.total.lost == 0 &&
+                           baseline.total.residual_bad == 0 &&
+                           baseline.total.ok > 0;
+
+  // Phase 2: chaos on. Acks must verify, nothing may be lost, and the
+  // device must never execute one idempotency key twice.
+  const auto before_chaos = door.counters();
+  proxy.set_enabled(true);
+  const auto chaos = run_chaos_phase(spec, 3, requests, 8, seed + 2, 0.0,
+                                     /*retry_errors=*/true);
+  proxy.set_enabled(false);
+  add_row("chaos", chaos);
+  const auto after_chaos = door.counters();
+  const auto pc = proxy.counters();
+  const bool chaos_ok = chaos.total.lost == 0 &&
+                        chaos.total.residual_bad == 0 &&
+                        after_chaos.duplicate_executions == 0;
+  std::cout << "\nchaos injected: " << pc.drops << " drops, " << pc.resets
+            << " mid-frame resets, " << pc.latency_injections
+            << " latency spikes, " << pc.partial_writes
+            << " partial writes\n"
+            << "dedup: "
+            << (after_chaos.dedup_hits - before_chaos.dedup_hits)
+            << " cache replays, "
+            << (after_chaos.dedup_joins - before_chaos.dedup_joins)
+            << " in-flight joins, duplicate executions "
+            << after_chaos.duplicate_executions << "\n\n";
+
+  // Phase 3: offered load at overload_factor x the baseline. CoDel +
+  // AIMD shed the excess; goodput must not collapse.
+  const auto before_over = door.counters();
+  const auto overload = run_chaos_phase(
+      spec, 3 * overload_factor, requests,
+      8 * static_cast<std::size_t>(overload_factor), seed + 3, 0.0,
+      /*retry_errors=*/false);
+  add_row("overload", overload);
+  const auto after_over = door.counters();
+  const bool overload_ok =
+      overload.goodput >= goodput_floor * baseline.goodput;
+  std::cout << "overload shedding: "
+            << (after_over.shed_codel - before_over.shed_codel)
+            << " CoDel sheds, "
+            << (after_over.aimd_throttles - before_over.aimd_throttles)
+            << " AIMD window passes\n\n";
+
+  // Phase 4: already-lapsed deadlines must be rejected at the door —
+  // the service submit counter may not move.
+  const std::size_t expired_n = 32;
+  const auto svc_before = svc.counters().submitted;
+  const auto before_exp = door.counters();
+  const auto expired = run_chaos_phase(spec, 1, expired_n, 8, seed + 4,
+                                       -1000.0, /*retry_errors=*/false);
+  add_row("expired", expired);
+  const auto after_exp = door.counters();
+  const auto svc_after = svc.counters().submitted;
+  const bool expired_ok =
+      expired.total.expired == expired_n && expired.total.ok == 0 &&
+      after_exp.deadline_expired_arrival -
+              before_exp.deadline_expired_arrival ==
+          expired_n &&
+      svc_after == svc_before;
+
+  table.print(std::cout);
+  if (csv) {
+    std::cout << "\n";
+    table.print_csv(std::cout);
+  }
+
+  proxy.stop();
+  door.shutdown();
+  svc.shutdown();
+  ::unlink(px.c_str());
+  if (!metrics_path.empty()) {
+    svc.publish_gauges();
+    svc.export_metrics(metrics_path);
+  }
+  if (trace_path != nullptr && *trace_path != '\0')
+    svc.export_trace(trace_path);
+  if (const char* om = std::getenv("TDA_OPENMETRICS");
+      om != nullptr && *om != '\0') {
+    svc.publish_gauges();
+    svc.export_openmetrics(om);
+  }
+
+  std::cout << "\nbaseline clean (no losses, residuals verified):       "
+            << (baseline_ok ? "yes  [OK]" : "NO  [FAIL]") << "\n"
+            << "exactly-once under chaos (0 duplicate executions,\n"
+            << "  every ack residual-verified, nothing lost):          "
+            << (chaos_ok ? "yes  [OK]" : "NO  [FAIL]") << "\n"
+            << "goodput at " << overload_factor << "x load >= "
+            << goodput_floor << " of baseline ("
+            << TextTable::num(overload.goodput, 1) << " vs "
+            << TextTable::num(baseline.goodput, 1) << " rps):  "
+            << (overload_ok ? "yes  [OK]" : "NO  [FAIL]") << "\n"
+            << "expired-on-arrival rejected before the service:        "
+            << (expired_ok ? "yes  [OK]" : "NO  [FAIL]") << "\n";
+  return baseline_ok && chaos_ok && overload_ok && expired_ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -688,6 +1204,18 @@ int main(int argc, char** argv) {
       client_counts.push_back(std::stoi(tok));
   }
 
+  if (cli.has("chaos")) {
+    return run_chaos_bench(
+               num_devices, flush, flush_ms,
+               static_cast<std::size_t>(cli.get_int("chaos-requests", 100)),
+               static_cast<std::uint64_t>(cli.get_int("chaos-seed", 42)),
+               cli.get_double("goodput-floor", 0.7),
+               static_cast<int>(cli.get_int("overload-factor", 3)),
+               metrics_path, cli.has("csv"))
+               ? 0
+               : 1;
+  }
+
   if (cli.has("tenants")) {
     return run_tenants_bench(
                num_devices, flush, flush_ms,
@@ -695,8 +1223,8 @@ int main(int argc, char** argv) {
                static_cast<std::size_t>(cli.get_int("window", 4)),
                static_cast<std::size_t>(cli.get_int("greedy-window", 40)),
                cli.get_double("isolation-factor", 2.0),
-               cli.get_double("isolation-slack-ms", 5.0), metrics_path,
-               cli.has("csv"))
+               cli.get_double("isolation-slack-ms", 5.0),
+               cli.has("processes"), metrics_path, cli.has("csv"))
                ? 0
                : 1;
   }

@@ -5,9 +5,23 @@
 // windowed form — fire several request ids, then collect responses in
 // arrival order — which is what the bench's closed-loop tenants use.
 //
+// Resilience (opt-in via set_retry): when a transport failure lands
+// mid-window, the client reconnects with exponential backoff +
+// decorrelated jitter, re-runs the Hello handshake, and resends every
+// request that was sent but not yet answered — byte-identical, so a v2
+// resend carries the same idempotency key and the same absolute
+// deadline (the budget shrinks across retries by construction; the
+// server rejects what expired). The server's dedup cache turns those
+// resends into replays rather than re-executions.
+//
+// connect() advertises protocol v2; wire_version() reports what the
+// server agreed to (a legacy server answers 0 → v1, and the client
+// falls back to v1 Solve frames automatically).
+//
 // Not thread-safe; one Client per thread.
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -15,6 +29,22 @@
 #include "net/socket.hpp"
 
 namespace tda::net {
+
+/// Automatic-recovery policy. max_attempts == 0 (the default) keeps the
+/// legacy fail-fast behavior: any transport failure surfaces to the
+/// caller immediately.
+struct RetryPolicy {
+  int max_attempts = 0;         ///< reconnect attempts per failure
+  double base_backoff_ms = 1.0;
+  double max_backoff_ms = 250.0;
+  std::uint64_t seed = 1;       ///< decorrelated-jitter stream
+};
+
+struct ClientStats {
+  std::uint64_t reconnects = 0;  ///< successful reconnect handshakes
+  std::uint64_t resends = 0;     ///< unacknowledged frames resent
+  std::uint64_t gave_up = 0;     ///< recoveries that exhausted attempts
+};
 
 /// Outcome of one wire solve. code == ErrorCode::None means x holds the
 /// solution; anything else is the server's typed reject/failure, with
@@ -54,6 +84,19 @@ class Client {
   /// Tenant name the server acknowledged in HelloOk ("" before auth).
   [[nodiscard]] const std::string& tenant() const { return tenant_; }
 
+  /// Protocol version negotiated with the server (1 until a Hello says
+  /// otherwise — anonymous connections stay v1-framed but the server
+  /// accepts v2 Solve frames regardless).
+  [[nodiscard]] std::uint16_t wire_version() const { return wire_version_; }
+
+  /// Enables automatic reconnect + resend (see header comment).
+  void set_retry(RetryPolicy policy) { retry_ = policy; }
+
+  [[nodiscard]] const ClientStats& stats() const { return stats_; }
+
+  /// Mints a session-unique idempotency key (random nonce + counter).
+  std::uint64_t mint_key();
+
   /// Sends Goodbye (best effort) and closes the socket.
   void close();
 
@@ -66,18 +109,47 @@ class Client {
                   std::string* err) {
     std::string out;
     encode_solve<Tv>(out, request_id, a, b, c, d, deadline_ms);
-    return send_bytes(out, err);
+    return send_tracked(request_id, std::move(out), err);
+  }
+
+  /// v2 send: relative deadline budget (anchored to the wall clock at
+  /// this first send — resends keep the original absolute instant, so
+  /// the budget shrinks across retries; negative values craft an
+  /// already-expired deadline for testing) plus an idempotency key
+  /// (use mint_key(); 0 = unkeyed). Falls back to a v1 frame when the
+  /// server only speaks v1.
+  template <typename Tv>
+  bool send_solve2(std::uint64_t request_id, const std::vector<Tv>& a,
+                   const std::vector<Tv>& b, const std::vector<Tv>& c,
+                   const std::vector<Tv>& d, double deadline_ms,
+                   std::uint64_t idem_key, std::string* err) {
+    std::string out;
+    if (wire_version_ >= kVersion2) {
+      const double deadline_unix =
+          deadline_ms != 0.0 ? unix_now_ms() + deadline_ms : 0.0;
+      encode_solve_v2<Tv>(out, request_id, a, b, c, d, deadline_unix,
+                          idem_key);
+    } else {
+      encode_solve<Tv>(out, request_id, a, b, c, d,
+                       deadline_ms > 0.0 ? deadline_ms : 0.0);
+    }
+    return send_tracked(request_id, std::move(out), err);
   }
 
   /// Blocks for the next SolveOk/SolveErr frame. False on transport
   /// failure or server Goodbye (mid-drain close) — *err says which.
+  /// With a retry policy set, transport failures trigger reconnect +
+  /// resend of everything unanswered, and the wait continues.
   template <typename Tv>
   bool recv_result(WireResult<Tv>& out, std::string* err) {
     FrameType type{};
     std::uint64_t rid = 0;
     std::string payload;
     for (;;) {
-      if (!next_frame(type, rid, payload, err)) return false;
+      if (!next_frame(type, rid, payload, err)) {
+        if (!recover(err)) return false;
+        continue;
+      }
       if (type == FrameType::SolveOk) {
         const auto ok = parse_solve_ok<Tv>(payload);
         if (!ok) {
@@ -92,6 +164,7 @@ class Client {
         out.solve_ms = ok->solve_ms;
         out.wait_ms = ok->wait_ms;
         out.fallback_used = ok->fallback_used;
+        outstanding_.erase(rid);
         return true;
       }
       if (type == FrameType::SolveErr) {
@@ -105,12 +178,14 @@ class Client {
         out.error = e->message;
         out.x.clear();
         out.trace_id = 0;
+        outstanding_.erase(rid);
         return true;
       }
       if (type == FrameType::Goodbye) {
         if (err != nullptr) *err = "server said goodbye";
         close_fd();
-        return false;
+        if (!recover(err)) return false;
+        continue;
       }
       // HelloOk after the handshake window etc.: skip.
     }
@@ -135,15 +210,35 @@ class Client {
 
  private:
   bool send_bytes(const std::string& bytes, std::string* err);
+  /// Tracks the frame for post-reconnect resend (when retry is on),
+  /// then sends it — recovering once if the send itself fails.
+  bool send_tracked(std::uint64_t request_id, std::string bytes,
+                    std::string* err);
   /// Reads until one full frame decodes; copies its payload out.
   bool next_frame(FrameType& type, std::uint64_t& request_id,
                   std::string& payload, std::string* err);
+  /// Reconnect + re-Hello + resend outstanding, with decorrelated-
+  /// jitter backoff. False when retry is off or attempts run out.
+  bool recover(std::string* err);
+  bool do_connect(std::string* err);
+  double next_backoff_ms();
   void close_fd();
 
   Fd fd_;
   std::string rbuf_;
   std::string tenant_;
   std::uint64_t next_id_ = 0;
+  std::uint16_t wire_version_ = kVersion;
+  std::string spec_, token_;  ///< connect() target, for recover()
+  RetryPolicy retry_;
+  ClientStats stats_;
+  double prev_backoff_ms_ = 0.0;
+  std::uint64_t jitter_state_ = 0;
+  std::uint64_t key_nonce_ = 0;
+  std::uint64_t key_counter_ = 0;
+  /// request id -> encoded frame, sent but not yet answered. Only
+  /// populated when retry is enabled.
+  std::map<std::uint64_t, std::string> outstanding_;
 };
 
 }  // namespace tda::net

@@ -35,13 +35,37 @@
 // Faults (TDA_FAULTS): net_drop closes a connection mid-read; bytes
 // read while net_corrupt fires are bit-flipped before decoding, which
 // the checksum turns into a BadFrame reject + close. Both are counted.
+//
+// Reliability layer (protocol v2, docs/ROBUSTNESS.md):
+//   * deadlines: v2 Solve frames carry an absolute unix-epoch deadline
+//     (v1 relative budgets and per-tenant defaults are folded into the
+//     same absolute form at arrival). Expired-on-arrival requests are
+//     rejected with DeadlineExpired before admission; requests whose
+//     deadline lapses while parked in a lane are rejected at the pump,
+//     before any device dispatch. What survives enters the service with
+//     its remaining relative budget.
+//   * idempotency: keyed Solves run through a per-tenant dedup cache.
+//     A resend of a completed request replays the cached result; a
+//     resend of one still executing parks as a waiter on it. The device
+//     never executes the same (tenant, key) twice while the entry
+//     lives — net.duplicate_executions counts violations (stays 0).
+//   * overload: a CoDel-style queue-age check sheds from lanes whose
+//     head sojourn stays above codel_target_ms for a full
+//     codel_interval_ms (then at increasing frequency), and a per-
+//     tenant AIMD window throttles how many of a tenant's requests may
+//     be in the service at once — sheds and timeouts shrink it
+//     multiplicatively, completions grow it back. Together they keep
+//     goodput from collapsing when offered load is a multiple of
+//     capacity.
 
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -52,6 +76,7 @@
 #include <vector>
 
 #include "faults/faults.hpp"
+#include "net/dedup.hpp"
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
 #include "net/tenant.hpp"
@@ -92,6 +117,18 @@ struct FrontDoorConfig {
   /// flushed after this long (a consumer that stopped reading cannot
   /// hold shutdown hostage). Completion callbacks are always awaited.
   double drain_flush_timeout_ms = 5000.0;
+
+  /// Idempotency dedup cache bounds (per-tenant keys, shared caps).
+  DedupConfig dedup;
+  /// CoDel queue-age shedding: head sojourn above target for a full
+  /// interval starts dropping. codel_target_ms <= 0 disables.
+  double codel_target_ms = 5.0;
+  double codel_interval_ms = 100.0;
+  /// AIMD per-tenant concurrency window over the service in-flight
+  /// budget. false = every lane may fill the whole window.
+  bool aimd_enabled = true;
+  double aimd_min = 1.0;      ///< window floor (requests)
+  double aimd_backoff = 0.7;  ///< multiplicative decrease factor
 };
 
 /// Monotonic counters of the front door (snapshot via counters()).
@@ -111,6 +148,15 @@ struct FrontDoorCounters {
   std::uint64_t idle_closes = 0;
   std::uint64_t injected_drops = 0;
   std::uint64_t injected_corruptions = 0;
+  std::uint64_t dedup_hits = 0;       ///< resends served from cache
+  std::uint64_t dedup_joins = 0;      ///< resends parked on in-flight work
+  std::uint64_t dedup_evictions = 0;  ///< cache TTL/cap evictions
+  std::uint64_t duplicate_executions = 0;  ///< keyed work executed twice
+                                           ///< (exactly-once proof: 0)
+  std::uint64_t deadline_expired_arrival = 0;  ///< expired before admission
+  std::uint64_t deadline_expired_queued = 0;   ///< expired in a lane
+  std::uint64_t shed_codel = 0;       ///< queue-age sheds
+  std::uint64_t aimd_throttles = 0;   ///< pump passes blocked by a window
 };
 
 template <typename T>
@@ -120,7 +166,10 @@ class FrontDoor {
 
  public:
   FrontDoor(service::SolveService<T>& svc, FrontDoorConfig cfg)
-      : svc_(svc), cfg_(std::move(cfg)), lanes_(cfg_.drr_quantum) {}
+      : svc_(svc),
+        cfg_(std::move(cfg)),
+        lanes_(cfg_.drr_quantum),
+        dedup_(cfg_.dedup) {}
 
   ~FrontDoor() { shutdown(); }
 
@@ -225,6 +274,7 @@ class FrontDoor {
     Tenant* tenant = nullptr;
     TimePoint last_rx{};
     std::size_t inflight = 0;  ///< admitted requests not yet answered
+    std::uint16_t wire_version = kVersion;  ///< negotiated via Hello
     bool paused = false;       ///< POLLIN off (write-buffer high water)
     bool closing = false;      ///< flush wbuf, then close
   };
@@ -235,17 +285,24 @@ class FrontDoor {
     std::uint64_t request_id = 0;
     Tenant* tenant = nullptr;
     std::size_t bytes = 0;
+    double deadline_unix_ms = 0.0;  ///< absolute; 0 = none
+    std::uint64_t idem_key = 0;     ///< 0 = unkeyed
+    double enqueue_s = 0.0;         ///< now_s() at lane entry (CoDel)
     SolveFrame<T> frame;
   };
 
-  /// An encoded response on its way from a worker callback to a
-  /// connection's write buffer.
+  /// A completed response on its way from a worker callback to the poll
+  /// thread, which encodes it per recipient (the original requester may
+  /// have dedup waiters on other connections, each with its own
+  /// negotiated wire version).
   struct Done {
     std::uint64_t conn_id = 0;
+    std::uint64_t request_id = 0;
     Tenant* tenant = nullptr;
     std::size_t systems = 0;
     std::size_t bytes = 0;
-    std::string encoded;
+    std::uint64_t idem_key = 0;
+    service::SolveResponse<T> resp;
   };
 
   void wake() {
@@ -325,6 +382,10 @@ class FrontDoor {
         [id](const Queued& q) { return q.conn_id == id; },
         [this](const Queued& q) {
           tenants_.release(*q.tenant, 1, q.bytes);
+          // A keyed request dying in a lane un-tracks its key; parked
+          // waiters get a typed error instead of waiting forever.
+          abort_dedup(q.tenant, q.idem_key, ErrorCode::Internal,
+                      "original request aborted with its connection");
         });
     conns_.erase(it);
     count(&FrontDoorCounters::closed);
@@ -378,9 +439,55 @@ class FrontDoor {
       return;
     }
     conn.tenant = t;
+    conn.wire_version = negotiate_version(hello->advertised_version);
     std::string out;
-    encode_hello_ok(out, t->cfg.name);
+    encode_hello_ok(out, t->cfg.name, conn.wire_version);
     send_frame(conn, std::move(out));
+  }
+
+  static std::uint64_t tenant_id(const Tenant* t) {
+    return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(t));
+  }
+
+  [[nodiscard]] double mono_ms() const { return now_s() * 1000.0; }
+
+  /// Replays a finished response to a parked dedup waiter (charged no
+  /// quota — it never went through admission).
+  void answer_waiter(const typename DedupCache<
+                         service::SolveResponse<T>>::Waiter& w,
+                     const service::SolveResponse<T>& resp) {
+    auto it = conns_.find(w.conn_id);
+    if (it == conns_.end()) return;
+    Conn& conn = it->second;
+    if (conn.inflight > 0) --conn.inflight;
+    std::string out;
+    encode_response(w.request_id, resp, out, conn.wire_version);
+    send_frame(conn, std::move(out));
+  }
+
+  /// Drops a keyed entry without caching and answers its waiters with a
+  /// typed error (used when the original dies before producing a
+  /// cacheable result: lane drop, expired deadline, shed, quota).
+  void abort_dedup(Tenant* tenant, std::uint64_t idem_key, ErrorCode code,
+                   std::string_view msg) {
+    if (idem_key == 0) return;
+    const auto waiters = dedup_.abandon(tenant_id(tenant), idem_key);
+    for (const auto& w : waiters) {
+      auto it = conns_.find(w.conn_id);
+      if (it == conns_.end()) continue;
+      if (it->second.inflight > 0) --it->second.inflight;
+      send_err(it->second, w.request_id, code, msg);
+    }
+    sync_dedup_counters();
+  }
+
+  void sync_dedup_counters() {
+    const DedupStats& s = dedup_.stats();
+    std::lock_guard lk(counters_mu_);
+    counters_.dedup_hits = s.hits;
+    counters_.dedup_joins = s.joins;
+    counters_.dedup_evictions = s.evictions;
+    counters_.duplicate_executions = s.duplicate_executions;
   }
 
   void handle_solve(Conn& conn, const FrameView& frame) {
@@ -401,7 +508,7 @@ class FrontDoor {
              sizeof(T) == 4 ? "server dtype is f32" : "server dtype is f64");
       return;
     }
-    auto solve = parse_solve<T>(frame.payload);
+    auto solve = parse_solve<T>(frame.payload, frame.version);
     if (!solve) {
       bad_frame(conn, "unparsable solve payload");
       return;
@@ -411,9 +518,75 @@ class FrontDoor {
              "n exceeds server limit");
       return;
     }
+
+    // Fold every deadline form into one absolute unix-epoch instant:
+    // v2 frames carry it directly, v1 budgets are anchored at arrival,
+    // and a frame with no deadline inherits the tenant's default.
+    double deadline_unix = solve->deadline_unix_ms;
+    if (deadline_unix <= 0.0 && solve->deadline_ms > 0.0) {
+      deadline_unix = unix_now_ms() + solve->deadline_ms;
+    }
+    if (deadline_unix <= 0.0 && tenant->cfg.default_deadline_ms > 0.0) {
+      deadline_unix = unix_now_ms() + tenant->cfg.default_deadline_ms;
+    }
+
+    // Idempotent resends never reach admission: a completed original
+    // replays from the cache, an in-flight one adopts this request as
+    // a waiter. Both paths touch no quota and no device.
+    const std::uint64_t tid = tenant_id(tenant);
+    if (solve->idem_key != 0) {
+      using State =
+          typename DedupCache<service::SolveResponse<T>>::State;
+      const State state = dedup_.begin(tid, solve->idem_key, mono_ms());
+      if (state == State::Completed) {
+        const auto* cached = dedup_.lookup(tid, solve->idem_key);
+        sync_dedup_counters();
+        if (metrics().enabled()) {
+          metrics().add(telemetry::labeled(
+              "net.dedup_hits", {{"tenant", tenant->cfg.name}}));
+        }
+        std::string out;
+        encode_response(frame.request_id, *cached, out,
+                        conn.wire_version);
+        send_frame(conn, std::move(out));
+        return;
+      }
+      if (state == State::InFlight) {
+        dedup_.add_waiter(tid, solve->idem_key,
+                          {conn.id, frame.request_id});
+        sync_dedup_counters();
+        if (metrics().enabled()) {
+          metrics().add(telemetry::labeled(
+              "net.dedup_joins", {{"tenant", tenant->cfg.name}}));
+        }
+        ++conn.inflight;  // a response will be replayed on completion
+        return;
+      }
+      sync_dedup_counters();
+    }
+
+    // Expired on arrival: typed reject before any quota charge or
+    // device dispatch. The fresh dedup entry (if any) is abandoned so
+    // a later retry with more budget may legitimately execute.
+    if (deadline_unix > 0.0 && unix_now_ms() >= deadline_unix) {
+      abort_dedup(tenant, solve->idem_key, ErrorCode::DeadlineExpired,
+                  "deadline expired before admission");
+      count(&FrontDoorCounters::deadline_expired_arrival);
+      if (metrics().enabled()) {
+        metrics().add(telemetry::labeled(
+            "net.deadline_expired",
+            {{"tenant", tenant->cfg.name}, {"where", "arrival"}}));
+      }
+      reject(conn, frame.request_id, ErrorCode::DeadlineExpired,
+             "deadline expired before admission");
+      return;
+    }
+
     const std::size_t bytes = solve_bytes<T>(solve->n);
     const Admission verdict = tenants_.admit(*tenant, 1, bytes, now_s());
     if (verdict != Admission::Ok) {
+      abort_dedup(tenant, solve->idem_key, ErrorCode::Rejected,
+                  "original request rejected at admission");
       const ErrorCode code =
           verdict == Admission::QuotaInflight ? ErrorCode::QuotaInflight
           : verdict == Admission::QuotaBytes  ? ErrorCode::QuotaBytes
@@ -434,6 +607,9 @@ class FrontDoor {
     q.request_id = frame.request_id;
     q.tenant = tenant;
     q.bytes = bytes;
+    q.deadline_unix_ms = deadline_unix;
+    q.idem_key = solve->idem_key;
+    q.enqueue_s = now_s();
     q.frame = std::move(*solve);
     const double cost = static_cast<double>(q.frame.n);
     ++conn.inflight;
@@ -527,36 +703,177 @@ class FrontDoor {
     return true;
   }
 
+  /// Answers a dequeued-but-not-submitted request with a typed error,
+  /// returning its quota charge and aborting its dedup tracking.
+  void reject_queued(Queued& q, ErrorCode code, std::string_view msg) {
+    tenants_.release(*q.tenant, 1, q.bytes);
+    inflight_bytes_ -= q.bytes <= inflight_bytes_ ? q.bytes
+                                                  : inflight_bytes_;
+    abort_dedup(q.tenant, q.idem_key, code, msg);
+    auto it = conns_.find(q.conn_id);
+    if (it == conns_.end()) return;
+    if (it->second.inflight > 0) --it->second.inflight;
+    count(&FrontDoorCounters::requests_rejected);
+    if (metrics().enabled()) {
+      metrics().add(telemetry::labeled(
+          "net.rejects",
+          {{"tenant", q.tenant->cfg.name}, {"reason", to_string(code)}}));
+    }
+    send_err(it->second, q.request_id, code, msg);
+  }
+
+  [[nodiscard]] double aimd_limit_of(Tenant* t) const {
+    return t->aimd_limit > 0.0
+               ? t->aimd_limit
+               : static_cast<double>(cfg_.max_service_inflight);
+  }
+
+  /// Multiplicative decrease on a congestion signal (shed / timeout /
+  /// CoDel drop).
+  void aimd_congested(Tenant* t) {
+    if (!cfg_.aimd_enabled) return;
+    t->aimd_limit =
+        std::max(cfg_.aimd_min, aimd_limit_of(t) * cfg_.aimd_backoff);
+    if (metrics().enabled()) {
+      metrics().set(telemetry::labeled("net.aimd_limit",
+                                       {{"tenant", t->cfg.name}}),
+                    t->aimd_limit);
+    }
+  }
+
+  /// Additive increase (~ +1 per window's worth of completions).
+  void aimd_completed(Tenant* t) {
+    if (!cfg_.aimd_enabled) return;
+    const double limit = aimd_limit_of(t);
+    t->aimd_limit = std::min(
+        static_cast<double>(cfg_.max_service_inflight), limit + 1.0 / limit);
+  }
+
+  /// CoDel: returns true when this dequeue should shed instead of
+  /// serve. Head sojourn under target resets the episode; staying
+  /// above it for a full interval starts dropping, then drops pace at
+  /// interval / sqrt(count) while the queue stays bad.
+  bool codel_should_drop(Tenant* t, double sojourn_ms, double now) {
+    if (cfg_.codel_target_ms <= 0.0) return false;
+    if (sojourn_ms < cfg_.codel_target_ms) {
+      t->codel_first_above_s = 0.0;
+      t->codel_dropping = false;
+      return false;
+    }
+    const double interval_s = cfg_.codel_interval_ms / 1000.0;
+    if (t->codel_first_above_s == 0.0) {
+      t->codel_first_above_s = now;
+      return false;
+    }
+    if (!t->codel_dropping) {
+      if (now - t->codel_first_above_s < interval_s) return false;
+      t->codel_dropping = true;
+      t->codel_drop_count = 1;
+      t->codel_drop_next_s = now + interval_s;
+      return true;
+    }
+    if (now >= t->codel_drop_next_s) {
+      ++t->codel_drop_count;
+      t->codel_drop_next_s =
+          now + interval_s /
+                    std::sqrt(static_cast<double>(t->codel_drop_count));
+      return true;
+    }
+    return false;
+  }
+
   /// Moves lane heads into the service while the in-flight window has
-  /// room. The completion callback runs on a worker thread (or inline
-  /// for admission rejects): it encodes the response, parks it and
-  /// wakes the poll loop — nothing else.
+  /// room. Lanes whose tenant is at its AIMD window pass their turn;
+  /// dequeued heads whose deadline lapsed in the lane or whose queue
+  /// age trips CoDel are answered with a typed error right here —
+  /// before any device dispatch. The completion callback runs on a
+  /// worker thread (or inline for admission rejects): it parks the
+  /// response and wakes the poll loop — nothing else.
   void pump() {
     while (service_inflight_.load(std::memory_order_relaxed) <
            cfg_.max_service_inflight) {
       Queued q;
-      if (!lanes_.dequeue(q)) break;
+      const bool got =
+          cfg_.aimd_enabled
+              ? lanes_.dequeue_if(q,
+                                  [this](Tenant* t) {
+                                    return t->inflight_service <
+                                           aimd_limit_of(t);
+                                  })
+              : lanes_.dequeue(q);
+      if (!got) {
+        if (cfg_.aimd_enabled && !lanes_.empty()) {
+          count(&FrontDoorCounters::aimd_throttles);
+          if (metrics().enabled()) metrics().add("net.aimd_throttles");
+        }
+        break;
+      }
+      const double now = now_s();
+      if (q.deadline_unix_ms > 0.0 &&
+          unix_now_ms() >= q.deadline_unix_ms) {
+        count(&FrontDoorCounters::deadline_expired_queued);
+        if (metrics().enabled()) {
+          metrics().add(telemetry::labeled(
+              "net.deadline_expired",
+              {{"tenant", q.tenant->cfg.name}, {"where", "queued"}}));
+        }
+        reject_queued(q, ErrorCode::DeadlineExpired,
+                      "deadline expired in queue");
+        continue;
+      }
+      const double sojourn_ms = (now - q.enqueue_s) * 1000.0;
+      if (codel_should_drop(q.tenant, sojourn_ms, now)) {
+        count(&FrontDoorCounters::shed_codel);
+        if (metrics().enabled()) {
+          metrics().add(telemetry::labeled(
+              "net.shed_codel", {{"tenant", q.tenant->cfg.name}}));
+        }
+        aimd_congested(q.tenant);
+        reject_queued(q, ErrorCode::Shed, "shed: queue age over target");
+        continue;
+      }
       service_inflight_.fetch_add(1, std::memory_order_relaxed);
+      q.tenant->inflight_service += 1.0;
+      if (q.idem_key != 0) {
+        // The exactly-once proof point: a keyed request enters the
+        // device path at most once while its entry is tracked.
+        const std::uint64_t prior =
+            dedup_.mark_executed(tenant_id(q.tenant), q.idem_key);
+        if (prior > 0) {
+          sync_dedup_counters();
+          if (metrics().enabled()) {
+            metrics().add("net.duplicate_executions");
+          }
+        }
+      }
       service::SolveRequest<T> req;
       req.a = std::move(q.frame.a);
       req.b = std::move(q.frame.b);
       req.c = std::move(q.frame.c);
       req.d = std::move(q.frame.d);
-      req.deadline_ms = q.frame.deadline_ms;
+      // Remaining budget, re-derived from the absolute deadline at
+      // submit time: lane wait has already been spent.
+      if (q.deadline_unix_ms > 0.0) {
+        req.deadline_ms = q.deadline_unix_ms - unix_now_ms();
+        if (req.deadline_ms < 0.01) req.deadline_ms = 0.01;
+      }
       if (q.tenant != nullptr) req.tenant = q.tenant->cfg.name;
       const std::uint64_t conn_id = q.conn_id;
       const std::uint64_t request_id = q.request_id;
       Tenant* tenant = q.tenant;
       const std::size_t bytes = q.bytes;
+      const std::uint64_t idem_key = q.idem_key;
       svc_.submit(std::move(req),
-                  [this, conn_id, request_id, tenant,
-                   bytes](service::SolveResponse<T> resp) {
+                  [this, conn_id, request_id, tenant, bytes,
+                   idem_key](service::SolveResponse<T> resp) {
                     Done d;
                     d.conn_id = conn_id;
+                    d.request_id = request_id;
                     d.tenant = tenant;
                     d.systems = 1;
                     d.bytes = bytes;
-                    encode_response(request_id, resp, d.encoded);
+                    d.idem_key = idem_key;
+                    d.resp = std::move(resp);
                     {
                       std::lock_guard lk(done_mu_);
                       done_.push_back(std::move(d));
@@ -568,12 +885,14 @@ class FrontDoor {
 
   void encode_response(std::uint64_t request_id,
                        const service::SolveResponse<T>& resp,
-                       std::string& out) {
+                       std::string& out,
+                       std::uint16_t wire_version = kVersion) {
     using service::SolveStatus;
     switch (resp.status) {
       case SolveStatus::Ok:
         encode_solve_ok(out, request_id, resp.x, resp.trace_id,
-                        resp.solve_ms, resp.wait_ms, resp.fallback_used);
+                        resp.solve_ms, resp.wait_ms, resp.fallback_used,
+                        wire_version);
         return;
       case SolveStatus::Rejected:
         // A service-side reject during our drain IS the drain from the
@@ -583,34 +902,38 @@ class FrontDoor {
                              ? ErrorCode::Draining
                              : ErrorCode::Rejected,
                          resp.error.empty() ? "service rejected"
-                                            : resp.error);
+                                            : resp.error,
+                         wire_version);
         return;
       case SolveStatus::Shed:
         encode_solve_err(out, request_id, ErrorCode::Shed,
-                         "shed by backpressure");
+                         "shed by backpressure", wire_version);
         return;
       case SolveStatus::TimedOut:
         encode_solve_err(out, request_id, ErrorCode::TimedOut,
-                         "deadline lapsed");
+                         "deadline lapsed", wire_version);
         return;
       case SolveStatus::Failed:
-        encode_solve_err(out, request_id, ErrorCode::Failed, resp.error);
+        encode_solve_err(out, request_id, ErrorCode::Failed, resp.error,
+                         wire_version);
         return;
       case SolveStatus::Singular:
         encode_solve_err(out, request_id, ErrorCode::Singular,
-                         resp.error);
+                         resp.error, wire_version);
         return;
       case SolveStatus::NonFinite:
         encode_solve_err(out, request_id, ErrorCode::NonFinite,
-                         resp.error);
+                         resp.error, wire_version);
         return;
     }
     encode_solve_err(out, request_id, ErrorCode::Internal,
-                     "unknown status");
+                     "unknown status", wire_version);
   }
 
-  /// Delivers parked completions into write buffers.
+  /// Delivers parked completions into write buffers, settles dedup
+  /// entries and feeds the AIMD windows.
   void drain_done() {
+    using service::SolveStatus;
     std::vector<Done> batch;
     {
       std::lock_guard lk(done_mu_);
@@ -620,6 +943,18 @@ class FrontDoor {
       service_inflight_.fetch_sub(d.systems, std::memory_order_relaxed);
       if (d.tenant != nullptr) {
         tenants_.release(*d.tenant, d.systems, d.bytes);
+        if (d.tenant->inflight_service >= 1.0) {
+          d.tenant->inflight_service -= 1.0;
+        }
+        // Congestion signals shrink the tenant's window; anything that
+        // actually ran to a verdict grows it back.
+        if (d.resp.status == SolveStatus::Shed ||
+            d.resp.status == SolveStatus::TimedOut ||
+            d.resp.status == SolveStatus::Rejected) {
+          aimd_congested(d.tenant);
+        } else {
+          aimd_completed(d.tenant);
+        }
       }
       inflight_bytes_ -= d.bytes <= inflight_bytes_ ? d.bytes
                                                     : inflight_bytes_;
@@ -630,10 +965,43 @@ class FrontDoor {
         metrics().set("net.inflight_bytes_now",
                       static_cast<double>(inflight_bytes_));
       }
+      std::vector<typename DedupCache<service::SolveResponse<T>>::Waiter>
+          waiters;
+      if (d.idem_key != 0) {
+        waiters = dedup_.take_waiters(tenant_id(d.tenant), d.idem_key);
+      }
       auto it = conns_.find(d.conn_id);
-      if (it == conns_.end()) continue;  // connection died meanwhile
-      if (it->second.inflight > 0) --it->second.inflight;
-      send_frame(it->second, std::move(d.encoded));
+      if (it != conns_.end()) {  // original connection still here
+        Conn& conn = it->second;
+        if (conn.inflight > 0) --conn.inflight;
+        std::string out;
+        encode_response(d.request_id, d.resp, out, conn.wire_version);
+        send_frame(conn, std::move(out));
+      }
+      for (const auto& w : waiters) answer_waiter(w, d.resp);
+      if (d.idem_key != 0) {
+        // Deterministic verdicts are cached so a late resend replays
+        // them; retryable outcomes un-track the key — the client's
+        // retry is a fresh attempt and may legitimately re-execute.
+        const bool cacheable = d.resp.status == SolveStatus::Ok ||
+                               d.resp.status == SolveStatus::Failed ||
+                               d.resp.status == SolveStatus::Singular ||
+                               d.resp.status == SolveStatus::NonFinite;
+        const std::uint64_t tid = tenant_id(d.tenant);
+        if (cacheable) {
+          const std::size_t retained =
+              d.resp.x.size() * sizeof(T) + 128;
+          dedup_.complete(tid, d.idem_key, std::move(d.resp), retained,
+                          mono_ms());
+        } else {
+          dedup_.abandon(tid, d.idem_key);
+        }
+        sync_dedup_counters();
+        if (metrics().enabled()) {
+          metrics().set("net.dedup_bytes_now",
+                        static_cast<double>(dedup_.stats().bytes));
+        }
+      }
     }
   }
 
@@ -771,6 +1139,7 @@ class FrontDoor {
   std::map<std::uint64_t, Conn> conns_;
   std::uint64_t next_conn_id_ = 1;
   DrrScheduler<Queued> lanes_;
+  DedupCache<service::SolveResponse<T>> dedup_;
   Tenant* anon_ = nullptr;  ///< implicit tenant when require_auth is off
   std::size_t inflight_bytes_ = 0;
 

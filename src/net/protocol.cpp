@@ -1,5 +1,6 @@
 #include "net/protocol.hpp"
 
+#include <chrono>
 #include <cstring>
 
 namespace tda::net {
@@ -81,10 +82,11 @@ std::vector<T> get_values(std::string_view b, std::size_t at,
 /// is built first with checksum 0, then the hash runs over the first 20
 /// header bytes and the payload.
 void append_frame(std::string& out, FrameType type,
-                  std::uint64_t request_id, std::string_view payload) {
+                  std::uint64_t request_id, std::string_view payload,
+                  std::uint16_t version = kVersion) {
   const std::size_t head = out.size();
   put_u32(out, kMagic);
-  put_u16(out, kVersion);
+  put_u16(out, version);
   put_u16(out, static_cast<std::uint16_t>(type));
   put_u64(out, request_id);
   put_u32(out, static_cast<std::uint32_t>(payload.size()));
@@ -132,8 +134,14 @@ const char* to_string(ErrorCode c) {
     case ErrorCode::Singular: return "singular";
     case ErrorCode::NonFinite: return "nonfinite";
     case ErrorCode::Internal: return "internal";
+    case ErrorCode::DeadlineExpired: return "deadline_expired";
   }
   return "?";
+}
+
+double unix_now_ms() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::milli>(now).count();
 }
 
 std::uint32_t fnv1a32(std::string_view bytes, std::uint32_t state) {
@@ -163,7 +171,8 @@ DecodeResult decode_frame(std::string_view buf, std::size_t max_payload) {
     r.error = "bad magic";
     return r;
   }
-  if (get_u16(buf, 4) != kVersion) {
+  const std::uint16_t version = get_u16(buf, 4);
+  if (version < kVersion || version > kMaxVersion) {
     r.status = DecodeStatus::Corrupt;
     r.error = "unsupported version";
     return r;
@@ -198,23 +207,26 @@ DecodeResult decode_frame(std::string_view buf, std::size_t max_payload) {
   r.status = DecodeStatus::Ok;
   r.consumed = kHeaderSize + payload_len;
   r.frame.type = static_cast<FrameType>(type);
+  r.frame.version = version;
   r.frame.request_id = get_u64(buf, 8);
   r.frame.payload = payload;
   return r;
 }
 
-void encode_hello(std::string& out, std::string_view token) {
+void encode_hello(std::string& out, std::string_view token,
+                  std::uint16_t advertised_version) {
   std::string payload;
   put_u16(payload, static_cast<std::uint16_t>(token.size()));
-  put_u16(payload, 0);
+  put_u16(payload, advertised_version);
   payload.append(token);
   append_frame(out, FrameType::Hello, 0, payload);
 }
 
-void encode_hello_ok(std::string& out, std::string_view tenant) {
+void encode_hello_ok(std::string& out, std::string_view tenant,
+                     std::uint16_t negotiated_version) {
   std::string payload;
   put_u16(payload, static_cast<std::uint16_t>(tenant.size()));
-  put_u16(payload, 0);
+  put_u16(payload, negotiated_version);
   payload.append(tenant);
   append_frame(out, FrameType::HelloOk, 0, payload);
 }
@@ -224,13 +236,14 @@ void encode_goodbye(std::string& out) {
 }
 
 void encode_solve_err(std::string& out, std::uint64_t request_id,
-                      ErrorCode code, std::string_view message) {
+                      ErrorCode code, std::string_view message,
+                      std::uint16_t wire_version) {
   std::string payload;
   put_u16(payload, static_cast<std::uint16_t>(code));
   put_u16(payload, 0);
   put_u32(payload, static_cast<std::uint32_t>(message.size()));
   payload.append(message);
-  append_frame(out, FrameType::SolveErr, request_id, payload);
+  append_frame(out, FrameType::SolveErr, request_id, payload, wire_version);
 }
 
 template <typename T>
@@ -253,9 +266,30 @@ void encode_solve(std::string& out, std::uint64_t request_id,
 }
 
 template <typename T>
+void encode_solve_v2(std::string& out, std::uint64_t request_id,
+                     const std::vector<T>& a, const std::vector<T>& b,
+                     const std::vector<T>& c, const std::vector<T>& d,
+                     double deadline_unix_ms, std::uint64_t idem_key) {
+  std::string payload;
+  payload.reserve(24 + 4 * b.size() * sizeof(T));
+  payload.push_back(static_cast<char>(sizeof(T)));
+  payload.push_back(0);
+  put_u16(payload, 0);
+  put_u32(payload, static_cast<std::uint32_t>(b.size()));
+  put_f64(payload, deadline_unix_ms);
+  put_u64(payload, idem_key);
+  put_values(payload, a);
+  put_values(payload, b);
+  put_values(payload, c);
+  put_values(payload, d);
+  append_frame(out, FrameType::Solve, request_id, payload, kVersion2);
+}
+
+template <typename T>
 void encode_solve_ok(std::string& out, std::uint64_t request_id,
                      const std::vector<T>& x, std::uint64_t trace_id,
-                     double solve_ms, double wait_ms, bool fallback_used) {
+                     double solve_ms, double wait_ms, bool fallback_used,
+                     std::uint16_t wire_version) {
   std::string payload;
   payload.reserve(32 + x.size() * sizeof(T));
   payload.push_back(static_cast<char>(sizeof(T)));
@@ -266,7 +300,7 @@ void encode_solve_ok(std::string& out, std::uint64_t request_id,
   put_f64(payload, solve_ms);
   put_f64(payload, wait_ms);
   put_values(payload, x);
-  append_frame(out, FrameType::SolveOk, request_id, payload);
+  append_frame(out, FrameType::SolveOk, request_id, payload, wire_version);
 }
 
 std::optional<HelloFrame> parse_hello(std::string_view payload) {
@@ -274,6 +308,7 @@ std::optional<HelloFrame> parse_hello(std::string_view payload) {
   const std::size_t len = get_u16(payload, 0);
   if (payload.size() != 4 + len) return std::nullopt;
   HelloFrame f;
+  f.advertised_version = get_u16(payload, 2);
   f.token.assign(payload.substr(4, len));
   return f;
 }
@@ -283,6 +318,7 @@ std::optional<HelloOkFrame> parse_hello_ok(std::string_view payload) {
   const std::size_t len = get_u16(payload, 0);
   if (payload.size() != 4 + len) return std::nullopt;
   HelloOkFrame f;
+  f.negotiated_version = get_u16(payload, 2);
   f.tenant.assign(payload.substr(4, len));
   return f;
 }
@@ -303,19 +339,28 @@ std::uint8_t solve_dtype(std::string_view payload) {
 }
 
 template <typename T>
-std::optional<SolveFrame<T>> parse_solve(std::string_view payload) {
-  if (payload.size() < 16) return std::nullopt;
+std::optional<SolveFrame<T>> parse_solve(std::string_view payload,
+                                         std::uint16_t version) {
+  if (version < kVersion || version > kMaxVersion) return std::nullopt;
+  const std::size_t prefix = version >= kVersion2 ? 24 : 16;
+  if (payload.size() < prefix) return std::nullopt;
   if (static_cast<std::uint8_t>(payload[0]) != sizeof(T))
     return std::nullopt;
   const std::uint32_t n = get_u32(payload, 4);
   if (n == 0) return std::nullopt;
   const std::size_t want =
-      16 + 4 * static_cast<std::size_t>(n) * sizeof(T);
+      prefix + 4 * static_cast<std::size_t>(n) * sizeof(T);
   if (payload.size() != want) return std::nullopt;
   SolveFrame<T> f;
   f.n = n;
-  f.deadline_ms = get_f64(payload, 8);
-  std::size_t at = 16;
+  f.version = version;
+  if (version >= kVersion2) {
+    f.deadline_unix_ms = get_f64(payload, 8);
+    f.idem_key = get_u64(payload, 16);
+  } else {
+    f.deadline_ms = get_f64(payload, 8);
+  }
+  std::size_t at = prefix;
   const std::size_t stride = static_cast<std::size_t>(n) * sizeof(T);
   f.a = get_values<T>(payload, at, n);
   at += stride;
@@ -355,16 +400,30 @@ template void encode_solve<double>(std::string&, std::uint64_t,
                                    const std::vector<double>&,
                                    const std::vector<double>&,
                                    const std::vector<double>&, double);
+template void encode_solve_v2<float>(std::string&, std::uint64_t,
+                                     const std::vector<float>&,
+                                     const std::vector<float>&,
+                                     const std::vector<float>&,
+                                     const std::vector<float>&, double,
+                                     std::uint64_t);
+template void encode_solve_v2<double>(std::string&, std::uint64_t,
+                                      const std::vector<double>&,
+                                      const std::vector<double>&,
+                                      const std::vector<double>&,
+                                      const std::vector<double>&, double,
+                                      std::uint64_t);
 template void encode_solve_ok<float>(std::string&, std::uint64_t,
                                      const std::vector<float>&,
-                                     std::uint64_t, double, double, bool);
+                                     std::uint64_t, double, double, bool,
+                                     std::uint16_t);
 template void encode_solve_ok<double>(std::string&, std::uint64_t,
                                       const std::vector<double>&,
-                                      std::uint64_t, double, double, bool);
+                                      std::uint64_t, double, double, bool,
+                                      std::uint16_t);
 template std::optional<SolveFrame<float>> parse_solve<float>(
-    std::string_view);
+    std::string_view, std::uint16_t);
 template std::optional<SolveFrame<double>> parse_solve<double>(
-    std::string_view);
+    std::string_view, std::uint16_t);
 template std::optional<SolveOkFrame<float>> parse_solve_ok<float>(
     std::string_view);
 template std::optional<SolveOkFrame<double>> parse_solve_ok<double>(

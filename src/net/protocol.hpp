@@ -6,11 +6,24 @@
 //
 //   offset  size  field
 //        0     4  magic        0x50414454 ("TDAP")
-//        4     2  version      1
+//        4     2  version      1 or 2 (negotiated per connection)
 //        6     2  type         FrameType
 //        8     8  request_id   caller-chosen correlation id
 //       16     4  payload_len  bytes following the header
 //       20     4  checksum     FNV-1a-32 over header[0,20) + payload
+//
+// Version negotiation rides the handshake: Hello carries the client's
+// highest supported version in the (formerly reserved) u16 after the
+// token length, HelloOk echoes the negotiated version in the same
+// slot. Legacy peers wrote 0 there, so 0 parses as "v1". Control
+// frames (Hello/HelloOk/Goodbye) always use header version 1 so the
+// handshake itself predates the negotiation it performs; only Solve
+// (and the responses to a v2 Solve) use header version 2.
+//
+// v2 Solve payloads extend v1 with an absolute wall-clock deadline
+// (milliseconds since the unix epoch; 0 = none) and a client-minted
+// idempotency key (0 = none) that lets the server deduplicate
+// reconnect-and-resend retries instead of re-executing them.
 //
 // The checksum makes corruption detectable rather than merely unlikely
 // to parse: every FNV-1a step s' = (s ^ byte) * prime is a bijection of
@@ -39,6 +52,10 @@ namespace tda::net {
 
 inline constexpr std::uint32_t kMagic = 0x50414454u;  // "TDAP" on the wire
 inline constexpr std::uint16_t kVersion = 1;
+/// Highest protocol version this build speaks (see negotiation notes
+/// above). decode_frame accepts headers in [1, kMaxVersion].
+inline constexpr std::uint16_t kVersion2 = 2;
+inline constexpr std::uint16_t kMaxVersion = kVersion2;
 inline constexpr std::size_t kHeaderSize = 24;
 /// Hard ceiling a decoder enforces even when the caller passes a larger
 /// limit — no payload_len may imply a buffer this large.
@@ -73,7 +90,22 @@ enum class ErrorCode : std::uint16_t {
   Singular = 14,     ///< system is numerically singular
   NonFinite = 15,    ///< system carried NaN/Inf coefficients
   Internal = 16,     ///< anything else
+  DeadlineExpired = 17,  ///< absolute deadline already lapsed on arrival
 };
+
+/// Version the server agrees to speak given a Hello advertisement.
+/// Legacy clients wrote 0 in the slot; both 0 and 1 negotiate to v1,
+/// anything newer clamps to the highest version this build knows.
+[[nodiscard]] constexpr std::uint16_t negotiate_version(
+    std::uint16_t advertised) {
+  if (advertised <= kVersion) return kVersion;
+  return advertised < kMaxVersion ? advertised : kMaxVersion;
+}
+
+/// Wall-clock "now" as milliseconds since the unix epoch — the time
+/// base of v2 absolute deadlines. Both ends of a connection are
+/// assumed clock-synced to well under typical deadline budgets.
+double unix_now_ms();
 
 const char* to_string(FrameType t);
 const char* to_string(ErrorCode c);
@@ -86,6 +118,7 @@ std::uint32_t fnv1a32(std::string_view bytes,
 /// One decoded frame: a non-owning view into the receive buffer.
 struct FrameView {
   FrameType type = FrameType::Goodbye;
+  std::uint16_t version = kVersion;  ///< header version the peer sent
   std::uint64_t request_id = 0;
   std::string_view payload;
 };
@@ -113,18 +146,31 @@ DecodeResult decode_frame(std::string_view buf, std::size_t max_payload);
 
 struct HelloFrame {
   std::string token;
+  /// Highest protocol version the client speaks; 0 = legacy v1 client
+  /// that predates negotiation.
+  std::uint16_t advertised_version = 0;
 };
 
 struct HelloOkFrame {
   std::string tenant;
+  /// Version the server agreed to; 0 = legacy v1 server.
+  std::uint16_t negotiated_version = 0;
 };
 
-/// Solve payload: u8 dtype_size, u8+u16 reserved, u32 n, f64 deadline_ms,
-/// then diagonals a,b,c and rhs d — 4*n values of dtype_size bytes each.
+/// Solve payload, v1: u8 dtype_size, u8+u16 reserved, u32 n,
+/// f64 deadline_ms (relative budget), then diagonals a,b,c and rhs d —
+/// 4*n values of dtype_size bytes each.
+///
+/// v2 inserts f64 deadline_unix_ms (absolute, ms since unix epoch;
+/// replaces the relative field) and u64 idem_key between the deadline
+/// and the diagonals.
 template <typename T>
 struct SolveFrame {
   std::uint32_t n = 0;
-  double deadline_ms = 0.0;
+  std::uint16_t version = kVersion;  ///< wire version this parsed from
+  double deadline_ms = 0.0;       ///< v1 relative budget (0 = none)
+  double deadline_unix_ms = 0.0;  ///< v2 absolute deadline (0 = none)
+  std::uint64_t idem_key = 0;     ///< v2 idempotency key (0 = none)
   std::vector<T> a, b, c, d;
 };
 
@@ -148,11 +194,14 @@ struct SolveErrFrame {
 
 // --- encoders (append a complete frame to `out`) ------------------------
 
-void encode_hello(std::string& out, std::string_view token);
-void encode_hello_ok(std::string& out, std::string_view tenant);
+void encode_hello(std::string& out, std::string_view token,
+                  std::uint16_t advertised_version = kMaxVersion);
+void encode_hello_ok(std::string& out, std::string_view tenant,
+                     std::uint16_t negotiated_version = 0);
 void encode_goodbye(std::string& out);
 void encode_solve_err(std::string& out, std::uint64_t request_id,
-                      ErrorCode code, std::string_view message);
+                      ErrorCode code, std::string_view message,
+                      std::uint16_t wire_version = kVersion);
 
 template <typename T>
 void encode_solve(std::string& out, std::uint64_t request_id,
@@ -160,10 +209,19 @@ void encode_solve(std::string& out, std::uint64_t request_id,
                   const std::vector<T>& c, const std::vector<T>& d,
                   double deadline_ms);
 
+/// v2 Solve: absolute unix-epoch deadline (0 = none) + idempotency key
+/// (0 = none). The frame header carries version 2.
+template <typename T>
+void encode_solve_v2(std::string& out, std::uint64_t request_id,
+                     const std::vector<T>& a, const std::vector<T>& b,
+                     const std::vector<T>& c, const std::vector<T>& d,
+                     double deadline_unix_ms, std::uint64_t idem_key);
+
 template <typename T>
 void encode_solve_ok(std::string& out, std::uint64_t request_id,
                      const std::vector<T>& x, std::uint64_t trace_id,
-                     double solve_ms, double wait_ms, bool fallback_used);
+                     double solve_ms, double wait_ms, bool fallback_used,
+                     std::uint16_t wire_version = kVersion);
 
 // --- payload parsers (nullopt on any shape violation) -------------------
 
@@ -174,8 +232,17 @@ std::optional<SolveErrFrame> parse_solve_err(std::string_view payload);
 /// Peeks the dtype width of a Solve payload (0 when too short).
 std::uint8_t solve_dtype(std::string_view payload);
 
+/// Parses a Solve payload at the given wire version (taken from the
+/// frame header). The one-argument form parses v1 — existing callers
+/// and tests keep their meaning.
 template <typename T>
-std::optional<SolveFrame<T>> parse_solve(std::string_view payload);
+std::optional<SolveFrame<T>> parse_solve(std::string_view payload,
+                                         std::uint16_t version);
+
+template <typename T>
+std::optional<SolveFrame<T>> parse_solve(std::string_view payload) {
+  return parse_solve<T>(payload, kVersion);
+}
 
 template <typename T>
 std::optional<SolveOkFrame<T>> parse_solve_ok(std::string_view payload);

@@ -47,6 +47,10 @@ struct TenantConfig {
   double requests_per_sec = 0.0;
   /// Bucket depth; <= 0 defaults to max(1, requests_per_sec / 4).
   double burst = 0.0;
+  /// Relative deadline applied when a Solve frame carries none
+  /// (v1 deadline_ms == 0 or v2 deadline_unix_ms == 0). 0 = no default;
+  /// the service's own default_deadline_ms then applies.
+  double default_deadline_ms = 0.0;
 };
 
 /// Typed admission verdict — maps 1:1 onto SolveErr codes.
@@ -103,6 +107,21 @@ struct Tenant {
 
   // --- DRR lane state (poll-thread-owned, not under the mutex) ---
   double deficit = 0.0;
+
+  // --- overload-protection state (poll-thread-owned) ----------------
+  // AIMD concurrency limiter: how many of this tenant's systems may be
+  // inside the service at once. Successful completions grow the window
+  // additively (~ +1 per window's worth of successes); sheds and
+  // timeouts cut it multiplicatively. See FrontDoor::pump.
+  double aimd_limit = 0.0;      ///< 0 = uninitialized (set on first use)
+  double inflight_service = 0.0;  ///< systems submitted, not yet done
+
+  // CoDel queue-age state: tracks how long this lane's head sojourn has
+  // continuously exceeded the target, and paces drops while it does.
+  double codel_first_above_s = 0.0;  ///< 0 = not currently above target
+  double codel_drop_next_s = 0.0;    ///< next scheduled drop time
+  std::uint64_t codel_drop_count = 0;  ///< drops in the current episode
+  bool codel_dropping = false;
 };
 
 class TenantRegistry {
@@ -201,6 +220,54 @@ class DrrScheduler {
       ++cursor_;
     }
     return false;  // unreachable while total_ > 0; defensive
+  }
+
+  /// dequeue() restricted to lanes whose tenant satisfies `eligible`
+  /// — the front door's AIMD limiter parks a lane at its concurrency
+  /// window without losing its queue position. An ineligible lane
+  /// passes its turn uncharged (deficit untouched), so when it becomes
+  /// eligible again it resumes exactly where DRR left it. Returns false
+  /// when every queued lane is ineligible or the scheduler is idle.
+  template <typename Eligible>
+  bool dequeue_if(Item& out, Eligible eligible) {
+    if (total_ == 0) return false;
+    constexpr int kMaxSweeps = 1 << 14;
+    bool any_eligible = false;
+    for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+      any_eligible = false;
+      for (std::size_t step = 0; step < lanes_.size(); ++step) {
+        Lane& lane = lanes_[cursor_ % lanes_.size()];
+        if (lane.items.empty()) {
+          lane.tenant->deficit = 0.0;
+          lane.charged_this_visit = false;
+          ++cursor_;
+          continue;
+        }
+        if (!eligible(lane.tenant)) {
+          lane.charged_this_visit = false;
+          ++cursor_;
+          continue;
+        }
+        any_eligible = true;
+        if (!lane.charged_this_visit) {
+          lane.tenant->deficit += quantum_ * lane.tenant->cfg.weight;
+          lane.charged_this_visit = true;
+        }
+        if (lane.tenant->deficit >= lane.items.front().cost) {
+          return serve(lane, out);
+        }
+        lane.charged_this_visit = false;
+        ++cursor_;
+      }
+      if (!any_eligible) return false;
+    }
+    for (std::size_t step = 0; step < lanes_.size(); ++step) {
+      Lane& lane = lanes_[cursor_ % lanes_.size()];
+      if (!lane.items.empty() && eligible(lane.tenant))
+        return serve(lane, out);
+      ++cursor_;
+    }
+    return false;
   }
 
   /// Drops every queued item satisfying `pred`, calling `on_drop` for

@@ -586,6 +586,11 @@ class SolveService {
     TimePoint open_until{};   ///< when an Open breaker may half-open
     bool crashed = false;     ///< thread died; scheduler must revive it
     std::size_t restarts = 0;
+
+    /// Decorrelated-jitter stream of the retry backoff (worker thread
+    /// only). Seeded from the worker's address so concurrent workers
+    /// hit by the same fault desynchronize their retries.
+    std::uint64_t backoff_rng = 0;
   };
 
   [[nodiscard]] double wall_s(TimePoint tp) const {
@@ -1257,6 +1262,11 @@ class SolveService {
     bool device_exhausted = false;
     bool cancelled = false;
     std::string error;
+    // Decorrelated-jitter state for the retry backoff: one stream per
+    // worker so correlated faults don't retry in lockstep across
+    // workers (the stream survives batches — that's fine, any seed is
+    // as good as another).
+    double backoff_prev_ms = 0.0;
 
     for (int attempt = 0; !solved; ++attempt) {
       try {
@@ -1306,9 +1316,22 @@ class SolveService {
             telemetry_.metrics.add("service.retries");
           }
           if (res.retry_backoff_ms > 0.0) {
+            double sleep_ms;
+            if (res.retry_jitter) {
+              if (w.backoff_rng == 0) {
+                w.backoff_rng =
+                    reinterpret_cast<std::uintptr_t>(&w) | 1u;
+              }
+              sleep_ms = decorrelated_backoff_ms(
+                  res.retry_backoff_ms, backoff_prev_ms,
+                  res.retry_backoff_max_ms, w.backoff_rng);
+              backoff_prev_ms = sleep_ms;
+            } else {
+              sleep_ms = res.retry_backoff_ms *
+                         static_cast<double>(1 << attempt);
+            }
             std::this_thread::sleep_for(
-                std::chrono::duration<double, std::milli>(
-                    res.retry_backoff_ms * static_cast<double>(1 << attempt)));
+                std::chrono::duration<double, std::milli>(sleep_ms));
           }
           continue;
         }

@@ -15,7 +15,9 @@
 
 #include "faults/faults.hpp"
 #include "gpusim/device.hpp"
+#include "net/chaos_proxy.hpp"
 #include "net/client.hpp"
+#include "net/dedup.hpp"
 #include "net/front_door.hpp"
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
@@ -69,6 +71,27 @@ double residual(const System& s, const std::vector<double>& x) {
     worst = std::max(worst, std::abs(acc));
   }
   return worst;
+}
+
+/// Reads raw frames off a socket fd — for tests that emulate a legacy
+/// (pre-net::Client) peer byte-for-byte.
+bool read_frame(int fd, std::string& buf, FrameType& type,
+                std::string& payload, std::uint16_t* version = nullptr) {
+  char tmp[4096];
+  for (;;) {
+    const auto r = decode_frame(buf, 1 << 20);
+    if (r.status == DecodeStatus::Ok) {
+      type = r.frame.type;
+      payload.assign(r.frame.payload);
+      if (version != nullptr) *version = r.frame.version;
+      buf.erase(0, r.consumed);
+      return true;
+    }
+    if (r.status == DecodeStatus::Corrupt) return false;
+    const long n = read_some(fd, tmp, sizeof(tmp));
+    if (n <= 0 && n != -2) return false;
+    if (n > 0) buf.append(tmp, static_cast<std::size_t>(n));
+  }
 }
 
 /// A service + front door on a unix socket with two tenants
@@ -739,4 +762,348 @@ TEST(NetDoor, CrossTenantSameShapeStillCoalesces) {
   EXPECT_EQ(c.completed, 2u * kPerTenant);
   EXPECT_LT(c.flushes, 2u * kPerTenant);
   EXPECT_GT(c.max_batch_systems, 1u);
+}
+
+// ------------------------------------------------------- protocol v2
+
+TEST(NetProtocolV2, NegotiateVersionClamps) {
+  EXPECT_EQ(negotiate_version(0), kVersion);   // legacy slot
+  EXPECT_EQ(negotiate_version(1), kVersion);
+  EXPECT_EQ(negotiate_version(2), kVersion2);
+  EXPECT_EQ(negotiate_version(7), kMaxVersion);  // future client clamps
+}
+
+TEST(NetProtocolV2, HandshakeCarriesVersionsInReservedSlot) {
+  std::string buf;
+  encode_hello(buf, "tok", 2);
+  auto r = decode_frame(buf, 1 << 20);
+  ASSERT_EQ(r.status, DecodeStatus::Ok);
+  EXPECT_EQ(r.frame.version, kVersion);  // control frames stay v1-framed
+  auto hello = parse_hello(r.frame.payload);
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->advertised_version, 2);
+
+  // A legacy Hello left the slot zeroed — that must still parse as 0.
+  buf.clear();
+  encode_hello(buf, "tok", 0);
+  r = decode_frame(buf, 1 << 20);
+  ASSERT_EQ(r.status, DecodeStatus::Ok);
+  hello = parse_hello(r.frame.payload);
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->advertised_version, 0);
+
+  buf.clear();
+  encode_hello_ok(buf, "alpha", kVersion2);
+  r = decode_frame(buf, 1 << 20);
+  ASSERT_EQ(r.status, DecodeStatus::Ok);
+  const auto ok = parse_hello_ok(r.frame.payload);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->tenant, "alpha");
+  EXPECT_EQ(ok->negotiated_version, kVersion2);
+}
+
+TEST(NetProtocolV2, SolveV2RoundTripAndCrossVersionRejection) {
+  const auto sys = diag_dominant(48, 11);
+  std::string buf;
+  encode_solve_v2<double>(buf, 42, sys.a, sys.b, sys.c, sys.d, 1234.5,
+                          0xDEADBEEFCAFEull);
+  const auto r = decode_frame(buf, 1 << 20);
+  ASSERT_EQ(r.status, DecodeStatus::Ok);
+  EXPECT_EQ(r.frame.version, kVersion2);
+  EXPECT_EQ(r.frame.request_id, 42u);
+
+  const auto v2 = parse_solve<double>(r.frame.payload, kVersion2);
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_EQ(v2->n, 48u);
+  EXPECT_EQ(v2->version, kVersion2);
+  EXPECT_DOUBLE_EQ(v2->deadline_unix_ms, 1234.5);
+  EXPECT_EQ(v2->idem_key, 0xDEADBEEFCAFEull);
+  EXPECT_EQ(v2->a, sys.a);
+  EXPECT_EQ(v2->d, sys.d);
+
+  // The v2 payload is 8 bytes longer than v1's for the same n: parsing
+  // it at the wrong version must fail the exact-length check, never
+  // misread the idem key as sample data.
+  EXPECT_FALSE(parse_solve<double>(r.frame.payload, kVersion).has_value());
+  std::string v1buf;
+  encode_solve<double>(v1buf, 1, sys.a, sys.b, sys.c, sys.d, 5.0);
+  const auto rv1 = decode_frame(v1buf, 1 << 20);
+  ASSERT_EQ(rv1.status, DecodeStatus::Ok);
+  EXPECT_FALSE(parse_solve<double>(rv1.frame.payload, kVersion2).has_value());
+}
+
+// ------------------------------------------------------------- dedup
+
+TEST(NetDedup, LifecycleHitJoinWaitersAndDuplicateTally) {
+  DedupCache<int> cache;
+  using State = DedupCache<int>::State;
+
+  EXPECT_EQ(cache.begin(1, 10, 0.0), State::Fresh);
+  EXPECT_EQ(cache.begin(1, 10, 0.0), State::InFlight);
+  cache.add_waiter(1, 10, {7, 99});
+  EXPECT_EQ(cache.mark_executed(1, 10), 0u);
+  EXPECT_EQ(cache.mark_executed(1, 10), 1u);  // a dedup bug, tallied
+  EXPECT_EQ(cache.stats().duplicate_executions, 1u);
+
+  auto waiters = cache.take_waiters(1, 10);
+  ASSERT_EQ(waiters.size(), 1u);
+  EXPECT_EQ(waiters[0].conn_id, 7u);
+  EXPECT_EQ(waiters[0].request_id, 99u);
+
+  cache.complete(1, 10, 42, 100, 0.0);
+  EXPECT_EQ(cache.begin(1, 10, 1.0), State::Completed);
+  const int* hit = cache.lookup(1, 10);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 42);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().joins, 1u);
+
+  // abandon() forgets the key entirely; the next attempt is fresh.
+  cache.abandon(1, 10);
+  EXPECT_EQ(cache.begin(1, 10, 1.0), State::Fresh);
+}
+
+TEST(NetDedup, TenantScopingEvictionAndTtl) {
+  DedupConfig cfg;
+  cfg.ttl_ms = 100.0;
+  cfg.max_entries = 2;
+  DedupCache<int> cache(cfg);
+  using State = DedupCache<int>::State;
+
+  // Same key under two tenants: two independent entries.
+  EXPECT_EQ(cache.begin(1, 10, 0.0), State::Fresh);
+  cache.complete(1, 10, 41, 50, 0.0);
+  EXPECT_EQ(cache.begin(2, 10, 1.0), State::Fresh);
+  cache.complete(2, 10, 42, 50, 1.0);
+  ASSERT_NE(cache.lookup(2, 10), nullptr);
+  EXPECT_EQ(*cache.lookup(2, 10), 42);
+
+  // The entry cap is 2: a third completion evicts the oldest completed
+  // entry, and an evicted key simply re-executes next time.
+  EXPECT_EQ(cache.begin(1, 11, 2.0), State::Fresh);
+  cache.complete(1, 11, 43, 50, 2.0);
+  EXPECT_EQ(cache.lookup(1, 10), nullptr);
+  EXPECT_NE(cache.lookup(2, 10), nullptr);
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.begin(1, 10, 3.0), State::Fresh);
+  cache.abandon(1, 10);
+
+  // TTL: everything completed more than ttl_ms ago is swept.
+  cache.sweep(500.0);
+  EXPECT_EQ(cache.lookup(2, 10), nullptr);
+  EXPECT_EQ(cache.lookup(1, 11), nullptr);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+// --------------------------------------------------- overload control
+
+TEST(NetTenant, DrrDequeueIfParksIneligibleLaneWithoutLosingItsTurn) {
+  TenantRegistry reg;
+  TenantConfig a;
+  a.name = "parked";
+  a.token = "a";
+  reg.add(a);
+  TenantConfig b;
+  b.name = "open";
+  b.token = "b";
+  reg.add(b);
+  Tenant* ta = reg.authenticate("a");
+  Tenant* tb = reg.authenticate("b");
+
+  DrrScheduler<int> sched(1.0);
+  for (int i = 0; i < 4; ++i) {
+    sched.enqueue(ta, 1, 1.0);
+    sched.enqueue(tb, 2, 1.0);
+  }
+
+  // With ta's lane ineligible (an AIMD window at zero), dequeue_if must
+  // serve only tb and then report "nothing eligible" — ta's items stay
+  // queued, not dropped.
+  int item = 0;
+  int open_served = 0;
+  while (sched.dequeue_if(item, [&](Tenant* t) { return t != ta; })) {
+    EXPECT_EQ(item, 2);
+    ++open_served;
+  }
+  EXPECT_EQ(open_served, 4);
+  EXPECT_EQ(sched.size(), 4u);
+
+  // Window reopens: the parked lane drains in full.
+  int parked_served = 0;
+  while (sched.dequeue_if(item, [](Tenant*) { return true; })) {
+    EXPECT_EQ(item, 1);
+    ++parked_served;
+  }
+  EXPECT_EQ(parked_served, 4);
+  EXPECT_EQ(sched.size(), 0u);
+}
+
+// ------------------------------------------------------------ v2 E2E
+
+TEST(NetDoorV2, LegacyV1ClientInteroperates) {
+  DoorFixture fx;
+  ASSERT_TRUE(fx.start());
+
+  // Emulate a pre-negotiation client byte-for-byte: Hello with a zeroed
+  // version slot, then a v1 Solve frame.
+  const auto ep = parse_endpoint("unix:" + fx.sock);
+  ASSERT_TRUE(ep.has_value());
+  std::string err;
+  Fd fd = connect_endpoint(*ep, &err);
+  ASSERT_TRUE(fd.valid()) << err;
+
+  std::string hello;
+  encode_hello(hello, "ta", 0);
+  ASSERT_TRUE(write_all(fd.get(), hello.data(), hello.size()));
+  std::string rbuf, payload;
+  FrameType type{};
+  std::uint16_t ver = 0;
+  ASSERT_TRUE(read_frame(fd.get(), rbuf, type, payload, &ver));
+  ASSERT_EQ(type, FrameType::HelloOk);
+  const auto ok = parse_hello_ok(payload);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->tenant, "alpha");
+  EXPECT_EQ(ok->negotiated_version, kVersion);  // downgraded, not refused
+
+  const auto sys = diag_dominant(64, 3);
+  std::string solve;
+  encode_solve<double>(solve, 5, sys.a, sys.b, sys.c, sys.d, 0.0);
+  ASSERT_TRUE(write_all(fd.get(), solve.data(), solve.size()));
+  ASSERT_TRUE(read_frame(fd.get(), rbuf, type, payload, &ver));
+  ASSERT_EQ(type, FrameType::SolveOk);
+  EXPECT_EQ(ver, kVersion);  // responses stay v1-framed on this conn
+  const auto res = parse_solve_ok<double>(payload);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_LT(residual(sys, res->x), 1e-8);
+}
+
+TEST(NetDoorV2, KeyedResendReplaysWithoutReexecution) {
+  DoorFixture fx;
+  ASSERT_TRUE(fx.start());
+
+  Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect("unix:" + fx.sock, "ta", &err)) << err;
+  EXPECT_EQ(client.wire_version(), kVersion2);
+
+  const auto sys = diag_dominant(64, 17);
+  const std::uint64_t key = client.mint_key();
+  ASSERT_NE(key, 0u);
+  ASSERT_TRUE(client.send_solve2<double>(1, sys.a, sys.b, sys.c, sys.d,
+                                         0.0, key, &err))
+      << err;
+  WireResult<double> first;
+  ASSERT_TRUE(client.recv_result<double>(first, &err)) << err;
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_LT(residual(sys, first.x), 1e-8);
+
+  // A resend under the same key — what the client does after a dropped
+  // SolveOk — replays the cached result; the device never runs twice.
+  ASSERT_TRUE(client.send_solve2<double>(2, sys.a, sys.b, sys.c, sys.d,
+                                         0.0, key, &err))
+      << err;
+  WireResult<double> replay;
+  ASSERT_TRUE(client.recv_result<double>(replay, &err)) << err;
+  EXPECT_EQ(replay.request_id, 2u);  // answered under the new rid
+  ASSERT_TRUE(replay.ok()) << replay.error;
+  EXPECT_EQ(replay.x, first.x);
+
+  const auto c = fx.door->counters();
+  EXPECT_GE(c.dedup_hits, 1u);
+  EXPECT_EQ(c.duplicate_executions, 0u);
+  EXPECT_EQ(fx.svc->counters().completed, 1u);  // one device execution
+}
+
+TEST(NetDoorV2, ExpiredOnArrivalRejectedBeforeTheService) {
+  DoorFixture fx;
+  ASSERT_TRUE(fx.start());
+
+  Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect("unix:" + fx.sock, "ta", &err)) << err;
+
+  const auto sys = diag_dominant(32, 5);
+  // Negative budget crafts an absolute deadline already in the past.
+  ASSERT_TRUE(client.send_solve2<double>(1, sys.a, sys.b, sys.c, sys.d,
+                                         -50.0, client.mint_key(), &err))
+      << err;
+  WireResult<double> r;
+  ASSERT_TRUE(client.recv_result<double>(r, &err)) << err;
+  EXPECT_EQ(r.code, ErrorCode::DeadlineExpired)
+      << to_string(r.code) << " " << r.error;
+
+  EXPECT_EQ(fx.door->counters().deadline_expired_arrival, 1u);
+  EXPECT_EQ(fx.svc->counters().submitted, 0u);  // never touched a device
+}
+
+TEST(NetDoorV2, TenantDefaultDeadlineApplies) {
+  DoorFixture fx;
+  TenantConfig timed;
+  timed.name = "timed";
+  timed.token = "tt";
+  timed.default_deadline_ms = 0.0005;  // lapses before any dispatch
+  fx.door->add_tenant(timed);
+  ASSERT_TRUE(fx.start());
+
+  Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect("unix:" + fx.sock, "tt", &err)) << err;
+
+  // A v1-style Solve with NO deadline of its own: the tenant default
+  // must be folded in by the door and expire the request.
+  const auto sys = diag_dominant(32, 9);
+  ASSERT_TRUE(client.send_solve<double>(1, sys.a, sys.b, sys.c, sys.d,
+                                        0.0, &err))
+      << err;
+  WireResult<double> r;
+  ASSERT_TRUE(client.recv_result<double>(r, &err)) << err;
+  EXPECT_EQ(r.code, ErrorCode::DeadlineExpired)
+      << to_string(r.code) << " " << r.error;
+  const auto c = fx.door->counters();
+  EXPECT_GE(c.deadline_expired_arrival + c.deadline_expired_queued, 1u);
+}
+
+// ------------------------------------------------------- chaos proxy
+
+TEST(NetChaosProxy, TransparentRelayAndDropToggle) {
+  DoorFixture fx;
+  ASSERT_TRUE(fx.start());
+
+  const std::string psock = unique_sock("chaosproxy");
+  ChaosConfig ccfg;
+  ccfg.seed = 9;
+  ccfg.drop_rate = 1.0;  // armed but dormant until set_enabled(true)
+  ChaosProxy proxy("unix:" + psock, "unix:" + fx.sock, ccfg);
+  proxy.set_enabled(false);
+  std::string err;
+  ASSERT_TRUE(proxy.start(&err)) << err;
+
+  // Disabled: a byte-transparent relay — a full solve round-trips.
+  Client client;
+  ASSERT_TRUE(client.connect("unix:" + psock, "ta", &err)) << err;
+  const auto sys = diag_dominant(64, 29);
+  const auto r = client.solve<double>(sys.a, sys.b, sys.c, sys.d);
+  ASSERT_TRUE(r.ok()) << to_string(r.code) << " " << r.error;
+  EXPECT_LT(residual(sys, r.x), 1e-8);
+  const auto c0 = proxy.counters();
+  EXPECT_GE(c0.connections, 1u);
+  EXPECT_GT(c0.bytes_up, 0u);
+  EXPECT_GT(c0.bytes_down, 0u);
+  EXPECT_EQ(c0.drops, 0u);
+  client.close();
+
+  // Enabled with drop_rate 1: the first relayed chunk (the Hello) is
+  // swallowed and both sides are torn down, so the handshake dies.
+  proxy.set_enabled(true);
+  Client doomed;
+  EXPECT_FALSE(doomed.connect("unix:" + psock, "ta", &err));
+  EXPECT_GE(proxy.counters().drops, 1u);
+
+  // And off again: transparent once more.
+  proxy.set_enabled(false);
+  Client again;
+  ASSERT_TRUE(again.connect("unix:" + psock, "ta", &err)) << err;
+  again.close();
+  proxy.stop();
+  ::unlink(psock.c_str());
 }

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "net/dedup.hpp"
 #include "net/protocol.hpp"
 
 using namespace tda::net;
@@ -83,6 +84,12 @@ std::vector<std::string> build_corpus() {
     f.clear();
     encode_solve_ok<double>(f, 14, vd, 0x5678, 2.0, 0.25, true);
     corpus.push_back(f);
+    f.clear();
+    encode_solve_v2<float>(f, 15, vf, vf, vf, vf, 1.7e12, 0xA5A5A5A5ull);
+    corpus.push_back(f);
+    f.clear();
+    encode_solve_v2<double>(f, 16, vd, vd, vd, vd, 0.0, 0x5A5A5A5Aull);
+    corpus.push_back(f);
   }
   return corpus;
 }
@@ -132,6 +139,8 @@ void exercise_parsers(const std::string& payload) {
   (void)solve_dtype(payload);
   (void)parse_solve<float>(payload);
   (void)parse_solve<double>(payload);
+  (void)parse_solve<float>(payload, kVersion2);
+  (void)parse_solve<double>(payload, kVersion2);
   (void)parse_solve_ok<float>(payload);
   (void)parse_solve_ok<double>(payload);
 }
@@ -217,4 +226,171 @@ TEST(NetFuzz, StreamReassemblySurvivesArbitraryChunking) {
       fed += chunk;
     }
   }
+}
+
+TEST(NetFuzzV2, MutatedDeadlineOrKeyFieldsNeverDecode) {
+  // The v2 reliability fields — absolute deadline and idempotency key —
+  // sit at payload offsets [8, 24). A flipped bit anywhere in them must
+  // fail the frame checksum: a corrupted deadline silently shifted into
+  // the future, or a corrupted key colliding with another request's
+  // cache entry, would be a correctness hole rather than a parse error.
+  std::vector<double> vd(16, 2.5);
+  std::string frame;
+  encode_solve_v2<double>(frame, 7, vd, vd, vd, vd, 1.6e12, 0x0123456789ull);
+  for (std::size_t off = kHeaderSize + 8; off < kHeaderSize + 24; ++off) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string m = frame;
+      m[off] = static_cast<char>(m[off] ^ (1 << bit));
+      const DecodeResult r = decode_frame(m, std::size_t{1} << 20);
+      EXPECT_NE(r.status, DecodeStatus::Ok)
+          << "payload byte " << off - kHeaderSize << " bit " << bit;
+    }
+  }
+}
+
+TEST(NetFuzzV2, VersionFlipsNeverReinterpretAcrossVersions) {
+  // A v2 frame whose header version byte is rewritten to 1 (or a v1
+  // frame rewritten to 2) must be rejected by the checksum, never
+  // parsed under the wrong layout — the version field is covered.
+  std::vector<double> vd(8, 1.25);
+  std::string v2;
+  encode_solve_v2<double>(v2, 1, vd, vd, vd, vd, 9.9e11, 42);
+  std::string v1;
+  encode_solve<double>(v1, 1, vd, vd, vd, vd, 3.0);
+  for (std::string* f : {&v2, &v1}) {
+    for (int claim = 0; claim <= 3; ++claim) {
+      std::string m = *f;
+      if (static_cast<unsigned char>(m[4]) == claim) continue;
+      m[4] = static_cast<char>(claim);
+      const DecodeResult r = decode_frame(m, std::size_t{1} << 20);
+      EXPECT_NE(r.status, DecodeStatus::Ok) << "claimed version " << claim;
+    }
+  }
+}
+
+TEST(NetFuzzV2, NegotiationDowngradeRoundTripsThroughHandshakeFrames) {
+  // Whatever a peer advertises — legacy 0, current, or from the future
+  // — the negotiated result survives an encode/parse round trip of both
+  // handshake frames and is a version this build actually speaks.
+  for (const std::uint16_t adv :
+       {std::uint16_t{0}, std::uint16_t{1}, std::uint16_t{2},
+        std::uint16_t{7}, std::uint16_t{0xFFFF}}) {
+    std::string hello;
+    encode_hello(hello, "tok", adv);
+    auto hr = decode_frame(hello, 1 << 20);
+    ASSERT_EQ(hr.status, DecodeStatus::Ok);
+    const auto h = parse_hello(hr.frame.payload);
+    ASSERT_TRUE(h.has_value());
+    ASSERT_EQ(h->advertised_version, adv);
+
+    const std::uint16_t negotiated = negotiate_version(h->advertised_version);
+    ASSERT_GE(negotiated, kVersion);
+    ASSERT_LE(negotiated, kMaxVersion);
+    // Negotiation is idempotent: agreeing on a version and re-offering
+    // it negotiates to itself.
+    ASSERT_EQ(negotiate_version(negotiated), negotiated);
+
+    std::string ok;
+    encode_hello_ok(ok, "tenant", negotiated);
+    auto orr = decode_frame(ok, 1 << 20);
+    ASSERT_EQ(orr.status, DecodeStatus::Ok);
+    const auto o = parse_hello_ok(orr.frame.payload);
+    ASSERT_TRUE(o.has_value());
+    ASSERT_EQ(o->negotiated_version, negotiated);
+  }
+}
+
+TEST(NetFuzzV2, DedupCacheStormNeverServesAWrongKeyedResult) {
+  // Random storm of begins/completes/abandons/sweeps across a handful
+  // of tenants and a small key space, with caps tight enough to force
+  // constant eviction. The invariant: a lookup or Completed begin only
+  // ever exposes the response completed under exactly that
+  // (tenant, key) — eviction may forget results, never mix them up.
+  struct Tagged {
+    std::uint64_t tenant = 0;
+    std::uint64_t key = 0;
+    std::uint64_t nonce = 0;
+  };
+  DedupConfig cfg;
+  cfg.ttl_ms = 40.0;
+  // Entry cap above the key space (in-flight entries are un-evictable
+  // and dominate the storm); the byte cap is what bites, keeping only a
+  // handful of completed results alive at a time.
+  cfg.max_entries = 120;
+  cfg.max_bytes = 512;
+  DedupCache<Tagged> cache(cfg);
+  using State = DedupCache<Tagged>::State;
+
+  FuzzRng rng(0xB0A710ADu);
+  double now = 0.0;
+  std::uint64_t nonce = 0;
+  // Keys whose "execution" is still running — resolved (completed or
+  // abandoned) by later iterations, the way drain_done resolves work
+  // the pump marked executed earlier.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pending;
+  const auto pop_pending = [&] {
+    const std::size_t at = rng.below(pending.size());
+    const auto tk = pending[at];
+    pending[at] = pending.back();
+    pending.pop_back();
+    return tk;
+  };
+  for (int i = 0; i < 20000; ++i) {
+    now += 0.25;
+    const auto check = [&](const Tagged& got, std::uint64_t tenant,
+                           std::uint64_t key) {
+      ASSERT_EQ(got.tenant, tenant) << "iteration " << i;
+      ASSERT_EQ(got.key, key) << "iteration " << i;
+    };
+    switch (rng.below(10)) {
+      case 0:
+        cache.sweep(now);
+        break;
+      case 1: {  // an execution finishes with a cacheable result
+        if (pending.empty()) break;
+        const auto [t, k] = pop_pending();
+        cache.complete(t, k, Tagged{t, k, ++nonce}, 32 + rng.below(64),
+                       now);
+        // The fresh completion may already have been evicted under the
+        // tight caps — losing a result is legal, mislabeling one isn't.
+        if (const Tagged* hit = cache.lookup(t, k)) check(*hit, t, k);
+        break;
+      }
+      case 2: {  // an execution ends retryable → the key is forgotten
+        if (pending.empty()) break;
+        const auto [t, k] = pop_pending();
+        (void)cache.abandon(t, k);
+        break;
+      }
+      default: {  // a (re)send arrives
+        const std::uint64_t tenant = 1 + rng.below(4);
+        const std::uint64_t key = 1 + rng.below(24);
+        const State st = cache.begin(tenant, key, now);
+        if (st == State::Completed) {
+          const Tagged* hit = cache.lookup(tenant, key);
+          ASSERT_NE(hit, nullptr) << "iteration " << i;
+          check(*hit, tenant, key);
+          break;
+        }
+        if (st == State::InFlight) {
+          // A resend overtaking its original: parks, never executes.
+          cache.add_waiter(tenant, key, {rng.next(), rng.next()});
+          break;
+        }
+        // Fresh: execute exactly once.
+        ASSERT_EQ(cache.mark_executed(tenant, key), 0u)
+            << "iteration " << i << ": fresh key was already executed";
+        pending.emplace_back(tenant, key);
+        break;
+      }
+    }
+    // The whole key space is 4 tenants x 24 keys.
+    ASSERT_LE(cache.stats().entries, 4u * 24u) << "iteration " << i;
+  }
+  // The storm must actually have exercised the interesting paths.
+  const auto& st = cache.stats();
+  EXPECT_GT(st.hits, 100u);
+  EXPECT_GT(st.joins, 100u);
+  EXPECT_GT(st.evictions, 100u);
+  EXPECT_EQ(st.duplicate_executions, 0u);
 }
