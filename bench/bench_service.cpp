@@ -12,6 +12,7 @@
 //                   [--isolation-slack-ms=5] [--processes]
 //                   [--chaos] [--chaos-requests=100] [--chaos-seed=42]
 //                   [--goodput-floor=0.7] [--overload-factor=3]
+//                   [--restart] [--restart-requests=800] [--restart-seed=42]
 //
 // --tenants switches to the multi-tenant isolation proof: real wire
 // traffic through a FrontDoor on a unix socket. Phase 1 measures each
@@ -41,6 +42,28 @@
 //   4. expired    requests arrive with lapsed deadlines — every one is
 //                 rejected DeadlineExpired at the door, none reaches
 //                 the service
+// The bench exits nonzero when any gate fails.
+//
+// --restart switches to the zero-downtime operations proof
+// (docs/OPERATIONS.md): the service runs as a child PROCESS (the hidden
+// --restart-server mode of this very binary) wrapped in ops::Server —
+// admin socket, periodic crash-safe snapshots, hot-restart handoff.
+// Keyed clients with idempotent retries drive it throughout three
+// gated phases:
+//   1. reload    an admin `reload` changes a tenant quota mid-traffic —
+//                the new value must be visible in `stats` and no client
+//                may lose a request or even reconnect
+//   2. handoff   admin `handoff` forks the next generation and passes
+//                the listeners via SCM_RIGHTS; the old generation
+//                drains and exits 0. Nothing lost, every ack residual-
+//                verified, and the new generation's stats must show
+//                net.duplicate_executions == 0 — byte-identical resends
+//                of pre-restart work land as replays from the inherited
+//                snapshot, not re-executions
+//   3. kill9     SIGKILL mid-traffic, then a cold respawn from the
+//                periodic snapshot on the same socket path. Same gates:
+//                nothing lost, residuals verified, exactly-once holds
+//                across the crash boundary
 // The bench exits nonzero when any gate fails.
 //
 // --faults switches to the resilience degradation curve: the coalesced
@@ -90,6 +113,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <climits>
+#include <csignal>
+#include <future>
 #include <map>
 #include <memory>
 #include <sys/wait.h>
@@ -104,6 +130,8 @@
 #include "net/chaos_proxy.hpp"
 #include "net/client.hpp"
 #include "net/front_door.hpp"
+#include "ops/admin.hpp"
+#include "ops/server.hpp"
 #include "service/solve_service.hpp"
 
 using namespace tda;
@@ -940,6 +968,13 @@ ChaosStats run_chaos_client(const std::string& spec, std::size_t requests,
     if (retry_errors && it->second.attempts < 50) {
       ++it->second.attempts;
       ++st.retried;
+      // Draining means a new generation is (or will shortly be)
+      // accepting on the same listener: give the old one a beat to
+      // close this connection so the resend reconnects there instead
+      // of hammering the drain rejection.
+      if (r.code == net::ErrorCode::Draining) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
       if (!send(r.request_id, it->second)) dead = true;
       continue;
     }
@@ -1185,10 +1220,387 @@ bool run_chaos_bench(int num_devices, std::size_t flush, double flush_ms,
   return baseline_ok && chaos_ok && overload_ok && expired_ok;
 }
 
+// --------------------------------------------------------------- restart
+
+/// Per-generation admin socket path: each generation binds its own so
+/// the old generation's teardown can never unlink the new one's socket
+/// out from under it.
+std::string admin_path_for(const std::string& base, std::uint64_t gen) {
+  return base + ".g" + std::to_string(gen);
+}
+
+/// The hidden --restart-server mode: one service generation under
+/// ops::Server. Cold start binds the unix listener itself; a hot-
+/// restarted generation (--handoff-fd) receives it over SCM_RIGHTS and
+/// loads the snapshot its parent wrote, then acks so the parent drains.
+int run_restart_server(const std::string& self, const Cli& cli) {
+  const std::string sock = cli.get("sock", "");
+  const std::string admin_base = cli.get("admin-base", "");
+  const std::string snapshot = cli.get("snapshot", "");
+  const int num_devices = static_cast<int>(cli.get_int("devices", 1));
+  const std::size_t flush =
+      static_cast<std::size_t>(cli.get_int("flush", 64));
+  const double flush_ms = cli.get_double("flush-ms", 2.0);
+  const auto generation =
+      static_cast<std::uint64_t>(cli.get_int("generation", 1));
+  const int handoff_fd = static_cast<int>(cli.get_int("handoff-fd", -1));
+  if (sock.empty() || admin_base.empty() || snapshot.empty()) {
+    std::cerr << "--restart-server needs --sock --admin-base --snapshot\n";
+    return 2;
+  }
+
+  ServiceConfig cfg;
+  cfg.flush_systems = flush;
+  cfg.flush_interval_ms = flush_ms;
+  cfg.queue_capacity = 1 << 14;
+  std::vector<gpusim::DeviceSpec> devices;
+  const auto registry = gpusim::device_registry();
+  for (int i = 0; i < num_devices; ++i)
+    devices.push_back(registry[registry.size() - 1 -
+                               static_cast<std::size_t>(i) % registry.size()]);
+  SolveService<double> svc(devices, cfg);
+  svc.telemetry().metrics.enable();
+
+  net::FrontDoorConfig fcfg;
+  fcfg.unix_path = sock;
+  fcfg.poll_interval_ms = 1.0;
+  fcfg.max_service_inflight = 2 * flush;
+  if (handoff_fd >= 0) {
+    int tcp_fd = -1, unix_fd = -1;
+    if (!ops::receive_handoff(handoff_fd, &tcp_fd, &unix_fd)) {
+      std::cerr << "handoff receive failed\n";
+      return 2;
+    }
+    fcfg.inherited_tcp_fd = tcp_fd;
+    fcfg.inherited_unix_fd = unix_fd;
+  }
+  net::FrontDoor<double> door(svc, fcfg);
+  net::TenantConfig tc;
+  tc.name = "chaos";
+  tc.token = "tok-chaos";
+  door.add_tenant(tc);
+
+  ops::OpsConfig ocfg;
+  ocfg.admin_path = admin_path_for(admin_base, generation);
+  ocfg.snapshot_path = snapshot;
+  ocfg.snapshot_interval_ms = 25.0;  // a kill -9 loses at most ~25 ms
+  ocfg.generation = generation;
+  ocfg.handoff_argv = {self,
+                       "--restart-server",
+                       "--sock=" + sock,
+                       "--admin-base=" + admin_base,
+                       "--snapshot=" + snapshot,
+                       "--devices=" + std::to_string(num_devices),
+                       "--flush=" + std::to_string(flush),
+                       "--flush-ms=" + std::to_string(flush_ms)};
+  ops::Server<double> srv(svc, door, ocfg);
+  std::string why;
+  if (!srv.load(&why) && generation > 1) {
+    // Generation > 1 without a snapshot is a real (but survivable)
+    // anomaly worth a line on stderr; generation 1 is just cold.
+    std::cerr << "gen " << generation << " cold start: " << why << "\n";
+  }
+  std::string err;
+  if (!door.start(&err)) {
+    std::cerr << "front door: " << err << "\n";
+    return 2;
+  }
+  if (!srv.start(&err)) {
+    std::cerr << "ops server: " << err << "\n";
+    return 2;
+  }
+  if (handoff_fd >= 0) {
+    ops::ack_handoff(handoff_fd);  // parent may drain now
+    ::close(handoff_fd);
+  }
+  while (!srv.should_exit()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  door.shutdown();  // drain: every admitted request answered first
+  srv.shutdown();   // final snapshot (skipped after handoff) + flush
+  svc.shutdown();
+  return 0;
+}
+
+pid_t spawn_restart_server(const std::string& self, const std::string& sock,
+                           const std::string& admin_base,
+                           const std::string& snapshot, int num_devices,
+                           std::size_t flush, double flush_ms,
+                           std::uint64_t generation) {
+  std::vector<std::string> argv = {
+      self,
+      "--restart-server",
+      "--sock=" + sock,
+      "--admin-base=" + admin_base,
+      "--snapshot=" + snapshot,
+      "--devices=" + std::to_string(num_devices),
+      "--flush=" + std::to_string(flush),
+      "--flush-ms=" + std::to_string(flush_ms),
+      "--generation=" + std::to_string(generation)};
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (auto& a : argv) cargv.push_back(a.data());
+  cargv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv(cargv[0], cargv.data());
+    ::_exit(127);
+  }
+  return pid;
+}
+
+/// Polls the generation's admin socket until `health` answers ok.
+bool admin_wait_healthy(const std::string& path, double timeout_s) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string reply, err;
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+             .count() < timeout_s) {
+    if (ops::admin_request(path, ops::AdminCmd::Health, "", &reply, &err))
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+/// True when `stats` output contains the exact line `key=value`.
+bool stats_has(const std::string& stats, const std::string& line) {
+  return stats.find(line + "\n") != std::string::npos;
+}
+
+/// Waits for a child to exit; false when `timeout_s` lapses (the child
+/// is then killed) or it exited nonzero.
+bool reap(pid_t pid, double timeout_s) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (;;) {
+    int status = 0;
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (r < 0) return false;
+    if (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count() > timeout_s) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+/// Zero-downtime operations proof (see the file header). Returns false
+/// when any of the three gates fails.
+bool run_restart_bench(const std::string& self, int num_devices,
+                       std::size_t flush, double flush_ms,
+                       std::size_t requests, std::uint64_t seed,
+                       bool csv) {
+  const std::string tag = std::to_string(::getpid());
+  const std::string sock = "/tmp/tda_restart_" + tag + ".sock";
+  const std::string admin_base = "/tmp/tda_restart_adm_" + tag;
+  const std::string snapshot = "/tmp/tda_restart_" + tag + ".snap";
+  const std::string spec = "unix:" + sock;
+  ::unlink(snapshot.c_str());
+
+  std::cout << "Solve service — zero-downtime operations\n"
+            << "server generations as child processes on " << spec
+            << "; seed " << seed << ", " << requests
+            << " requests per client, " << num_devices << " device(s), "
+            << "snapshots every 25 ms\n\n";
+
+  std::vector<pid_t> children;
+  const auto cleanup = [&] {
+    for (const pid_t pid : children) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, WNOHANG);
+    }
+    ::unlink(sock.c_str());
+    ::unlink(snapshot.c_str());
+  };
+
+  const pid_t gen1 = spawn_restart_server(self, sock, admin_base, snapshot,
+                                          num_devices, flush, flush_ms, 1);
+  children.push_back(gen1);
+  if (!admin_wait_healthy(admin_path_for(admin_base, 1), 10.0)) {
+    std::cout << "[FAIL] generation 1 never became healthy\n";
+    cleanup();
+    return false;
+  }
+
+  // Warm the tuning cache so the phases run at steady-state speed.
+  (void)run_chaos_phase(spec, 1, 2 * std::size(kShapes), 2, 1, 0.0, true);
+
+  TextTable table("zero-downtime phases");
+  table.set_header({"phase", "ok", "errors", "lost", "retried",
+                    "reconnects", "resends", "wall_s"});
+  const auto add_row = [&](const char* name, const ChaosPhase& p) {
+    table.add_row({name, TextTable::num(static_cast<long long>(p.total.ok)),
+                   TextTable::num(static_cast<long long>(p.total.errors)),
+                   TextTable::num(static_cast<long long>(p.total.lost)),
+                   TextTable::num(static_cast<long long>(p.total.retried)),
+                   TextTable::num(static_cast<long long>(p.total.reconnects)),
+                   TextTable::num(static_cast<long long>(p.total.resends)),
+                   TextTable::num(p.total.wall_s, 2)});
+  };
+  std::string reply, err;
+
+  // Phase 1: live reload mid-traffic — no dropped connections.
+  auto clients = std::async(std::launch::async, [&] {
+    return run_chaos_phase(spec, 3, requests, 8, seed + 1, 0.0, true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const bool reload_sent = ops::admin_request(
+      admin_path_for(admin_base, 1), ops::AdminCmd::Reload,
+      "tenant=chaos\nrequests_per_sec=10000\nmax_inflight=4096\n", &reply,
+      &err);
+  bool reload_visible = false;
+  if (ops::admin_request(admin_path_for(admin_base, 1),
+                         ops::AdminCmd::Stats, "", &reply, &err)) {
+    reload_visible =
+        stats_has(reply, "tenant.chaos.requests_per_sec=10000") &&
+        stats_has(reply, "tenant.chaos.max_inflight=4096");
+  }
+  const auto reload = clients.get();
+  add_row("reload", reload);
+  const bool reload_ok = reload_sent && reload_visible &&
+                         reload.total.lost == 0 &&
+                         reload.total.residual_bad == 0 &&
+                         reload.total.reconnects == 0 &&
+                         reload.total.ok > 0;
+
+  // Phase 2: hot restart. Gen 1 forks gen 2, hands the listener over,
+  // drains, exits 0 — all while the clients keep sending. The phase
+  // runs 3x the normal request count because the old generation only
+  // starts draining once the freshly exec'd child acks, which takes
+  // ~500 ms when it competes with the traffic for CPU — the clients
+  // must still be mid-stream at that point for the switch to be
+  // exercised under load.
+  clients = std::async(std::launch::async, [&] {
+    return run_chaos_phase(spec, 3, 3 * requests, 8, seed + 2, 0.0, true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  pid_t gen2 = -1;
+  const auto t_phase = std::chrono::steady_clock::now();
+  bool handoff_sent = ops::admin_request(admin_path_for(admin_base, 1),
+                                         ops::AdminCmd::Handoff, "", &reply,
+                                         &err);
+  const double handoff_reply_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t_phase)
+          .count();
+  if (handoff_sent && reply.rfind("pid=", 0) == 0) {
+    gen2 = static_cast<pid_t>(std::stol(reply.substr(4)));
+  } else {
+    handoff_sent = false;
+    std::cout << "handoff failed: " << (err.empty() ? reply : err) << "\n";
+  }
+  const bool gen1_exited = handoff_sent && reap(gen1, 30.0);
+  const auto handoff = clients.get();
+  add_row("handoff", handoff);
+  bool gen2_stats_ok = false;
+  if (gen2 > 0 && admin_wait_healthy(admin_path_for(admin_base, 2), 10.0) &&
+      ops::admin_request(admin_path_for(admin_base, 2), ops::AdminCmd::Stats,
+                         "", &reply, &err)) {
+    gen2_stats_ok = stats_has(reply, "generation=2") &&
+                    stats_has(reply, "loaded_from_snapshot=1") &&
+                    stats_has(reply, "net.duplicate_executions=0");
+  }
+  // reconnects > 0 proves the switch happened under live traffic: the
+  // draining generation said Goodbye to clients that still had work,
+  // and they carried it to the new generation.
+  const bool handoff_ok = handoff_sent && gen1_exited &&
+                          handoff.total.lost == 0 &&
+                          handoff.total.residual_bad == 0 &&
+                          handoff.total.ok > 0 &&
+                          handoff.total.reconnects > 0 && gen2_stats_ok;
+  std::cout << "handoff subgates: sent=" << handoff_sent
+            << " gen1_exited=" << gen1_exited
+            << " reconnects=" << handoff.total.reconnects
+            << " gen2_stats=" << gen2_stats_ok
+            << " reply_ms=" << handoff_reply_ms
+            << " wall_s=" << handoff.total.wall_s << "\n";
+
+  // Phase 3: kill -9 mid-traffic, cold respawn from the snapshot. The
+  // clients' reconnect + byte-identical resend machinery carries the
+  // outage; the snapshot carries exactly-once across it.
+  clients = std::async(std::launch::async, [&] {
+    return run_chaos_phase(spec, 3, requests, 8, seed + 3, 0.0, true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  if (gen2 > 0) ::kill(gen2, SIGKILL);
+  const pid_t gen3 = spawn_restart_server(
+      self, sock, admin_base, snapshot, num_devices, flush, flush_ms, 3);
+  children.push_back(gen3);
+  const bool gen3_up = admin_wait_healthy(admin_path_for(admin_base, 3),
+                                          10.0);
+  const auto kill9 = clients.get();
+  add_row("kill9", kill9);
+  bool gen3_stats_ok = false;
+  if (gen3_up &&
+      ops::admin_request(admin_path_for(admin_base, 3), ops::AdminCmd::Stats,
+                         "", &reply, &err)) {
+    gen3_stats_ok = stats_has(reply, "generation=3") &&
+                    stats_has(reply, "loaded_from_snapshot=1") &&
+                    stats_has(reply, "net.duplicate_executions=0");
+  }
+  const bool kill9_ok = gen3_up && kill9.total.lost == 0 &&
+                        kill9.total.residual_bad == 0 &&
+                        kill9.total.ok > 0 &&
+                        kill9.total.reconnects > 0 && gen3_stats_ok;
+
+  // Orderly end: drain generation 3 and reap it.
+  (void)ops::admin_request(admin_path_for(admin_base, 3),
+                           ops::AdminCmd::Drain, "", &reply, &err);
+  const bool gen3_exited = reap(gen3, 30.0);
+
+  table.print(std::cout);
+  if (csv) {
+    std::cout << "\n";
+    table.print_csv(std::cout);
+  }
+
+  std::cout << "\nreload applied mid-traffic, visible in stats,\n"
+            << "  nothing lost, zero reconnects:                     "
+            << (reload_ok ? "yes  [OK]" : "NO  [FAIL]") << "\n"
+            << "hot restart: listener handed off, old generation\n"
+            << "  drained and exited 0, nothing lost, exactly-once:  "
+            << (handoff_ok ? "yes  [OK]" : "NO  [FAIL]") << "\n"
+            << "kill -9 + cold restart from snapshot: nothing lost,\n"
+            << "  every ack residual-verified, exactly-once:         "
+            << (kill9_ok ? "yes  [OK]" : "NO  [FAIL]") << "\n"
+            << "generation 3 drained on request:                     "
+            << (gen3_exited ? "yes  [OK]" : "NO  [FAIL]") << "\n";
+
+  cleanup();
+  return reload_ok && handoff_ok && kill9_ok && gen3_exited;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+
+  // Absolute path of this binary, so a forked generation can exec it
+  // regardless of the working directory it inherits.
+  std::string self = argv[0];
+  {
+    char resolved[PATH_MAX];
+    if (::realpath(argv[0], resolved) != nullptr) self = resolved;
+  }
+  if (cli.has("restart-server")) {
+    return run_restart_server(self, cli);
+  }
+  if (cli.has("restart")) {
+    return run_restart_bench(
+               self, static_cast<int>(cli.get_int("devices", 1)),
+               static_cast<std::size_t>(cli.get_int("flush", 64)),
+               cli.get_double("flush-ms", 2.0),
+               static_cast<std::size_t>(cli.get_int("restart-requests", 800)),
+               static_cast<std::uint64_t>(cli.get_int("restart-seed", 42)),
+               cli.has("csv"))
+               ? 0
+               : 1;
+  }
+
   const std::size_t systems =
       static_cast<std::size_t>(cli.get_int("systems", 1024));
   const int num_devices = static_cast<int>(cli.get_int("devices", 2));

@@ -3,6 +3,8 @@
 // through a multi-device SolveService with tracing + metrics enabled,
 // then prints what an operator would want on one screen:
 //
+//   * process identity (uptime, hot-restart generation, age of the
+//     last crash-safe ops snapshot, warm/cold start),
 //   * service counters and current queue depth,
 //   * per-worker health (breaker state, restarts, backlog, busy flag),
 //   * the always-on request-latency histograms, one row per
@@ -37,6 +39,7 @@
 #include "gpusim/thread_pool.hpp"
 #include "net/client.hpp"
 #include "net/front_door.hpp"
+#include "ops/server.hpp"
 #include "service/solve_service.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -107,9 +110,23 @@ int main(int argc, char** argv) {
     tc.weight = name == tenant_names[0] ? 2.0 : 1.0;
     door.add_tenant(tc);
   }
+  // --- the ops side: snapshot persistence, so the ops pane has real
+  // numbers (uptime, generation, age of the last crash-safe snapshot).
+  const std::string snap =
+      "/tmp/tda_top_" + std::to_string(::getpid()) + ".snap";
+  ops::OpsConfig ocfg;
+  ocfg.snapshot_path = snap;
+  ocfg.generation = static_cast<std::uint64_t>(cli.get_int("generation", 1));
+  ops::Server<double> ops_srv(svc, door, ocfg);
+  std::string ops_why;
+  (void)ops_srv.load(&ops_why);  // missing file = clean cold start
+
   std::string door_err;
   const bool door_up = door.start(&door_err);
   if (!door_up) std::cerr << "front door: " << door_err << "\n";
+  std::string ops_err;
+  const bool ops_up = ops_srv.start(&ops_err);
+  if (!ops_up) std::cerr << "ops server: " << ops_err << "\n";
 
   // --- the burst: mixed shapes, so several latency buckets fill ---
   const std::size_t shapes[] = {33, 64, 128, 200, 512};
@@ -155,11 +172,23 @@ int main(int argc, char** argv) {
   for (auto& th : threads) th.join();
 
   svc.publish_gauges();
+  std::string save_why;
+  const bool snapshot_ok = ops_srv.save_now(&save_why);
+  if (!snapshot_ok) std::cerr << "snapshot: " << save_why << "\n";
   const auto c = svc.counters();
   const auto& mx = svc.telemetry().metrics;
 
-  // --- pane 1: service counters + queue ---
+  // --- pane 1: process + service counters + queue ---
   std::cout << "tridiag_top — one-shot service snapshot\n\n";
+  std::cout << "process  : uptime "
+            << TextTable::num(ops_srv.uptime_s(), 2) << " s, generation "
+            << ocfg.generation << ", last snapshot "
+            << (ops_srv.snapshot_age_ms() >= 0.0
+                    ? TextTable::num(ops_srv.snapshot_age_ms(), 1) + " ms ago"
+                    : std::string("never"))
+            << (ops_srv.loaded_from_snapshot() ? " (warm start)"
+                                               : " (cold start)")
+            << "\n";
   std::cout << "requests : submitted " << c.submitted << ", completed "
             << c.completed << ", timed out " << c.timed_out << ", rejected "
             << c.rejected << ", shed " << c.shed << "\n";
@@ -260,12 +289,15 @@ int main(int argc, char** argv) {
   if (!trace_path.empty() && svc.export_trace(trace_path))
     std::cout << "trace -> " << trace_path << "\n";
 
+  ops_srv.shutdown();
   door.shutdown();
   svc.shutdown();
+  ::unlink(snap.c_str());
 
   const int expected = (clients + (door_up ? 2 : 0)) * requests;
   const bool ok = failed.load() == 0 && solved.load() == expected &&
-                  latency_rows > 0 && tenant_rows == 2;
+                  latency_rows > 0 && tenant_rows == 2 && ops_up &&
+                  snapshot_ok;
   std::cout << "\nsnapshot " << (ok ? "[OK]" : "[FAIL]") << "\n";
   return ok ? 0 : 1;
 }

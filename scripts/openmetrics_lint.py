@@ -3,6 +3,7 @@
 the TDA_METRICS_INTERVAL snapshot writer produce).
 
     openmetrics_lint.py FILE [--quiet] [--require-label=NAME ...]
+                        [--require-labeled-prefix=PREFIX ...]
 
 Checks, against the OpenMetrics 1.0 text format:
   * the exposition ends with exactly one `# EOF` line;
@@ -19,7 +20,12 @@ Checks, against the OpenMetrics 1.0 text format:
   * exemplars only appear on histogram buckets or counters;
   * each --require-label=NAME (repeatable) demands at least one sample
     carrying that label — CI uses --require-label=tenant to prove the
-    per-tenant observability plumbing survives export.
+    per-tenant observability plumbing survives export;
+  * each --require-labeled-prefix=PREFIX (repeatable) demands at least
+    one family whose name starts with PREFIX AND that every sample of
+    every such family carries at least one label — CI uses
+    --require-labeled-prefix=tda_ops_ to prove the ops-layer metrics
+    exist and all carry their {generation} label.
 
 Exit codes: 0 clean, 1 lint findings (all printed), 2 unreadable input.
 """
@@ -117,6 +123,10 @@ def main(argv):
         a.split("=", 1)[1] for a in argv[1:]
         if a.startswith("--require-label=") and "=" in a
     ]
+    required_prefixes = [
+        a.split("=", 1)[1] for a in argv[1:]
+        if a.startswith("--require-labeled-prefix=") and "=" in a
+    ]
     if len(args) != 1:
         print(__doc__.strip().splitlines()[2].strip())
         return 2
@@ -135,6 +145,7 @@ def main(argv):
     counts = {}
     samples = 0
     label_hits = {name: 0 for name in required_labels}
+    prefix_families = {p: 0 for p in required_prefixes}
     eof_seen = False
 
     lines = raw.split("\n")
@@ -164,6 +175,9 @@ def main(argv):
             if family in types:
                 err(f"duplicate TYPE for family {family!r}")
             types[family] = mtype
+            for prefix in required_prefixes:
+                if family.startswith(prefix):
+                    prefix_families[prefix] += 1
             continue
         if line.startswith("#"):
             # HELP/UNIT/comments: tolerated, not checked.
@@ -182,6 +196,10 @@ def main(argv):
         for want in required_labels:
             if labels.get(want):
                 label_hits[want] += 1
+        for prefix in required_prefixes:
+            if name.startswith(prefix) and not labels:
+                err(f"{name!r}: sample under required-labeled prefix "
+                    f'"{prefix}" carries no labels')
         try:
             value = parse_value(m.group("value"))
         except ValueError:
@@ -261,12 +279,19 @@ def main(argv):
             findings.append(
                 f'no sample carries required label "{want}"')
 
+    for prefix in required_prefixes:
+        if prefix_families[prefix] == 0:
+            findings.append(
+                f'no metric family starts with required prefix "{prefix}"')
+
     for line in findings:
         print(f"openmetrics_lint: {line}")
     if not findings and not quiet:
         extra = "".join(
             f', {label_hits[w]} samples labeled "{w}"'
-            for w in required_labels)
+            for w in required_labels) + "".join(
+            f', {prefix_families[p]} families under "{p}"'
+            for p in required_prefixes)
         print(f"openmetrics_lint: OK — {len(types)} families, "
               f"{samples} samples, {len(buckets)} histogram series{extra}")
     return 1 if findings else 0

@@ -42,7 +42,10 @@ bool Client::do_connect(std::string* err) {
   if (token_.empty()) return true;
 
   std::string hello;
-  encode_hello(hello, token_, kMaxVersion);
+  // The wall-clock stamp lets the server estimate this connection's
+  // clock skew and clamp implausible absolute deadlines
+  // (docs/OPERATIONS.md); a server predating it ignores the extra f64.
+  encode_hello(hello, token_, kMaxVersion, unix_now_ms());
   if (!send_bytes(hello, err)) return false;
   FrameType type{};
   std::uint64_t rid = 0;

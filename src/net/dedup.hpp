@@ -38,6 +38,7 @@ struct DedupStats {
   std::uint64_t evictions = 0;    ///< completed entries dropped (TTL or cap)
   std::uint64_t duplicate_executions = 0;  ///< executions of an already-
                                            ///< executed key (must stay 0)
+  std::uint64_t mismatches = 0;   ///< key reused for a different payload
   std::size_t bytes = 0;          ///< retained result bytes right now
   std::size_t entries = 0;        ///< live entries right now
 };
@@ -57,18 +58,29 @@ class DedupCache {
     Fresh,     ///< never seen; caller should execute (entry now in-flight)
     InFlight,  ///< original still executing; park as a waiter
     Completed, ///< result cached; replay it
+    Mismatch,  ///< key known but for a *different* payload — reject
   };
 
   explicit DedupCache(DedupConfig cfg = {}) : cfg_(cfg) {}
 
   /// Looks up (tenant, key) and inserts an in-flight entry on a miss.
-  State begin(std::uint64_t tenant_id, std::uint64_t key, double now_ms) {
+  /// `payload_hash` fingerprints the request bytes: a resend must be
+  /// byte-identical to its original, so a known key whose stored hash
+  /// differs returns Mismatch (the front door answers KeyReuse) — a
+  /// client bug must not be laundered into a silent wrong replay.
+  State begin(std::uint64_t tenant_id, std::uint64_t key,
+              std::uint64_t payload_hash, double now_ms) {
     sweep(now_ms);
     auto [it, inserted] = entries_.try_emplace(Key{tenant_id, key});
     if (inserted) {
       ++stats_.inserts;
+      it->second.payload_hash = payload_hash;
       stats_.entries = entries_.size();
       return State::Fresh;
+    }
+    if (it->second.payload_hash != payload_hash) {
+      ++stats_.mismatches;
+      return State::Mismatch;
     }
     if (it->second.completed) {
       ++stats_.hits;
@@ -165,6 +177,39 @@ class DedupCache {
     stats_.entries = entries_.size();
   }
 
+  /// Visits every completed entry (snapshot export). `fn` receives
+  /// (tenant_id, key, payload_hash, resp, bytes). Iteration order is
+  /// unspecified; the snapshot writer sorts.
+  template <typename Fn>
+  void for_each_completed(Fn&& fn) const {
+    for (const auto& [k, e] : entries_) {
+      if (e.completed) fn(k.tenant_id, k.key, e.payload_hash, e.resp,
+                          e.bytes);
+    }
+  }
+
+  /// Inserts a completed entry wholesale (snapshot import on restart).
+  /// The entry behaves exactly like one that completed at `now_ms`:
+  /// executions counts 1 so a post-restart re-execution of the key
+  /// would tally as a duplicate. Existing keys are left untouched.
+  void seed_completed(std::uint64_t tenant_id, std::uint64_t key,
+                      std::uint64_t payload_hash, Resp resp,
+                      std::size_t bytes, double now_ms) {
+    auto [it, inserted] = entries_.try_emplace(Key{tenant_id, key});
+    if (!inserted) return;
+    Entry& e = it->second;
+    e.resp = std::move(resp);
+    e.payload_hash = payload_hash;
+    e.bytes = bytes;
+    e.executions = 1;
+    e.completed = true;
+    e.completed_at_ms = now_ms;
+    stats_.bytes += bytes;
+    stats_.entries = entries_.size();
+    fifo_.push_back(it->first);
+    shrink_to_caps();
+  }
+
   const DedupStats& stats() const { return stats_; }
   const DedupConfig& config() const { return cfg_; }
 
@@ -191,6 +236,7 @@ class DedupCache {
     std::vector<Waiter> waiters;
     std::size_t bytes = 0;
     std::uint64_t executions = 0;
+    std::uint64_t payload_hash = 0;
     double completed_at_ms = 0.0;
     bool completed = false;
   };

@@ -68,6 +68,7 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -80,6 +81,7 @@
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
 #include "net/tenant.hpp"
+#include "ops/state.hpp"
 #include "service/solve_service.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -129,6 +131,24 @@ struct FrontDoorConfig {
   bool aimd_enabled = true;
   double aimd_min = 1.0;      ///< window floor (requests)
   double aimd_backoff = 0.7;  ///< multiplicative decrease factor
+
+  /// Clock-skew guard (docs/OPERATIONS.md): a Hello that carries the
+  /// client's wall clock yields a per-connection skew estimate
+  /// (arrival time minus client stamp, so it overestimates by one-way
+  /// latency — the threshold absorbs that). When |skew| exceeds this,
+  /// the connection's *absolute* v2 deadlines are untrusted and
+  /// replaced with the tenant's default budget instead of rejecting
+  /// everything as expired (or accepting everything forever).
+  /// <= 0 disables the clamp.
+  double max_clock_skew_ms = 2000.0;
+
+  /// Listener fds inherited from a previous server generation over the
+  /// hot-restart handoff socket (docs/OPERATIONS.md). >= 0 adopts the
+  /// fd instead of binding `tcp` / `unix_path` — both generations then
+  /// share one kernel accept queue, so no connect is ever refused
+  /// during the switchover.
+  int inherited_tcp_fd = -1;
+  int inherited_unix_fd = -1;
 };
 
 /// Monotonic counters of the front door (snapshot via counters()).
@@ -157,6 +177,9 @@ struct FrontDoorCounters {
   std::uint64_t deadline_expired_queued = 0;   ///< expired in a lane
   std::uint64_t shed_codel = 0;       ///< queue-age sheds
   std::uint64_t aimd_throttles = 0;   ///< pump passes blocked by a window
+  std::uint64_t key_reuse = 0;        ///< idem key reused, different payload
+  std::uint64_t deadline_skew_clamped = 0;  ///< absolute deadlines replaced
+                                            ///< on skewed connections
 };
 
 template <typename T>
@@ -185,11 +208,18 @@ class FrontDoor {
   /// set) when no listener could be opened.
   bool start(std::string* err) {
     if (running_) return true;
-    if (cfg_.tcp.empty() && cfg_.unix_path.empty()) {
+    if (cfg_.tcp.empty() && cfg_.unix_path.empty() &&
+        cfg_.inherited_tcp_fd < 0 && cfg_.inherited_unix_fd < 0) {
       if (err != nullptr) *err = "front door has no listener configured";
       return false;
     }
-    if (!cfg_.tcp.empty()) {
+    if (cfg_.inherited_tcp_fd >= 0) {
+      // Hot restart: adopt the previous generation's listener instead
+      // of binding — both generations then accept from one queue.
+      tcp_listener_ = Fd(cfg_.inherited_tcp_fd);
+      tcp_port_ = bound_port(tcp_listener_.get());
+      set_nonblocking(tcp_listener_.get());
+    } else if (!cfg_.tcp.empty()) {
       const auto ep = parse_endpoint(cfg_.tcp);
       if (!ep || ep->is_unix) {
         if (err != nullptr) *err = "bad tcp listen spec: " + cfg_.tcp;
@@ -200,7 +230,13 @@ class FrontDoor {
       tcp_port_ = bound_port(tcp_listener_.get());
       set_nonblocking(tcp_listener_.get());
     }
-    if (!cfg_.unix_path.empty()) {
+    if (cfg_.inherited_unix_fd >= 0) {
+      // Adopting means *not* re-binding cfg_.unix_path — the path on
+      // disk already names this very socket; unlinking it here (as
+      // listen_endpoint would) would cut off the shared accept queue.
+      unix_listener_ = Fd(cfg_.inherited_unix_fd);
+      set_nonblocking(unix_listener_.get());
+    } else if (!cfg_.unix_path.empty()) {
       Endpoint ep;
       ep.is_unix = true;
       ep.path = cfg_.unix_path;
@@ -226,7 +262,11 @@ class FrontDoor {
     wake_wr_ = Fd(fds[1]);
     set_nonblocking(wake_rd_.get());
     set_nonblocking(wake_wr_.get());
-    running_ = true;
+    {
+      // post() reads running_ under tasks_mu_ from the admin thread.
+      std::lock_guard lk(tasks_mu_);
+      running_ = true;
+    }
     thread_ = std::thread([this] { loop(); });
     return true;
   }
@@ -248,12 +288,20 @@ class FrontDoor {
     if (!running_) return;
     begin_drain();
     if (thread_.joinable()) thread_.join();
-    running_ = false;
+    {
+      std::lock_guard lk(tasks_mu_);
+      running_ = false;
+    }
+    // Tasks that slipped in after the loop exited still get answered —
+    // a promise parked on one must never deadlock a clean shutdown.
+    run_tasks();
     tcp_listener_.reset();
     unix_listener_.reset();
     wake_rd_.reset();
     wake_wr_.reset();
-    if (!cfg_.unix_path.empty()) ::unlink(cfg_.unix_path.c_str());
+    if (!cfg_.unix_path.empty() && unlink_on_shutdown_) {
+      ::unlink(cfg_.unix_path.c_str());
+    }
   }
 
   [[nodiscard]] FrontDoorCounters counters() const {
@@ -266,6 +314,166 @@ class FrontDoor {
     return service_inflight_.load(std::memory_order_relaxed);
   }
 
+  // --- zero-downtime operations surface (src/ops, docs/OPERATIONS.md) ---
+
+  /// Runs `fn` on the poll thread at its next iteration. This is the
+  /// only way code off the poll thread may touch poll-thread-owned
+  /// state (dedup cache, lanes, AIMD windows, connections): the admin
+  /// socket and the snapshot writer both funnel through here. Tasks
+  /// posted after shutdown() has joined the thread run inline on the
+  /// caller (the poll thread is gone, so there is nothing to race).
+  void post(std::function<void()> fn) {
+    bool inline_run = false;
+    {
+      std::lock_guard lk(tasks_mu_);
+      if (running_) {
+        tasks_.push_back(std::move(fn));
+      } else {
+        inline_run = true;  // no poll thread, so nothing to race
+      }
+    }
+    if (inline_run) {
+      fn();
+      return;
+    }
+    wake();
+  }
+
+  /// Copies everything restart-persistent into `out`: tenant registry
+  /// rows (config + usage + AIMD window) and the completed dedup
+  /// entries with their payload hashes. Poll-thread state is read
+  /// directly, so call this *on* the poll thread (via post()) while
+  /// running, or from the owning thread after shutdown.
+  void export_state(ops::ServerState& out) {
+    out.tenants.clear();
+    out.entries.clear();
+    for (const auto& row : tenants_.configs()) {
+      ops::TenantState ts;
+      ts.name = row.cfg.name;
+      ts.token = row.cfg.token;
+      ts.weight = row.cfg.weight;
+      ts.max_inflight = row.cfg.max_inflight;
+      ts.max_inflight_bytes = row.cfg.max_inflight_bytes;
+      ts.requests_per_sec = row.cfg.requests_per_sec;
+      ts.burst = row.cfg.burst;
+      ts.default_deadline_ms = row.cfg.default_deadline_ms;
+      ts.disabled = row.disabled;
+      ts.admitted = row.admitted;
+      ts.rejected = row.rejected;
+      Tenant* t = tenants_.find(row.cfg.name);
+      if (t != nullptr) ts.aimd_limit = t->aimd_limit;
+      out.tenants.push_back(std::move(ts));
+    }
+    // Dedup keys are scoped by Tenant* — map each back to its name so
+    // the next generation (different addresses) can re-scope them.
+    std::map<std::uint64_t, std::string> names;
+    for (const auto& ts : out.tenants) {
+      names[tenant_id(tenants_.find(ts.name))] = ts.name;
+    }
+    dedup_.for_each_completed([&](std::uint64_t tid, std::uint64_t key,
+                                  std::uint64_t payload_hash,
+                                  const service::SolveResponse<T>& resp,
+                                  std::size_t /*bytes*/) {
+      auto it = names.find(tid);
+      if (it == names.end()) return;  // anon or dead-tenant entry
+      ops::DedupEntryState e;
+      e.tenant = it->second;
+      e.key = key;
+      e.payload_hash = payload_hash;
+      e.status = static_cast<int>(resp.status);
+      e.error = resp.error;
+      e.device = resp.device;
+      e.x.assign(resp.x.begin(), resp.x.end());
+      e.solve_ms = resp.solve_ms;
+      e.wait_ms = resp.wait_ms;
+      e.batch_systems = resp.batch_systems;
+      e.retries = resp.retries;
+      e.chunks = resp.chunks;
+      e.fallback_used = resp.fallback_used;
+      out.entries.push_back(std::move(e));
+    });
+    const DedupStats& s = dedup_.stats();
+    out.dedup_stats.inserts = s.inserts;
+    out.dedup_stats.hits = s.hits;
+    out.dedup_stats.joins = s.joins;
+    out.dedup_stats.evictions = s.evictions;
+    out.dedup_stats.duplicate_executions = s.duplicate_executions;
+  }
+
+  /// Rebuilds live state from a snapshot: tenants are added or updated
+  /// in place (never removed — pointers must stay stable), AIMD windows
+  /// restored, and completed dedup entries seeded so a byte-identical
+  /// resend of pre-restart work replays instead of re-executing. Call
+  /// before start() — it touches poll-thread state without the thread.
+  void import_state(const ops::ServerState& st) {
+    for (const auto& ts : st.tenants) {
+      TenantConfig cfg;
+      cfg.name = ts.name;
+      cfg.token = ts.token;
+      cfg.weight = ts.weight;
+      cfg.max_inflight = ts.max_inflight;
+      cfg.max_inflight_bytes = ts.max_inflight_bytes;
+      cfg.requests_per_sec = ts.requests_per_sec;
+      cfg.burst = ts.burst;
+      cfg.default_deadline_ms = ts.default_deadline_ms;
+      if (tenants_.find(ts.name) == nullptr) {
+        tenants_.add(cfg);
+      } else {
+        tenants_.update(ts.name, cfg);
+      }
+      tenants_.disable(ts.name, ts.disabled);
+      Tenant* t = tenants_.find(ts.name);
+      if (t != nullptr) {
+        t->aimd_limit = ts.aimd_limit;
+        t->admitted = ts.admitted;
+        t->rejected = ts.rejected;
+      }
+    }
+    for (const auto& e : st.entries) {
+      Tenant* t = tenants_.find(e.tenant);
+      if (t == nullptr) continue;
+      service::SolveResponse<T> resp;
+      resp.status = static_cast<service::SolveStatus>(e.status);
+      resp.error = e.error;
+      resp.device = e.device;
+      resp.x.assign(e.x.begin(), e.x.end());
+      resp.solve_ms = e.solve_ms;
+      resp.wait_ms = e.wait_ms;
+      resp.batch_systems = e.batch_systems;
+      resp.retries = e.retries;
+      resp.chunks = e.chunks;
+      resp.fallback_used = e.fallback_used;
+      const std::size_t bytes = resp.x.size() * sizeof(T) + 128;
+      dedup_.seed_completed(tenant_id(t), e.key, e.payload_hash,
+                            std::move(resp), bytes, mono_ms());
+    }
+    sync_dedup_counters();
+  }
+
+  /// Raw listener fds, for SCM_RIGHTS handoff to the next generation
+  /// (sendmsg duplicates them into the receiver, so this generation
+  /// keeps accepting until its own drain closes its copies). -1 = no
+  /// such listener.
+  [[nodiscard]] int tcp_listener_fd() const { return tcp_listener_.get(); }
+  [[nodiscard]] int unix_listener_fd() const {
+    return unix_listener_.get();
+  }
+
+  /// After a handoff the unix socket path belongs to the *next*
+  /// generation — this generation's shutdown must not unlink it out
+  /// from under the shared listener.
+  void suppress_unlink() { unlink_on_shutdown_ = false; }
+
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  /// Live-tunable knobs (CoDel target/interval, AIMD floor/backoff,
+  /// clock-skew threshold...). The poll thread reads cfg_ locklessly,
+  /// so mutate ONLY from the poll thread — i.e. inside a post()ed
+  /// closure. Listener/path fields must not change after start().
+  [[nodiscard]] FrontDoorConfig& config_mutable() { return cfg_; }
+
  private:
   struct Conn {
     Fd fd;
@@ -275,6 +483,8 @@ class FrontDoor {
     TimePoint last_rx{};
     std::size_t inflight = 0;  ///< admitted requests not yet answered
     std::uint16_t wire_version = kVersion;  ///< negotiated via Hello
+    double skew_ms = 0.0;      ///< server clock minus client clock (est.)
+    bool skew_known = false;   ///< Hello carried a client timestamp
     bool paused = false;       ///< POLLIN off (write-buffer high water)
     bool closing = false;      ///< flush wbuf, then close
   };
@@ -310,6 +520,17 @@ class FrontDoor {
       const char b = 1;
       (void)::write(wake_wr_.get(), &b, 1);
     }
+  }
+
+  /// Executes every posted closure. Runs on the poll thread while it
+  /// lives; shutdown() calls it once more after the join for stragglers.
+  void run_tasks() {
+    std::vector<std::function<void()>> batch;
+    {
+      std::lock_guard lk(tasks_mu_);
+      batch.swap(tasks_);
+    }
+    for (auto& fn : batch) fn();
   }
 
   [[nodiscard]] double now_s() const {
@@ -440,8 +661,15 @@ class FrontDoor {
     }
     conn.tenant = t;
     conn.wire_version = negotiate_version(hello->advertised_version);
+    if (hello->has_timestamp) {
+      // Arrival minus the client's send stamp = clock skew plus one-way
+      // network delay; the clamp threshold is orders of magnitude above
+      // sane RTTs, so the delay term is noise.
+      conn.skew_ms = unix_now_ms() - hello->client_unix_ms;
+      conn.skew_known = true;
+    }
     std::string out;
-    encode_hello_ok(out, t->cfg.name, conn.wire_version);
+    encode_hello_ok(out, t->cfg.name, conn.wire_version, unix_now_ms());
     send_frame(conn, std::move(out));
   }
 
@@ -488,6 +716,7 @@ class FrontDoor {
     counters_.dedup_joins = s.joins;
     counters_.dedup_evictions = s.evictions;
     counters_.duplicate_executions = s.duplicate_executions;
+    counters_.key_reuse = s.mismatches;
   }
 
   void handle_solve(Conn& conn, const FrameView& frame) {
@@ -519,6 +748,23 @@ class FrontDoor {
       return;
     }
 
+    // Clock-skew guard: a connection whose Hello stamp put its clock
+    // more than max_clock_skew_ms from ours cannot be trusted to mint
+    // absolute deadlines — an hour-slow client would have every request
+    // "expire" on arrival, an hour-fast one would never expire. Its
+    // absolute deadline is discarded so the tenant's default relative
+    // budget applies below (relative budgets don't care about skew).
+    if (cfg_.max_clock_skew_ms > 0.0 && conn.skew_known &&
+        solve->deadline_unix_ms > 0.0 &&
+        std::abs(conn.skew_ms) > cfg_.max_clock_skew_ms) {
+      solve->deadline_unix_ms = 0.0;
+      count(&FrontDoorCounters::deadline_skew_clamped);
+      if (metrics().enabled()) {
+        metrics().add(telemetry::labeled(
+            "net.deadline_skew_clamped", {{"tenant", tenant->cfg.name}}));
+      }
+    }
+
     // Fold every deadline form into one absolute unix-epoch instant:
     // v2 frames carry it directly, v1 budgets are anchored at arrival,
     // and a frame with no deadline inherits the tenant's default.
@@ -537,7 +783,19 @@ class FrontDoor {
     if (solve->idem_key != 0) {
       using State =
           typename DedupCache<service::SolveResponse<T>>::State;
-      const State state = dedup_.begin(tid, solve->idem_key, mono_ms());
+      // The payload fingerprint rides the dedup entry (and the ops
+      // snapshot): a resend must be byte-identical to its original, so
+      // a reused key with a different payload is a client bug answered
+      // with KeyReuse, never a silent wrong replay.
+      const std::uint64_t payload_hash = fnv1a64(frame.payload);
+      const State state =
+          dedup_.begin(tid, solve->idem_key, payload_hash, mono_ms());
+      if (state == State::Mismatch) {
+        sync_dedup_counters();
+        reject(conn, frame.request_id, ErrorCode::KeyReuse,
+               "idempotency key reused for a different payload");
+        return;
+      }
       if (state == State::Completed) {
         const auto* cached = dedup_.lookup(tid, solve->idem_key);
         sync_dedup_counters();
@@ -1033,6 +1291,7 @@ class FrontDoor {
         unix_listener_.reset();
       }
 
+      run_tasks();
       drain_done();
       pump();
 
@@ -1147,6 +1406,11 @@ class FrontDoor {
   std::atomic<std::size_t> service_inflight_{0};
   std::mutex done_mu_;
   std::vector<Done> done_;
+
+  // --- ops surface (admin / snapshot threads -> poll thread) ---
+  std::mutex tasks_mu_;
+  std::vector<std::function<void()>> tasks_;
+  bool unlink_on_shutdown_ = true;  ///< false after a listener handoff
 
   mutable std::mutex counters_mu_;
   FrontDoorCounters counters_;

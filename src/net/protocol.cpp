@@ -135,6 +135,7 @@ const char* to_string(ErrorCode c) {
     case ErrorCode::NonFinite: return "nonfinite";
     case ErrorCode::Internal: return "internal";
     case ErrorCode::DeadlineExpired: return "deadline_expired";
+    case ErrorCode::KeyReuse: return "key_reuse";
   }
   return "?";
 }
@@ -150,6 +151,15 @@ std::uint32_t fnv1a32(std::string_view bytes, std::uint32_t state) {
     state *= 0x01000193u;
   }
   return state;
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 DecodeResult decode_frame(std::string_view buf, std::size_t max_payload) {
@@ -214,20 +224,24 @@ DecodeResult decode_frame(std::string_view buf, std::size_t max_payload) {
 }
 
 void encode_hello(std::string& out, std::string_view token,
-                  std::uint16_t advertised_version) {
+                  std::uint16_t advertised_version,
+                  double client_unix_ms) {
   std::string payload;
   put_u16(payload, static_cast<std::uint16_t>(token.size()));
   put_u16(payload, advertised_version);
   payload.append(token);
+  if (client_unix_ms != 0.0) put_f64(payload, client_unix_ms);
   append_frame(out, FrameType::Hello, 0, payload);
 }
 
 void encode_hello_ok(std::string& out, std::string_view tenant,
-                     std::uint16_t negotiated_version) {
+                     std::uint16_t negotiated_version,
+                     double server_unix_ms) {
   std::string payload;
   put_u16(payload, static_cast<std::uint16_t>(tenant.size()));
   put_u16(payload, negotiated_version);
   payload.append(tenant);
+  if (server_unix_ms != 0.0) put_f64(payload, server_unix_ms);
   append_frame(out, FrameType::HelloOk, 0, payload);
 }
 
@@ -306,20 +320,32 @@ void encode_solve_ok(std::string& out, std::uint64_t request_id,
 std::optional<HelloFrame> parse_hello(std::string_view payload) {
   if (payload.size() < 4) return std::nullopt;
   const std::size_t len = get_u16(payload, 0);
-  if (payload.size() != 4 + len) return std::nullopt;
+  // Exactly the base shape, or base + the optional trailing f64
+  // timestamp; anything else is malformed.
+  if (payload.size() != 4 + len && payload.size() != 4 + len + 8)
+    return std::nullopt;
   HelloFrame f;
   f.advertised_version = get_u16(payload, 2);
   f.token.assign(payload.substr(4, len));
+  if (payload.size() == 4 + len + 8) {
+    f.client_unix_ms = get_f64(payload, 4 + len);
+    f.has_timestamp = true;
+  }
   return f;
 }
 
 std::optional<HelloOkFrame> parse_hello_ok(std::string_view payload) {
   if (payload.size() < 4) return std::nullopt;
   const std::size_t len = get_u16(payload, 0);
-  if (payload.size() != 4 + len) return std::nullopt;
+  if (payload.size() != 4 + len && payload.size() != 4 + len + 8)
+    return std::nullopt;
   HelloOkFrame f;
   f.negotiated_version = get_u16(payload, 2);
   f.tenant.assign(payload.substr(4, len));
+  if (payload.size() == 4 + len + 8) {
+    f.server_unix_ms = get_f64(payload, 4 + len);
+    f.has_timestamp = true;
+  }
   return f;
 }
 

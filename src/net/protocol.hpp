@@ -91,6 +91,7 @@ enum class ErrorCode : std::uint16_t {
   NonFinite = 15,    ///< system carried NaN/Inf coefficients
   Internal = 16,     ///< anything else
   DeadlineExpired = 17,  ///< absolute deadline already lapsed on arrival
+  KeyReuse = 18,     ///< idempotency key reused for a different payload
 };
 
 /// Version the server agrees to speak given a Hello advertisement.
@@ -114,6 +115,12 @@ const char* to_string(ErrorCode c);
 /// basis for a fresh hash). Exposed for tests.
 std::uint32_t fnv1a32(std::string_view bytes,
                       std::uint32_t state = 0x811C9DC5u);
+
+/// FNV-1a-64 of `bytes` — the payload fingerprint stored per
+/// idempotency key, so a key reused for a *different* system is
+/// rejected (ErrorCode::KeyReuse) instead of silently replayed, and the
+/// fingerprint survives a restart inside the ops snapshot.
+std::uint64_t fnv1a64(std::string_view bytes);
 
 /// One decoded frame: a non-owning view into the receive buffer.
 struct FrameView {
@@ -149,12 +156,22 @@ struct HelloFrame {
   /// Highest protocol version the client speaks; 0 = legacy v1 client
   /// that predates negotiation.
   std::uint16_t advertised_version = 0;
+  /// Client wall clock (unix ms) when the Hello was sent; rides an
+  /// optional trailing f64 so legacy frames (without it) still parse.
+  /// 0 / absent = client did not stamp one.
+  double client_unix_ms = 0.0;
+  bool has_timestamp = false;
 };
 
 struct HelloOkFrame {
   std::string tenant;
   /// Version the server agreed to; 0 = legacy v1 server.
   std::uint16_t negotiated_version = 0;
+  /// Server wall clock (unix ms) when the HelloOk was sent — same
+  /// optional trailing f64 as HelloFrame, letting the client estimate
+  /// the clock offset from its own send/receive times.
+  double server_unix_ms = 0.0;
+  bool has_timestamp = false;
 };
 
 /// Solve payload, v1: u8 dtype_size, u8+u16 reserved, u32 n,
@@ -194,10 +211,15 @@ struct SolveErrFrame {
 
 // --- encoders (append a complete frame to `out`) ------------------------
 
+/// `client_unix_ms` != 0 appends the optional timestamp (see
+/// HelloFrame) that lets the server estimate this connection's clock
+/// skew and clamp implausible absolute deadlines.
 void encode_hello(std::string& out, std::string_view token,
-                  std::uint16_t advertised_version = kMaxVersion);
+                  std::uint16_t advertised_version = kMaxVersion,
+                  double client_unix_ms = 0.0);
 void encode_hello_ok(std::string& out, std::string_view tenant,
-                     std::uint16_t negotiated_version = 0);
+                     std::uint16_t negotiated_version = 0,
+                     double server_unix_ms = 0.0);
 void encode_goodbye(std::string& out);
 void encode_solve_err(std::string& out, std::uint64_t request_id,
                       ErrorCode code, std::string_view message,

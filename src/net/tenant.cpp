@@ -28,7 +28,7 @@ void TenantRegistry::add(TenantConfig cfg) {
 Tenant* TenantRegistry::authenticate(const std::string& token) {
   std::lock_guard lk(mu_);
   for (auto& t : tenants_) {
-    if (t->cfg.token == token) return t.get();
+    if (!t->disabled && t->cfg.token == token) return t.get();
   }
   return nullptr;
 }
@@ -38,6 +38,10 @@ Admission TenantRegistry::admit(Tenant& t, std::size_t systems,
   std::lock_guard lk(mu_);
   // Check every quota before charging any: an all-or-nothing verdict
   // keeps partial charges from leaking when the last check fails.
+  if (t.disabled) {
+    ++t.rejected;
+    return Admission::QuotaRate;
+  }
   if (t.cfg.max_inflight > 0 &&
       t.inflight_systems + systems > t.cfg.max_inflight) {
     ++t.rejected;
@@ -82,6 +86,58 @@ std::vector<TenantRegistry::Usage> TenantRegistry::usage() const {
 std::size_t TenantRegistry::size() const {
   std::lock_guard lk(mu_);
   return tenants_.size();
+}
+
+Tenant* TenantRegistry::find(const std::string& name) {
+  std::lock_guard lk(mu_);
+  for (auto& t : tenants_) {
+    if (t->cfg.name == name) return t.get();
+  }
+  return nullptr;
+}
+
+bool TenantRegistry::update(const std::string& name,
+                            const TenantConfig& cfg) {
+  std::lock_guard lk(mu_);
+  for (auto& t : tenants_) {
+    if (t->cfg.name != name) continue;
+    TenantConfig next = cfg;
+    next.name = name;  // the name is the identity; it never changes
+    if (next.weight < 0.01) next.weight = 0.01;
+    if (next.burst <= 0.0) {
+      next.burst = next.requests_per_sec > 4.0
+                       ? next.requests_per_sec / 4.0
+                       : 1.0;
+    }
+    const bool rate_changed =
+        next.requests_per_sec != t->cfg.requests_per_sec ||
+        next.burst != t->cfg.burst;
+    t->cfg = std::move(next);
+    if (rate_changed)
+      t->bucket = TokenBucket(t->cfg.requests_per_sec, t->cfg.burst);
+    return true;
+  }
+  return false;
+}
+
+bool TenantRegistry::disable(const std::string& name, bool disabled) {
+  std::lock_guard lk(mu_);
+  for (auto& t : tenants_) {
+    if (t->cfg.name != name) continue;
+    t->disabled = disabled;
+    return true;
+  }
+  return false;
+}
+
+std::vector<TenantRegistry::ConfigRow> TenantRegistry::configs() const {
+  std::lock_guard lk(mu_);
+  std::vector<ConfigRow> out;
+  out.reserve(tenants_.size());
+  for (const auto& t : tenants_) {
+    out.push_back(ConfigRow{t->cfg, t->disabled, t->admitted, t->rejected});
+  }
+  return out;
 }
 
 }  // namespace tda::net

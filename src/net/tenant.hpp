@@ -104,6 +104,10 @@ struct Tenant {
   std::size_t inflight_bytes = 0;
   std::uint64_t admitted = 0;
   std::uint64_t rejected = 0;
+  /// Removal tombstone: a disabled tenant fails authenticate() and
+  /// admit() but its Tenant* stays valid — lane entries and connections
+  /// hold the pointer, so removal must never free it.
+  bool disabled = false;
 
   // --- DRR lane state (poll-thread-owned, not under the mutex) ---
   double deficit = 0.0;
@@ -155,6 +159,33 @@ class TenantRegistry {
   [[nodiscard]] std::vector<Usage> usage() const;
 
   [[nodiscard]] std::size_t size() const;
+
+  // --- live-reconfiguration surface (ops admin socket / snapshots) ---
+
+  /// Name -> tenant; nullptr when unknown. Same pointer-stability
+  /// contract as authenticate().
+  [[nodiscard]] Tenant* find(const std::string& name);
+
+  /// Updates an existing tenant's config in place — quotas, token,
+  /// weight, default deadline — rebuilding the token bucket when the
+  /// rate/burst changed. Live usage counters and the Tenant* survive.
+  /// False when no tenant has that name.
+  bool update(const std::string& name, const TenantConfig& cfg);
+
+  /// Tombstones a tenant: authenticate() stops matching it and admit()
+  /// rejects, but queued/in-flight work and the pointer stay valid.
+  /// False when unknown. enable() reverses it.
+  bool disable(const std::string& name, bool disabled = true);
+
+  /// Copies of every tenant's config plus its disabled flag and usage
+  /// counters — what the ops snapshot persists.
+  struct ConfigRow {
+    TenantConfig cfg;
+    bool disabled = false;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+  };
+  [[nodiscard]] std::vector<ConfigRow> configs() const;
 
  private:
   mutable std::mutex mu_;

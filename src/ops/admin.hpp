@@ -1,0 +1,95 @@
+#pragma once
+// The operations control plane: a unix-domain admin socket speaking
+// tiny v1 framed commands — health, ready, stats, reload, drain,
+// snapshot, handoff. Framing mirrors the data-plane protocol (magic +
+// version + command + length + FNV-1a-32 checksum) but with its own
+// magic ("TDAO"), so a data-plane client that dials the admin socket by
+// mistake is rejected at the first header. Payloads are plain text:
+// key=value lines in, key=value lines (or an error message) out —
+// greppable from a shell via tridiag_cli or socat, parseable by the
+// restart bench. docs/OPERATIONS.md documents every command.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "net/socket.hpp"
+
+namespace tda::ops {
+
+inline constexpr std::uint32_t kAdminMagic = 0x4F414454;  // "TDAO"
+inline constexpr std::uint16_t kAdminVersion = 1;
+inline constexpr std::size_t kAdminHeaderSize = 16;
+inline constexpr std::size_t kAdminMaxPayload = 1u << 20;
+
+enum class AdminCmd : std::uint16_t {
+  // requests
+  Health = 1,    ///< liveness; replies "ok"
+  Ready = 2,     ///< accepting traffic? "ready=1" / "ready=0" (draining)
+  Stats = 3,     ///< key=value dump: counters, tenants, generation, ...
+  Reload = 4,    ///< apply key=value config changes without a restart
+  Drain = 5,     ///< stop accepting, finish in-flight, snapshot, exit
+  Handoff = 6,   ///< fork/exec the next generation, pass the listeners
+  Snapshot = 7,  ///< write a state snapshot now
+  // replies
+  Ok = 100,
+  Err = 101,
+};
+
+const char* to_string(AdminCmd c);
+
+struct AdminFrame {
+  AdminCmd cmd = AdminCmd::Err;
+  std::string payload;
+};
+
+/// Appends one framed command/reply to `out`.
+void encode_admin(std::string& out, AdminCmd cmd,
+                  const std::string& payload);
+
+/// Blocking read of exactly one frame from `fd`. False on EOF, a
+/// malformed header, a checksum mismatch, or an oversized payload.
+bool read_admin_frame(int fd, AdminFrame* out, std::string* err);
+
+/// One-shot client: connect to the admin socket at `path`, send `cmd`,
+/// wait for the reply. Returns true iff the server answered Ok;
+/// `reply` gets the reply payload either way (Err text on failure).
+bool admin_request(const std::string& path, AdminCmd cmd,
+                   const std::string& payload, std::string* reply,
+                   std::string* err);
+
+/// Serves the admin socket on its own thread, one command per
+/// connection, handled sequentially. The handler returns {ok, payload};
+/// it runs on the admin thread, so anything touching poll-thread state
+/// must go through FrontDoor::post.
+class AdminServer {
+ public:
+  using Handler =
+      std::function<std::pair<bool, std::string>(AdminCmd,
+                                                 const std::string&)>;
+
+  AdminServer() = default;
+  ~AdminServer() { stop(); }
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  bool start(const std::string& path, Handler handler, std::string* err);
+  void stop();
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+
+  net::Fd listener_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  Handler handler_;
+  std::string path_;
+};
+
+}  // namespace tda::ops

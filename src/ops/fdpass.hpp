@@ -1,0 +1,24 @@
+#pragma once
+// SCM_RIGHTS file-descriptor passing over a unix-domain socket — the
+// hot-restart handoff primitive: the old server generation sends its
+// listening sockets (plus a one-byte tag) down the socketpair it shares
+// with the generation it forked, so the new process accepts on the
+// very same sockets and no client connection attempt ever sees
+// ECONNREFUSED during the switch.
+
+#include <cstddef>
+#include <vector>
+
+namespace tda::ops {
+
+/// Sends `fds` plus the single byte `tag` over unix socket `sock`.
+/// Returns false on any sendmsg failure (EINTR is retried).
+bool send_fds(int sock, const std::vector<int>& fds, char tag);
+
+/// Receives up to `max_fds` descriptors and the tag byte. On success
+/// fills `fds` (possibly empty) and `tag`, returns true. On failure
+/// any partially-received descriptors are closed.
+bool recv_fds(int sock, std::size_t max_fds, std::vector<int>* fds,
+              char* tag);
+
+}  // namespace tda::ops

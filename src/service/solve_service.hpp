@@ -419,6 +419,28 @@ class SolveService {
   [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
   [[nodiscard]] const tuning::TuningCache& cache() const { return cache_; }
 
+  // --- live reconfiguration (ops admin socket, docs/OPERATIONS.md) ---
+
+  /// Changes the default relative deadline applied to requests that
+  /// carry none. Under the service mutex (deadline_of reads it there);
+  /// work already queued keeps the deadline computed at its admission.
+  void set_default_deadline_ms(double ms) {
+    std::lock_guard lk(mu_);
+    cfg_.default_deadline_ms = ms;
+  }
+
+  /// Resizes the shared engine thread pool without a restart; <= 0 is
+  /// ignored. In-flight batch solves finish on the old lanes.
+  void resize_engine_threads(int lanes) {
+    if (lanes > 0) gpusim::ThreadPool::global().resize(lanes);
+  }
+
+  /// Rewrites the env-gated export files (TDA_TRACE / TDA_METRICS /
+  /// TDA_OPENMETRICS) now instead of waiting for destruction — orderly
+  /// exits (SIGTERM, admin drain, hot-restart handoff) call this so the
+  /// on-disk numbers are current even if the process is then killed.
+  void flush_exports() { env_export_.flush(); }
+
   [[nodiscard]] Counters counters() const {
     Counters c;
     c.submitted = counters_submitted_.load(std::memory_order_relaxed);

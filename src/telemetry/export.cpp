@@ -378,7 +378,11 @@ EnvExport::~EnvExport() {
     snap_cv_.notify_all();
     snapshot_thread_.join();
   }
-  if (!flushed_) flush();
+  // Always write the final snapshot: a mid-run flush() must not eat
+  // the counters accumulated after it (the old `flushed_` latch did
+  // exactly that — metrics between the last manual flush and process
+  // exit silently vanished).
+  flush();
 }
 
 void EnvExport::write_metrics_files() const {
@@ -402,7 +406,6 @@ void EnvExport::snapshot_loop() {
 }
 
 void EnvExport::flush() {
-  flushed_ = true;
   if (!trace_path_.empty()) {
     if (write_text_file(trace_path_, to_chrome_trace(tel_->tracer))) {
       TDA_INFO("telemetry: wrote Chrome trace to " << trace_path_);

@@ -77,7 +77,10 @@ class EnvExport {
   /// Seconds between periodic metrics snapshots (0 = disabled).
   [[nodiscard]] double snapshot_interval_s() const { return interval_s_; }
 
-  /// Writes the export files now (the destructor then skips them).
+  /// Writes the export files now. Safe to call any number of times —
+  /// the destructor unconditionally writes a final snapshot anyway, so
+  /// a mid-run flush (admin `stats`, SIGHUP) never costs the shutdown
+  /// one: the on-disk files always end reflecting the whole run.
   void flush();
 
  private:
@@ -89,7 +92,6 @@ class EnvExport {
   std::string metrics_path_;
   std::string openmetrics_path_;
   double interval_s_ = 0.0;
-  bool flushed_ = false;
 
   // Periodic snapshot writer (only spawned when interval > 0 and a
   // metrics path is set).

@@ -838,8 +838,8 @@ TEST(NetDedup, LifecycleHitJoinWaitersAndDuplicateTally) {
   DedupCache<int> cache;
   using State = DedupCache<int>::State;
 
-  EXPECT_EQ(cache.begin(1, 10, 0.0), State::Fresh);
-  EXPECT_EQ(cache.begin(1, 10, 0.0), State::InFlight);
+  EXPECT_EQ(cache.begin(1, 10, 0, 0.0), State::Fresh);
+  EXPECT_EQ(cache.begin(1, 10, 0, 0.0), State::InFlight);
   cache.add_waiter(1, 10, {7, 99});
   EXPECT_EQ(cache.mark_executed(1, 10), 0u);
   EXPECT_EQ(cache.mark_executed(1, 10), 1u);  // a dedup bug, tallied
@@ -851,7 +851,7 @@ TEST(NetDedup, LifecycleHitJoinWaitersAndDuplicateTally) {
   EXPECT_EQ(waiters[0].request_id, 99u);
 
   cache.complete(1, 10, 42, 100, 0.0);
-  EXPECT_EQ(cache.begin(1, 10, 1.0), State::Completed);
+  EXPECT_EQ(cache.begin(1, 10, 0, 1.0), State::Completed);
   const int* hit = cache.lookup(1, 10);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(*hit, 42);
@@ -860,7 +860,7 @@ TEST(NetDedup, LifecycleHitJoinWaitersAndDuplicateTally) {
 
   // abandon() forgets the key entirely; the next attempt is fresh.
   cache.abandon(1, 10);
-  EXPECT_EQ(cache.begin(1, 10, 1.0), State::Fresh);
+  EXPECT_EQ(cache.begin(1, 10, 0, 1.0), State::Fresh);
 }
 
 TEST(NetDedup, TenantScopingEvictionAndTtl) {
@@ -871,21 +871,21 @@ TEST(NetDedup, TenantScopingEvictionAndTtl) {
   using State = DedupCache<int>::State;
 
   // Same key under two tenants: two independent entries.
-  EXPECT_EQ(cache.begin(1, 10, 0.0), State::Fresh);
+  EXPECT_EQ(cache.begin(1, 10, 0, 0.0), State::Fresh);
   cache.complete(1, 10, 41, 50, 0.0);
-  EXPECT_EQ(cache.begin(2, 10, 1.0), State::Fresh);
+  EXPECT_EQ(cache.begin(2, 10, 0, 1.0), State::Fresh);
   cache.complete(2, 10, 42, 50, 1.0);
   ASSERT_NE(cache.lookup(2, 10), nullptr);
   EXPECT_EQ(*cache.lookup(2, 10), 42);
 
   // The entry cap is 2: a third completion evicts the oldest completed
   // entry, and an evicted key simply re-executes next time.
-  EXPECT_EQ(cache.begin(1, 11, 2.0), State::Fresh);
+  EXPECT_EQ(cache.begin(1, 11, 0, 2.0), State::Fresh);
   cache.complete(1, 11, 43, 50, 2.0);
   EXPECT_EQ(cache.lookup(1, 10), nullptr);
   EXPECT_NE(cache.lookup(2, 10), nullptr);
   EXPECT_GE(cache.stats().evictions, 1u);
-  EXPECT_EQ(cache.begin(1, 10, 3.0), State::Fresh);
+  EXPECT_EQ(cache.begin(1, 10, 0, 3.0), State::Fresh);
   cache.abandon(1, 10);
 
   // TTL: everything completed more than ttl_ms ago is swept.
@@ -1061,6 +1061,140 @@ TEST(NetDoorV2, TenantDefaultDeadlineApplies) {
       << to_string(r.code) << " " << r.error;
   const auto c = fx.door->counters();
   EXPECT_GE(c.deadline_expired_arrival + c.deadline_expired_queued, 1u);
+}
+
+// ---------------------------------------------------------- clock skew
+
+TEST(NetProtocol, HelloTimestampRidesOptionalTail) {
+  // Stamped Hello/HelloOk round-trip the f64; legacy frames without it
+  // still parse (has_timestamp = false, value 0).
+  std::string buf;
+  encode_hello(buf, "tok", kMaxVersion, 1754650000123.5);
+  auto r = decode_frame(buf, 1 << 20);
+  ASSERT_EQ(r.status, DecodeStatus::Ok);
+  auto hello = parse_hello(r.frame.payload);
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_TRUE(hello->has_timestamp);
+  EXPECT_DOUBLE_EQ(hello->client_unix_ms, 1754650000123.5);
+
+  buf.clear();
+  encode_hello(buf, "tok");
+  r = decode_frame(buf, 1 << 20);
+  ASSERT_EQ(r.status, DecodeStatus::Ok);
+  hello = parse_hello(r.frame.payload);
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_FALSE(hello->has_timestamp);
+  EXPECT_EQ(hello->client_unix_ms, 0.0);
+
+  buf.clear();
+  encode_hello_ok(buf, "alpha", kVersion2, 42.0);
+  r = decode_frame(buf, 1 << 20);
+  ASSERT_EQ(r.status, DecodeStatus::Ok);
+  const auto ok = parse_hello_ok(r.frame.payload);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->has_timestamp);
+  EXPECT_DOUBLE_EQ(ok->server_unix_ms, 42.0);
+}
+
+TEST(NetDoorV2, SkewedClockDeadlineClampedToTenantDefault) {
+  FrontDoorConfig fcfg;
+  fcfg.max_clock_skew_ms = 500.0;
+  DoorFixture fx(fcfg);
+  TenantConfig skewed;
+  skewed.name = "skewed";
+  skewed.token = "ts";
+  skewed.default_deadline_ms = 5000.0;
+  fx.door->add_tenant(skewed);
+  ASSERT_TRUE(fx.start());
+
+  // A client whose clock runs 10 s slow, emulated byte-for-byte: the
+  // Hello timestamp reveals the skew, so the absolute deadline it mints
+  // (8 s "in the future" by its clock, expired by ours) must be
+  // discarded in favour of the tenant's default budget — the request
+  // solves instead of dying DeadlineExpired on arrival.
+  const auto ep = parse_endpoint("unix:" + fx.sock);
+  ASSERT_TRUE(ep.has_value());
+  std::string err;
+  Fd fd = connect_endpoint(*ep, &err);
+  ASSERT_TRUE(fd.valid()) << err;
+  const double skewed_now = unix_now_ms() - 10'000.0;
+  std::string hello;
+  encode_hello(hello, "ts", kMaxVersion, skewed_now);
+  ASSERT_TRUE(write_all(fd.get(), hello.data(), hello.size()));
+  std::string rbuf, payload;
+  FrameType type{};
+  ASSERT_TRUE(read_frame(fd.get(), rbuf, type, payload));
+  ASSERT_EQ(type, FrameType::HelloOk);
+  const auto ok = parse_hello_ok(payload);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->has_timestamp);  // server stamps its clock back
+
+  const auto sys = diag_dominant(64, 21);
+  std::string solve;
+  encode_solve_v2<double>(solve, 7, sys.a, sys.b, sys.c, sys.d,
+                          skewed_now + 8'000.0, 0);
+  ASSERT_TRUE(write_all(fd.get(), solve.data(), solve.size()));
+  ASSERT_TRUE(read_frame(fd.get(), rbuf, type, payload));
+  ASSERT_EQ(type, FrameType::SolveOk)
+      << (type == FrameType::SolveErr ? parse_solve_err(payload)->message
+                                      : "");
+  const auto res = parse_solve_ok<double>(payload);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_LT(residual(sys, res->x), 1e-8);
+  EXPECT_EQ(fx.door->counters().deadline_skew_clamped, 1u);
+}
+
+TEST(NetDoorV2, AccurateClockKeepsAbsoluteDeadlines) {
+  // Same wire traffic but with an honest Hello timestamp: no clamping,
+  // so a genuinely expired absolute deadline is still rejected.
+  FrontDoorConfig fcfg;
+  fcfg.max_clock_skew_ms = 500.0;
+  DoorFixture fx(fcfg);
+  ASSERT_TRUE(fx.start());
+
+  Client client;  // net::Client stamps its real clock in the Hello
+  std::string err;
+  ASSERT_TRUE(client.connect("unix:" + fx.sock, "ta", &err)) << err;
+  const auto sys = diag_dominant(32, 4);
+  ASSERT_TRUE(client.send_solve2<double>(1, sys.a, sys.b, sys.c, sys.d,
+                                         -50.0, 0, &err))
+      << err;
+  WireResult<double> r;
+  ASSERT_TRUE(client.recv_result<double>(r, &err)) << err;
+  EXPECT_EQ(r.code, ErrorCode::DeadlineExpired)
+      << to_string(r.code) << " " << r.error;
+  EXPECT_EQ(fx.door->counters().deadline_skew_clamped, 0u);
+}
+
+TEST(NetDoorV2, ReusedKeyWithDifferentPayloadRejected) {
+  DoorFixture fx;
+  ASSERT_TRUE(fx.start());
+
+  Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect("unix:" + fx.sock, "ta", &err)) << err;
+  const auto sys = diag_dominant(64, 31);
+  const std::uint64_t key = client.mint_key();
+  ASSERT_TRUE(client.send_solve2<double>(1, sys.a, sys.b, sys.c, sys.d,
+                                         0.0, key, &err))
+      << err;
+  WireResult<double> first;
+  ASSERT_TRUE(client.recv_result<double>(first, &err)) << err;
+  ASSERT_TRUE(first.ok()) << first.error;
+
+  // The same key fronting different bytes is a client bug; answering
+  // with the cached result would silently hand back the wrong solution.
+  auto other = sys;
+  other.d[0] += 1.0;
+  ASSERT_TRUE(client.send_solve2<double>(2, other.a, other.b, other.c,
+                                         other.d, 0.0, key, &err))
+      << err;
+  WireResult<double> r;
+  ASSERT_TRUE(client.recv_result<double>(r, &err)) << err;
+  EXPECT_EQ(r.code, ErrorCode::KeyReuse)
+      << to_string(r.code) << " " << r.error;
+  EXPECT_EQ(fx.door->counters().key_reuse, 1u);
+  EXPECT_EQ(fx.svc->counters().completed, 1u);  // never re-executed
 }
 
 // ------------------------------------------------------- chaos proxy

@@ -327,6 +327,11 @@ TEST(NetFuzzV2, DedupCacheStormNeverServesAWrongKeyedResult) {
   // Keys whose "execution" is still running — resolved (completed or
   // abandoned) by later iterations, the way drain_done resolves work
   // the pump marked executed earlier.
+  // The canonical payload fingerprint for a (tenant, key): every
+  // well-behaved resend in the storm carries exactly this hash.
+  const auto hash_of = [](std::uint64_t tenant, std::uint64_t key) {
+    return tenant ^ (key << 32) ^ 0x9E3779B97F4A7C15ull;
+  };
   std::vector<std::pair<std::uint64_t, std::uint64_t>> pending;
   const auto pop_pending = [&] {
     const std::size_t at = rng.below(pending.size());
@@ -362,10 +367,25 @@ TEST(NetFuzzV2, DedupCacheStormNeverServesAWrongKeyedResult) {
         (void)cache.abandon(t, k);
         break;
       }
-      default: {  // a (re)send arrives
+      case 3: {  // a corrupted resend: same key, different payload
         const std::uint64_t tenant = 1 + rng.below(4);
         const std::uint64_t key = 1 + rng.below(24);
-        const State st = cache.begin(tenant, key, now);
+        const State st =
+            cache.begin(tenant, key, ~hash_of(tenant, key), now);
+        // An existing key must answer Mismatch (KeyReuse on the wire),
+        // never serve the original payload's result for foreign bytes.
+        // A miss inserts the foreign hash as a legitimate first use —
+        // abandon it so the canonical sends keep their key space.
+        if (st == State::Fresh) (void)cache.abandon(tenant, key);
+        break;
+      }
+      default: {  // a (re)send arrives, byte-identical to the original
+        const std::uint64_t tenant = 1 + rng.below(4);
+        const std::uint64_t key = 1 + rng.below(24);
+        const State st =
+            cache.begin(tenant, key, hash_of(tenant, key), now);
+        ASSERT_NE(st, State::Mismatch)
+            << "iteration " << i << ": canonical payload misjudged";
         if (st == State::Completed) {
           const Tagged* hit = cache.lookup(tenant, key);
           ASSERT_NE(hit, nullptr) << "iteration " << i;
@@ -392,5 +412,6 @@ TEST(NetFuzzV2, DedupCacheStormNeverServesAWrongKeyedResult) {
   EXPECT_GT(st.hits, 100u);
   EXPECT_GT(st.joins, 100u);
   EXPECT_GT(st.evictions, 100u);
+  EXPECT_GT(st.mismatches, 100u);
   EXPECT_EQ(st.duplicate_executions, 0u);
 }
