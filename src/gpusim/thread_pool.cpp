@@ -5,6 +5,11 @@
 #include <cstdlib>
 #include <string>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "common/check.hpp"
 
 namespace tda::gpusim {
@@ -13,6 +18,32 @@ namespace {
 /// Set while the thread is executing a pool job: a reentrant run()
 /// from inside a job executes inline instead of deadlocking on itself.
 thread_local bool t_in_pool_job = false;
+
+/// TDA_PIN=1 requests best-effort CPU affinity for the worker lanes:
+/// lane k is pinned to CPU (k mod ncpu), which keeps each lane's bump
+/// arena and scratch chunks on the NUMA node that first touched them
+/// and stops the scheduler migrating lanes mid-launch. Off by default;
+/// a no-op (never an error) on platforms without pthread affinity.
+bool pin_from_env() {
+  const char* env = std::getenv("TDA_PIN");
+  return env != nullptr && *env != '\0' && env[0] != '0';
+}
+
+void pin_lane_to_cpu(std::thread& t, std::size_t lane) {
+#if defined(__linux__)
+  const unsigned ncpu = std::thread::hardware_concurrency();
+  if (ncpu == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(lane % ncpu), &set);
+  // Best effort: failure (cgroup restrictions, exotic kernels) leaves
+  // the thread unpinned, which is exactly the TDA_PIN=0 behaviour.
+  (void)pthread_setaffinity_np(t.native_handle(), sizeof(set), &set);
+#else
+  (void)t;
+  (void)lane;
+#endif
+}
 }  // namespace
 
 // ---------------------------------------------------------------- scratch
@@ -106,10 +137,14 @@ void ThreadPool::spawn(int lanes) {
   for (int i = 0; i < lanes; ++i) {
     lane_counters_.push_back(std::make_unique<LaneCounters>());
   }
+  const bool pin = pin_from_env();
   for (int i = 0; i < lanes - 1; ++i) {
     threads_.emplace_back([this, lane = static_cast<std::size_t>(i) + 1] {
       worker_loop(lane);
     });
+    if (pin) {
+      pin_lane_to_cpu(threads_.back(), static_cast<std::size_t>(i) + 1);
+    }
   }
 }
 

@@ -86,6 +86,27 @@ class DeviceBatch {
   [[nodiscard]] std::size_t system_size() const { return n_; }
   [[nodiscard]] std::size_t total_equations() const { return m_ * n_; }
 
+  /// Layout of the CURRENT coefficient buffer. upload() always leaves
+  /// system-major data (the host wire layout); the interleaved pipeline
+  /// flips this to ElementMajor after its transpose-in stage and back
+  /// after transpose-out, so a reused batch (chunked solves, tuner
+  /// scratch) is always observed system-major between runs.
+  [[nodiscard]] tridiag::BatchLayout layout() const { return layout_; }
+  void set_layout(tridiag::BatchLayout l) { layout_ = l; }
+
+  /// Raw lane k (0=a 1=b 2=c 3=d) of the current / alternate buffer —
+  /// the interleaved kernels index lanes directly instead of through
+  /// per-system views, since in element-major layout a "system" is a
+  /// stride-m column.
+  [[nodiscard]] std::span<T> cur_lane(int k) {
+    TDA_REQUIRE(k >= 0 && k < 4, "lane index out of range");
+    return {arr_[cur_ * 4 + k], m_ * n_};
+  }
+  [[nodiscard]] std::span<T> alt_lane(int k) {
+    TDA_REQUIRE(k >= 0 && k < 4, "lane index out of range");
+    return {arr_[(1 - cur_) * 4 + k], m_ * n_};
+  }
+
   /// Current (source) coefficient view of system s; stride 1.
   [[nodiscard]] SystemView<T> cur_system(std::size_t s) {
     return view_of(cur_, s);
@@ -125,6 +146,9 @@ class DeviceBatch {
 
  private:
   void upload(const TridiagBatch<T>& host) {
+    TDA_REQUIRE(host.layout() == tridiag::BatchLayout::SystemMajor,
+                "upload expects a system-major host batch");
+    layout_ = tridiag::BatchLayout::SystemMajor;
     std::copy(host.a().begin(), host.a().end(), arr_[0]);
     std::copy(host.b().begin(), host.b().end(), arr_[1]);
     std::copy(host.c().begin(), host.c().end(), arr_[2]);
@@ -162,6 +186,7 @@ class DeviceBatch {
   std::size_t m_;
   std::size_t n_;
   int cur_ = 0;
+  tridiag::BatchLayout layout_ = tridiag::BatchLayout::SystemMajor;
   gpusim::MemoryReservation mem_;  ///< empty for untracked (tuning) batches
   tda::PoolBlock slab_;
   T* arr_[9] = {};  ///< a0 b0 c0 d0 a1 b1 c1 d1 x

@@ -1,0 +1,418 @@
+#pragma once
+// Element-major (interleaved) kernel variants: one lane per SYSTEM.
+//
+// In element-major layout all m systems' i-th elements are adjacent
+// ([i*m + s]), so the Thomas recurrence — strictly serial DOWN a system
+// — becomes embarrassingly parallel ACROSS systems with stride-1 memory:
+// one simulated GPU thread (and one host SIMD lane) per system walks the
+// forward/backward sweeps over contiguous rows. This is the cuThomasBatch
+// interleaved solver / OMEGA's VecLength vector-batched Thomas, grafted
+// onto the paper's auto-tuning: whether the two transposes pay for the
+// single-pass solve is a tuner decision (src/tuning/dynamic_tuner.hpp).
+//
+// Pipeline (reusing DeviceBatch's ping-pong slab — no extra device
+// memory beyond the batch's existing footprint):
+//
+//   transpose_in   cur (system-major) → alt (element-major), swap
+//   thomas         in-place on cur; x staged element-major in alt.d
+//   transpose_out  alt.d → x (system-major)
+//
+// Every stage decomposes into blocks owning DISJOINT output regions
+// (tiles, or column strips of systems), so there are no cross-block
+// hazards and execution is bitwise deterministic at every TDA_THREADS
+// and every TDA_SIMD_WIDTH: per-system arithmetic is elementwise
+// independent, so the strip width is a pure scheduling/vectorization
+// knob that cannot change a single result bit.
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+#include "common/check.hpp"
+#include "gpusim/launch.hpp"
+#include "kernels/config.hpp"
+#include "kernels/device_batch.hpp"
+#include "kernels/simd.hpp"
+#include "kernels/split_kernels.hpp"
+#include "tridiag/batch.hpp"
+
+namespace tda::kernels {
+
+/// Systems per simulated block of the interleaved kernels: one thread
+/// per system, 256 threads per block (the cuThomasBatch geometry; six
+/// such blocks fill a Fermi SM to full occupancy, which the bandwidth
+/// model rewards). This is a property of the SIMULATED launch — fixed,
+/// so the cost model and every tuner decision derived from it are
+/// identical on every build host — while TDA_SIMD_WIDTH
+/// (simd_strip_width) only strip-mines the HOST traversal inside a
+/// block and cannot change a charge or a bit.
+inline constexpr std::size_t kInterleavedBlockSystems = 256;
+
+/// Warp instructions per equation of the interleaved Thomas sweep:
+/// ~5 flops forward + ~2 backward + address arithmetic. One pass — this
+/// is the compute advantage over the multi-step PCR pipeline.
+inline constexpr double kInterleavedThomasWarpInstsPerEq = 9.0;
+/// Dependent-latency depth per equation of the forward sweep (division
+/// plus the multiply-adds feeding it) and the backward sweep.
+inline constexpr double kInterleavedFwdDepPerEq = 7.0;
+inline constexpr double kInterleavedBwdDepPerEq = 3.0;
+/// Global values moved per equation by the interleaved Thomas: forward
+/// reads a,b,c,d and rewrites c,d (6), backward re-reads c,d and writes
+/// x (3) — all stride-1 across systems.
+inline constexpr double kInterleavedThomasValuesPerEq = 9.0;
+/// Values moved per equation by one tile-transpose pass over `lanes`
+/// arrays: each element is read once and written once.
+inline constexpr double kTransposeValuesPerElem = 2.0;
+
+/// Simulated shared tile side of the transpose kernel on a device: the
+/// largest power-of-two tile (≤ kTransposeTile, ≥ 8) whose staged tile
+/// fits in HALF the SM's shared memory, so at least two blocks stay
+/// resident even on shared-starved devices (the GeForce 8800's 16 KB
+/// would make a 64² double tile unlaunchable outright).
+inline std::size_t transpose_tile(const gpusim::DeviceSpec& spec,
+                                  std::size_t elem_bytes) {
+  std::size_t tile = tridiag::kTransposeTile;
+  while (tile > 8 && tile * tile * elem_bytes > spec.shared_mem_per_sm / 2) {
+    tile /= 2;
+  }
+  return tile;
+}
+
+/// Shared-memory tile bytes of the transpose kernel (one tile staged
+/// on-chip so both the load and the store sides stay coalesced).
+inline std::size_t transpose_shared_bytes(const gpusim::DeviceSpec& spec,
+                                          std::size_t elem_bytes) {
+  const std::size_t tile = transpose_tile(spec, elem_bytes);
+  return tile * tile * elem_bytes;
+}
+
+namespace detail {
+
+/// Shared launch skeleton of the transpose stages: grid over
+/// kTransposeTile² tiles of an R×C row-major source (blocks loop over
+/// tiles when the grid is clamped), transposing `lanes` pairs of
+/// src→dst arrays with dst[c*R + r] = src[r*C + c].
+template <typename T, std::size_t N>
+gpusim::KernelStats transpose_launch(gpusim::Device& dev, std::size_t rows,
+                                     std::size_t cols,
+                                     const std::array<const T*, N>& src,
+                                     const std::array<T*, N>& dst,
+                                     ExecMode mode, const char* name) {
+  const std::size_t tile = transpose_tile(dev.spec(), sizeof(T));
+  const std::size_t tiles_r = (rows + tile - 1) / tile;
+  const std::size_t tiles_c = (cols + tile - 1) / tile;
+  const std::size_t tiles = tiles_r * tiles_c;
+
+  gpusim::LaunchConfig cfg;
+  cfg.blocks = std::min<std::size_t>(
+      tiles, static_cast<std::size_t>(dev.spec().max_grid_blocks));
+  cfg.threads_per_block = static_cast<int>(std::min<std::size_t>(
+      tile * 8, static_cast<std::size_t>(dev.spec().max_threads_per_block)));
+  cfg.shared_bytes = tile * tile * sizeof(T);
+  cfg.regs_per_thread = split_kernel_regs_per_thread(dev.query());
+
+  return dev.launch(cfg, [&](gpusim::BlockContext& ctx) {
+    for (std::size_t t = ctx.block_index(); t < tiles; t += cfg.blocks) {
+      const std::size_t r0 = (t / tiles_c) * tile;
+      const std::size_t c0 = (t % tiles_c) * tile;
+      const std::size_t r1 = std::min(rows, r0 + tile);
+      const std::size_t c1 = std::min(cols, c0 + tile);
+      const double elems = static_cast<double>(r1 - r0) *
+                           static_cast<double>(c1 - c0) *
+                           static_cast<double>(N);
+      if (mode == ExecMode::Full) {
+        // Column-outer order: the inner loop STORES contiguously into
+        // dst (and gather-loads the strided side), which vectorizes —
+        // the host-side analogue of the coalesced shared-staged store.
+        for (std::size_t k = 0; k < N; ++k) {
+          for (std::size_t c = c0; c < c1; ++c) {
+            TDA_SIMD_LOOP
+            for (std::size_t r = r0; r < r1; ++r) {
+              dst[k][c * rows + r] = src[k][r * cols + c];
+            }
+          }
+        }
+      }
+      // Tile staged through shared memory: both global sides coalesced;
+      // the on-chip shuffle is a short conflict-prone phase.
+      ctx.charge_global(kTransposeValuesPerElem * elems * sizeof(T), 1,
+                        sizeof(T));
+      ctx.charge_phase(ctx.threads(),
+                       std::ceil(elems / ctx.threads()), 2.0, 2.0, 1.0);
+      ctx.sync();
+    }
+  }, name);
+}
+
+}  // namespace detail
+
+/// Transposes the four CURRENT coefficient lanes from system-major
+/// (m×n) into the alternate buffer as element-major (n×m), flips the
+/// ping-pong parity and tags the batch ElementMajor.
+template <typename T>
+gpusim::KernelStats transpose_in_stage(gpusim::Device& dev,
+                                       DeviceBatch<T>& batch,
+                                       ExecMode mode = ExecMode::Full) {
+  TDA_REQUIRE(batch.layout() == tridiag::BatchLayout::SystemMajor,
+              "transpose_in: batch is already element-major");
+  const std::size_t m = batch.num_systems();
+  const std::size_t n = batch.system_size();
+  const std::array<const T*, 4> src{
+      batch.cur_lane(0).data(), batch.cur_lane(1).data(),
+      batch.cur_lane(2).data(), batch.cur_lane(3).data()};
+  const std::array<T*, 4> dst{
+      batch.alt_lane(0).data(), batch.alt_lane(1).data(),
+      batch.alt_lane(2).data(), batch.alt_lane(3).data()};
+  auto stats =
+      detail::transpose_launch<T, 4>(dev, m, n, src, dst, mode,
+                                     "interleaved_transpose_in");
+  batch.swap_buffers();
+  batch.set_layout(tridiag::BatchLayout::ElementMajor);
+  return stats;
+}
+
+/// Transposes the element-major solution staged in the ALTERNATE d lane
+/// (written by interleaved_thomas_stage) back into the batch's x array
+/// in system-major order, and tags the batch SystemMajor again so a
+/// reused DeviceBatch is always observed in the wire layout.
+template <typename T>
+gpusim::KernelStats transpose_out_stage(gpusim::Device& dev,
+                                        DeviceBatch<T>& batch,
+                                        ExecMode mode = ExecMode::Full) {
+  TDA_REQUIRE(batch.layout() == tridiag::BatchLayout::ElementMajor,
+              "transpose_out: batch is not element-major");
+  const std::size_t m = batch.num_systems();
+  const std::size_t n = batch.system_size();
+  const std::array<const T*, 1> src{batch.alt_lane(3).data()};
+  const std::array<T*, 1> dst{batch.x().data()};
+  auto stats =
+      detail::transpose_launch<T, 1>(dev, n, m, src, dst, mode,
+                                     "interleaved_transpose_out");
+  batch.set_layout(tridiag::BatchLayout::SystemMajor);
+  return stats;
+}
+
+/// Solves every current subsystem of an element-major batch with one
+/// Thomas lane per system. Blocks own disjoint strips of
+/// kInterleavedBlockSystems adjacent systems; the host walks each strip
+/// in sub-strips of simd_strip_width<T>() whose inner loops run
+/// stride-1 across systems, so they vectorize with no intrinsics
+/// (TDA_SIMD_LOOP is only a hint). With a non-trivial SplitState each
+/// system consists of st.parts() interleaved subsystems (rows p,
+/// p+parts, ...), which the strip sweeps one after another — the
+/// composition the interleaved-PCR ablation variant uses; the
+/// production path passes the default (no splits, one sweep).
+/// The forward sweep rewrites the current c/d lanes in place; the
+/// solution is written element-major into the ALTERNATE d lane, where
+/// transpose_out_stage picks it up.
+template <typename T>
+gpusim::KernelStats interleaved_thomas_stage(gpusim::Device& dev,
+                                             DeviceBatch<T>& batch,
+                                             const SplitState& st = {},
+                                             ExecMode mode = ExecMode::Full) {
+  TDA_REQUIRE(batch.layout() == tridiag::BatchLayout::ElementMajor,
+              "interleaved Thomas needs an element-major batch");
+  const std::size_t m = batch.num_systems();
+  const std::size_t n = batch.system_size();
+  const std::size_t parts = st.parts();
+  const std::size_t width = kInterleavedBlockSystems;
+  const std::size_t vec = simd_strip_width<T>();
+  const std::size_t strips = (m + width - 1) / width;
+  const auto& spec = dev.spec();
+
+  gpusim::LaunchConfig cfg;
+  cfg.blocks = std::min<std::size_t>(
+      strips, static_cast<std::size_t>(spec.max_grid_blocks));
+  cfg.threads_per_block = static_cast<int>(std::min<std::size_t>(
+      width, static_cast<std::size_t>(spec.max_threads_per_block)));
+  cfg.shared_bytes = 0;
+  cfg.regs_per_thread = split_kernel_regs_per_thread(dev.query());
+
+  T* const a = batch.cur_lane(0).data();
+  T* const b = batch.cur_lane(1).data();
+  T* const c = batch.cur_lane(2).data();
+  T* const d = batch.cur_lane(3).data();
+  T* const x = batch.alt_lane(3).data();
+
+  auto stats = dev.launch(cfg, [&](gpusim::BlockContext& ctx) {
+    for (std::size_t strip = ctx.block_index(); strip < strips;
+         strip += cfg.blocks) {
+      const std::size_t s0 = strip * width;
+      const std::size_t s1 = std::min(m, s0 + width);
+      const std::size_t w = s1 - s0;
+
+      if (mode == ExecMode::Full) {
+        unsigned bad = 0;
+        // Host strip-mining: sub-strips of `vec` systems keep one
+        // hardware vector's worth of rows hot while the sweeps walk n.
+        for (std::size_t v0 = s0; v0 < s1; v0 += vec) {
+          const std::size_t v1 = std::min(s1, v0 + vec);
+          for (std::size_t p = 0; p < parts && p < n; ++p) {
+            // Subsystem p of every system in the sub-strip: rows p,
+            // p+parts, ... — `len` of them. Row t of lane k is
+            // k[(p+t*parts)*m+s]: consecutive s are consecutive
+            // addresses, so every inner loop is a contiguous vector op.
+            // Divisions by a zero pivot are masked to 1 (never fed
+            // back) and flagged instead of computed, keeping the loop
+            // select-only and ubsan-clean.
+            const std::size_t len = (n - p + parts - 1) / parts;
+            {
+              const std::size_t row = p * m;
+              TDA_SIMD_LOOP
+              for (std::size_t s = v0; s < v1; ++s) {
+                const T denom = b[row + s];
+                const unsigned zero = denom == T{0} ? 1u : 0u;
+                bad |= zero;
+                const T inv = T{1} / (zero != 0u ? T{1} : denom);
+                c[row + s] = c[row + s] * inv;
+                d[row + s] = d[row + s] * inv;
+              }
+            }
+            for (std::size_t t = 1; t < len; ++t) {
+              const std::size_t row = (p + t * parts) * m;
+              const std::size_t prev = row - parts * m;
+              const bool keep_c = t + 1 < len;
+              TDA_SIMD_LOOP
+              for (std::size_t s = v0; s < v1; ++s) {
+                const T denom = b[row + s] - a[row + s] * c[prev + s];
+                const unsigned zero = denom == T{0} ? 1u : 0u;
+                bad |= zero;
+                const T inv = T{1} / (zero != 0u ? T{1} : denom);
+                if (keep_c) c[row + s] = c[row + s] * inv;
+                d[row + s] = (d[row + s] - a[row + s] * d[prev + s]) * inv;
+              }
+            }
+            // Back substitution into the alternate d lane (element-major
+            // x).
+            {
+              const std::size_t last = (p + (len - 1) * parts) * m;
+              TDA_SIMD_LOOP
+              for (std::size_t s = v0; s < v1; ++s) {
+                x[last + s] = d[last + s];
+              }
+            }
+            for (std::size_t t = len - 1; t-- > 0;) {
+              const std::size_t row = (p + t * parts) * m;
+              const std::size_t next = row + parts * m;
+              TDA_SIMD_LOOP
+              for (std::size_t s = v0; s < v1; ++s) {
+                x[row + s] = d[row + s] - c[row + s] * x[next + s];
+              }
+            }
+          }
+        }
+        TDA_ENSURE(bad == 0u, "interleaved Thomas kernel hit a zero pivot");
+      }
+
+      // Every row is touched exactly once regardless of `parts`.
+      const double eqs = static_cast<double>(n);
+      const double vals = kInterleavedThomasValuesPerEq * eqs *
+                          static_cast<double>(w) * sizeof(T);
+      ctx.charge_global(vals, 1, sizeof(T));
+      // Two dependent chains covering n equations each, one thread per
+      // system (subsystems of one system run back to back on the same
+      // lane, so the chain length is n rows either way).
+      ctx.charge_phase(static_cast<int>(w), eqs,
+                       kInterleavedThomasWarpInstsPerEq * 2.0 / 3.0, 1.0,
+                       kInterleavedFwdDepPerEq);
+      ctx.charge_phase(static_cast<int>(w), eqs,
+                       kInterleavedThomasWarpInstsPerEq / 3.0, 1.0,
+                       kInterleavedBwdDepPerEq);
+    }
+  }, "interleaved_thomas");
+  return stats;
+}
+
+/// Element-major PCR: each block performs `steps` splits on its strip of
+/// systems entirely block-locally (neighbour rows i±shift of a system
+/// live in the block's own columns), ping-ponging between the two slab
+/// buffers. Exists as the second interleaved variant for the kernel
+/// ablation — the production element-major path uses the single-pass
+/// Thomas above, but the ablation keeps every kernel family honest.
+template <typename T>
+gpusim::KernelStats interleaved_pcr_stage(gpusim::Device& dev,
+                                          DeviceBatch<T>& batch,
+                                          SplitState& st, std::size_t steps,
+                                          ExecMode mode = ExecMode::Full) {
+  TDA_REQUIRE(batch.layout() == tridiag::BatchLayout::ElementMajor,
+              "interleaved PCR needs an element-major batch");
+  TDA_REQUIRE(steps >= 1, "interleaved PCR must perform at least one step");
+  const std::size_t m = batch.num_systems();
+  const std::size_t n = batch.system_size();
+  TDA_REQUIRE((st.parts() << steps) <= n,
+              "split would go below one equation per subsystem");
+  const std::size_t width = kInterleavedBlockSystems;
+  const std::size_t strips = (m + width - 1) / width;
+  const auto& spec = dev.spec();
+
+  gpusim::LaunchConfig cfg;
+  cfg.blocks = std::min<std::size_t>(
+      strips, static_cast<std::size_t>(spec.max_grid_blocks));
+  cfg.threads_per_block = static_cast<int>(std::min<std::size_t>(
+      width, static_cast<std::size_t>(spec.max_threads_per_block)));
+  cfg.shared_bytes = 0;
+  cfg.regs_per_thread = split_kernel_regs_per_thread(dev.query());
+
+  std::array<T*, 4> bufs[2] = {
+      {batch.cur_lane(0).data(), batch.cur_lane(1).data(),
+       batch.cur_lane(2).data(), batch.cur_lane(3).data()},
+      {batch.alt_lane(0).data(), batch.alt_lane(1).data(),
+       batch.alt_lane(2).data(), batch.alt_lane(3).data()}};
+
+  auto stats = dev.launch(cfg, [&](gpusim::BlockContext& ctx) {
+    for (std::size_t strip = ctx.block_index(); strip < strips;
+         strip += cfg.blocks) {
+      const std::size_t s0 = strip * width;
+      const std::size_t s1 = std::min(m, s0 + width);
+      const std::size_t w = s1 - s0;
+      int cur = 0;
+      for (std::size_t t = 0; t < steps; ++t) {
+        const std::size_t shift = st.parts() << t;  // rows, not elements
+        if (mode == ExecMode::Full) {
+          const T* a = bufs[cur][0];
+          const T* b = bufs[cur][1];
+          const T* c = bufs[cur][2];
+          const T* d = bufs[cur][3];
+          T* na = bufs[1 - cur][0];
+          T* nb = bufs[1 - cur][1];
+          T* nc = bufs[1 - cur][2];
+          T* nd = bufs[1 - cur][3];
+          for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t row = i * m;
+            const bool has_lo = i >= shift;
+            const bool has_hi = i + shift < n;
+            const std::size_t lo = has_lo ? row - shift * m : 0;
+            const std::size_t hi = has_hi ? row + shift * m : 0;
+            TDA_SIMD_LOOP
+            for (std::size_t s = s0; s < s1; ++s) {
+              const T alpha =
+                  has_lo ? -a[row + s] / b[lo + s] : T{0};
+              const T beta = has_hi ? -c[row + s] / b[hi + s] : T{0};
+              nb[row + s] = b[row + s] +
+                            (has_lo ? alpha * c[lo + s] : T{0}) +
+                            (has_hi ? beta * a[hi + s] : T{0});
+              nd[row + s] = d[row + s] +
+                            (has_lo ? alpha * d[lo + s] : T{0}) +
+                            (has_hi ? beta * d[hi + s] : T{0});
+              na[row + s] = has_lo ? alpha * a[lo + s] : T{0};
+              nc[row + s] = has_hi ? beta * c[hi + s] : T{0};
+            }
+          }
+        }
+        cur = 1 - cur;
+        const double dn = static_cast<double>(n) * static_cast<double>(w);
+        ctx.charge_global(kPcrStepValuesPerEq * dn * sizeof(T), 1,
+                          sizeof(T));
+        ctx.charge_phase(static_cast<int>(w),
+                         static_cast<double>(n), kPcrStepWarpInsts);
+        if (t + 1 < steps) ctx.sync();
+      }
+    }
+  }, "interleaved_pcr_split");
+  if (steps % 2 == 1) batch.swap_buffers();
+  st.splits += steps;
+  return stats;
+}
+
+}  // namespace tda::kernels

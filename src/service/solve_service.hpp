@@ -1303,6 +1303,13 @@ class SolveService {
         w.dev.arm_faults(armed);
         if (!tuned.from_cache)
           counters_tunes_.fetch_add(1, std::memory_order_relaxed);
+        // The tuned layout decides which pipeline this coalesced batch
+        // takes (staged PCR vs interleaved SIMD Thomas) — surface it on
+        // the batch span so a trace shows the choice per flush.
+        if (batch_span.active()) {
+          batch_span.attr("layout",
+                          tridiag::to_string(tuned.points.layout));
+        }
         solver::GpuTridiagonalSolver<T> solver(w.dev, tuned.points);
         solver.set_cancel_token(token);
         std::optional<solver::GuardConfig> gc;

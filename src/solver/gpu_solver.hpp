@@ -19,6 +19,7 @@
 #include "gpusim/launch.hpp"
 #include "kernels/config.hpp"
 #include "kernels/device_batch.hpp"
+#include "kernels/interleaved_kernels.hpp"
 #include "kernels/pcr_thomas_kernel.hpp"
 #include "kernels/split_kernels.hpp"
 #include "solver/cancel.hpp"
@@ -40,10 +41,16 @@ struct SolveStats {
   double stage1_ms = 0.0;
   double stage2_ms = 0.0;
   double stage3_ms = 0.0;
+  /// Layout-conversion time of the element-major path (both transposes);
+  /// 0 on the system-major pipeline. stage3_ms then holds the
+  /// interleaved Thomas kernel, so transpose overhead vs. compute is
+  /// directly visible in the breakdown (and as per-stage spans).
+  double transpose_ms = 0.0;
   double host_total_ms = 0.0;
   double host_stage1_ms = 0.0;
   double host_stage2_ms = 0.0;
   double host_stage3_ms = 0.0;
+  double host_transpose_ms = 0.0;
   std::size_t kernel_launches = 0;
 };
 
@@ -107,10 +114,65 @@ class GpuTridiagonalSolver {
     solve_span.attr("n", static_cast<double>(w.system_size));
     solve_span.attr("mode", mode == kernels::ExecMode::Full ? "full"
                                                             : "cost_only");
+    solve_span.attr("layout", tridiag::to_string(plan.layout));
 
     poll_cancel();
     WallTimer host_total;
     double stage1_bytes = 0.0, stage2_bytes = 0.0, stage3_bytes = 0.0;
+    double transpose_bytes = 0.0;
+    if (plan.layout == tridiag::BatchLayout::ElementMajor) {
+      run_element_major(dbatch, mode, tel, stats, stage3_bytes,
+                        transpose_bytes);
+    } else {
+      run_system_major(dbatch, plan, mode, tel, stats, stage1_bytes,
+                       stage2_bytes, stage3_bytes);
+    }
+    stats.total_ms = stats.stage1_ms + stats.stage2_ms + stats.stage3_ms +
+                     stats.transpose_ms;
+    stats.host_total_ms = host_total.millis();
+    solve_span.attr("total_ms", stats.total_ms);
+
+    if (tel != nullptr && tel->metrics.enabled()) {
+      auto& mx = tel->metrics;
+      mx.add(mode == kernels::ExecMode::Full ? "solver.solves"
+                                             : "solver.cost_only_runs");
+      if (mode == kernels::ExecMode::Full) {
+        mx.add(telemetry::labeled(
+            "solver.layout", {{"choice", tridiag::to_string(plan.layout)}}));
+      }
+      mx.observe("solve.total_ms", stats.total_ms);
+      const auto stage_bw = [&mx](const char* stage, double ms,
+                                  double bytes) {
+        if (ms <= 0.0) return;
+        mx.observe(std::string("solve.") + stage + "_ms", ms);
+        if (bytes > 0.0) {
+          mx.observe(std::string("solve.") + stage + ".bandwidth_gb_s",
+                     bytes / (ms * 1e-3) / 1e9);
+        }
+      };
+      stage_bw("stage1", stats.stage1_ms, stage1_bytes);
+      stage_bw("stage2", stats.stage2_ms, stage2_bytes);
+      stage_bw("stage3", stats.stage3_ms, stage3_bytes);
+      stage_bw("transpose", stats.transpose_ms, transpose_bytes);
+    }
+    return stats;
+  }
+
+  /// Simulated solve time (ms) for a workload shape, without real data.
+  /// Allocates a shape-only device batch; prefer run(&batch, CostOnly)
+  /// with a reused batch inside search loops.
+  double simulate_ms(const Workload& w) {
+    kernels::DeviceBatch<T> dbatch(w.num_systems, w.system_size);
+    return run(dbatch, kernels::ExecMode::CostOnly).total_ms;
+  }
+
+ private:
+  /// The paper's staged pipeline on the wire (system-major) layout.
+  void run_system_major(kernels::DeviceBatch<T>& dbatch,
+                        const SolvePlan& plan, kernels::ExecMode mode,
+                        telemetry::Telemetry* tel, SolveStats& stats,
+                        double& stage1_bytes, double& stage2_bytes,
+                        double& stage3_bytes) {
     kernels::SplitState st;
     if (plan.stage1_steps > 0) {
       telemetry::ScopedSpan span(telemetry::tracer_of(tel), "stage1",
@@ -156,40 +218,57 @@ class GpuTridiagonalSolver {
       span.attr("variant", kernels::to_string(plan.variant));
       span.attr("ms", stats.stage3_ms);
     }
-    stats.total_ms = stats.stage1_ms + stats.stage2_ms + stats.stage3_ms;
-    stats.host_total_ms = host_total.millis();
-    solve_span.attr("total_ms", stats.total_ms);
+  }
 
-    if (tel != nullptr && tel->metrics.enabled()) {
-      auto& mx = tel->metrics;
-      mx.add(mode == kernels::ExecMode::Full ? "solver.solves"
-                                             : "solver.cost_only_runs");
-      mx.observe("solve.total_ms", stats.total_ms);
-      const auto stage_bw = [&mx](const char* stage, double ms,
-                                  double bytes) {
-        if (ms <= 0.0) return;
-        mx.observe(std::string("solve.") + stage + "_ms", ms);
-        if (bytes > 0.0) {
-          mx.observe(std::string("solve.") + stage + ".bandwidth_gb_s",
-                     bytes / (ms * 1e-3) / 1e9);
-        }
-      };
-      stage_bw("stage1", stats.stage1_ms, stage1_bytes);
-      stage_bw("stage2", stats.stage2_ms, stage2_bytes);
-      stage_bw("stage3", stats.stage3_ms, stage3_bytes);
+  /// The interleaved pipeline: transpose to element-major, run the
+  /// one-pass SIMD-lane-per-system Thomas kernel, transpose the
+  /// solution back. The transposes land in stats.transpose_ms so the
+  /// crossover against the staged pipeline is visible per solve; the
+  /// kernel itself is accounted as stage3 (it plays the base kernel's
+  /// role). The batch is re-tagged system-major on exit, so chunked
+  /// solves and tuner scratch can reuse it safely.
+  void run_element_major(kernels::DeviceBatch<T>& dbatch,
+                         kernels::ExecMode mode, telemetry::Telemetry* tel,
+                         SolveStats& stats, double& stage3_bytes,
+                         double& transpose_bytes) {
+    {
+      telemetry::ScopedSpan span(telemetry::tracer_of(tel), "transpose_in",
+                                 "solver");
+      WallTimer host;
+      auto ks = kernels::transpose_in_stage(*dev_, dbatch, mode);
+      stats.transpose_ms += ks.seconds * 1e3;
+      transpose_bytes += ks.bytes_moved;
+      ++stats.kernel_launches;
+      stats.host_transpose_ms += host.millis();
+      span.attr("ms", ks.seconds * 1e3);
     }
-    return stats;
+    poll_cancel();
+    {
+      telemetry::ScopedSpan span(telemetry::tracer_of(tel),
+                                 "interleaved_thomas", "solver");
+      WallTimer host;
+      auto ks = kernels::interleaved_thomas_stage(
+          *dev_, dbatch, kernels::SplitState{}, mode);
+      stats.stage3_ms += ks.seconds * 1e3;
+      stage3_bytes += ks.bytes_moved;
+      ++stats.kernel_launches;
+      stats.host_stage3_ms = host.millis();
+      span.attr("ms", stats.stage3_ms);
+    }
+    poll_cancel();
+    {
+      telemetry::ScopedSpan span(telemetry::tracer_of(tel), "transpose_out",
+                                 "solver");
+      WallTimer host;
+      auto ks = kernels::transpose_out_stage(*dev_, dbatch, mode);
+      stats.transpose_ms += ks.seconds * 1e3;
+      transpose_bytes += ks.bytes_moved;
+      ++stats.kernel_launches;
+      stats.host_transpose_ms += host.millis();
+      span.attr("ms", ks.seconds * 1e3);
+    }
   }
 
-  /// Simulated solve time (ms) for a workload shape, without real data.
-  /// Allocates a shape-only device batch; prefer run(&batch, CostOnly)
-  /// with a reused batch inside search loops.
-  double simulate_ms(const Workload& w) {
-    kernels::DeviceBatch<T> dbatch(w.num_systems, w.system_size);
-    return run(dbatch, kernels::ExecMode::CostOnly).total_ms;
-  }
-
- private:
   /// Stage-boundary cancellation poll: ticks the heartbeat, then throws
   /// if a watchdog cancelled the token.
   void poll_cancel() {

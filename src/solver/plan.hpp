@@ -17,6 +17,10 @@ struct SolvePlan {
   std::size_t stage3_sub_size = 0;  ///< max subsystem size entering stage 3
   std::size_t thomas_switch = 1;
   kernels::LoadVariant variant = kernels::LoadVariant::Strided;
+  /// ElementMajor replaces the staged pipeline with transpose-in →
+  /// interleaved Thomas → transpose-out; the split fields above are
+  /// then unused (the interleaved kernel is single-pass).
+  tridiag::BatchLayout layout = tridiag::BatchLayout::SystemMajor;
 };
 
 /// Smallest k such that ceil(n / 2^k) <= limit (0 when n <= limit).
@@ -44,6 +48,7 @@ inline SolvePlan make_plan(const Workload& w, const SwitchPoints& sp) {
   SolvePlan plan;
   plan.thomas_switch = sp.thomas_switch;
   plan.variant = sp.variant;
+  plan.layout = sp.layout;
   plan.total_splits = splits_needed(w.system_size, sp.stage3_system_size);
 
   // Stage 1 runs while independent systems < target and splits remain.

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "kernels/pcr_thomas_kernel.hpp"
+#include "tridiag/batch.hpp"
 
 namespace tda::solver {
 
@@ -37,13 +38,21 @@ struct SwitchPoints {
 
   /// Global->shared load strategy of the base kernel (§III-A).
   kernels::LoadVariant variant = kernels::LoadVariant::Strided;
+
+  /// Batch data layout: SystemMajor runs the multi-stage PCR pipeline
+  /// on the wire layout; ElementMajor transposes the batch and runs the
+  /// one-pass interleaved (SIMD-lane-per-system) Thomas kernel. The
+  /// tuner learns the transpose-cost/SIMD-gain crossover per workload
+  /// exactly like the other switch points.
+  tridiag::BatchLayout layout = tridiag::BatchLayout::SystemMajor;
 };
 
 inline std::string describe(const SwitchPoints& sp) {
   return "stage1_target=" + std::to_string(sp.stage1_target_systems) +
          " stage3_size=" + std::to_string(sp.stage3_system_size) +
          " thomas_switch=" + std::to_string(sp.thomas_switch) +
-         " variant=" + kernels::to_string(sp.variant);
+         " variant=" + std::string(kernels::to_string(sp.variant)) +
+         " layout=" + tridiag::to_string(sp.layout);
 }
 
 }  // namespace tda::solver

@@ -25,6 +25,43 @@
 
 namespace tda::tridiag {
 
+/// How a batch's m×n coefficient arrays are ordered in memory.
+///
+///  * SystemMajor — element i of system s lives at [s*n + i]: one GPU
+///    block reads its own system contiguously (the paper's layout).
+///  * ElementMajor — it lives at [i*m + s]: all systems' i-th elements
+///    are adjacent, so one SIMD lane (or GPU thread) per system walks
+///    the Thomas/PCR recurrences over stride-1 memory — the interleaved
+///    layout of cuThomasBatch-style batched solvers.
+enum class BatchLayout { SystemMajor, ElementMajor };
+
+inline const char* to_string(BatchLayout l) {
+  return l == BatchLayout::SystemMajor ? "system" : "element";
+}
+
+/// Cache-blocked out-of-place transpose of an R×C row-major array:
+/// dst[c*R + r] = src[r*C + c]. Tiles of kTransposeTile² elements keep
+/// both the strided side and the contiguous side inside L1 — the
+/// routine behind every layout conversion (host and device).
+/// system→element is (R=m, C=n); element→system is (R=n, C=m).
+inline constexpr std::size_t kTransposeTile = 64;
+
+template <typename T>
+void blocked_transpose(const T* src, T* dst, std::size_t rows,
+                       std::size_t cols) {
+  for (std::size_t r0 = 0; r0 < rows; r0 += kTransposeTile) {
+    const std::size_t r1 = std::min(rows, r0 + kTransposeTile);
+    for (std::size_t c0 = 0; c0 < cols; c0 += kTransposeTile) {
+      const std::size_t c1 = std::min(cols, c0 + kTransposeTile);
+      for (std::size_t r = r0; r < r1; ++r) {
+        for (std::size_t c = c0; c < c1; ++c) {
+          dst[c * rows + r] = src[r * cols + c];
+        }
+      }
+    }
+  }
+}
+
 /// Where a TridiagBatch's coefficient arrays live.
 enum class BatchStorage {
   Fresh,  ///< five zero-initialized AlignedBuffers (the default)
@@ -69,14 +106,16 @@ class TridiagBatch {
   TridiagBatch() = default;
 
   TridiagBatch(std::size_t num_systems, std::size_t system_size,
-               BatchStorage storage = BatchStorage::Fresh)
-      : m_(num_systems), n_(system_size) {
+               BatchStorage storage = BatchStorage::Fresh,
+               BatchLayout layout = BatchLayout::SystemMajor)
+      : m_(num_systems), n_(system_size), layout_(layout) {
     TDA_REQUIRE(num_systems > 0, "batch needs at least one system");
     TDA_REQUIRE(system_size > 0, "system size must be positive");
     allocate(storage);
   }
 
-  TridiagBatch(const TridiagBatch& other) : m_(other.m_), n_(other.n_) {
+  TridiagBatch(const TridiagBatch& other)
+      : m_(other.m_), n_(other.n_), layout_(other.layout_) {
     if (m_ == 0) return;
     allocate(other.storage());
     copy_lanes_from(other);
@@ -89,6 +128,7 @@ class TridiagBatch {
       n_ = other.n_;
       if (m_ > 0) allocate(other.storage());
     }
+    layout_ = other.layout_;
     if (m_ > 0) copy_lanes_from(other);
     return *this;
   }
@@ -99,6 +139,7 @@ class TridiagBatch {
   TridiagBatch(TridiagBatch&& other) noexcept
       : m_(other.m_),
         n_(other.n_),
+        layout_(other.layout_),
         a_(std::move(other.a_)),
         b_(std::move(other.b_)),
         c_(std::move(other.c_)),
@@ -116,6 +157,7 @@ class TridiagBatch {
     if (this != &other) {
       m_ = other.m_;
       n_ = other.n_;
+      layout_ = other.layout_;
       a_ = std::move(other.a_);
       b_ = std::move(other.b_);
       c_ = std::move(other.c_);
@@ -138,6 +180,28 @@ class TridiagBatch {
   [[nodiscard]] BatchStorage storage() const {
     return slab_ ? BatchStorage::Pooled : BatchStorage::Fresh;
   }
+  [[nodiscard]] BatchLayout layout() const { return layout_; }
+
+  /// Physically transposes all five lanes to `target` (no-op when the
+  /// batch already has that layout). Cache-blocked through one pooled
+  /// staging lane, so repeated conversions of a shape reuse a warm slab;
+  /// system→element→system restores every lane byte-for-byte (the
+  /// transpose is a bijection on element slots — nothing is recomputed).
+  void convert_layout(BatchLayout target) {
+    if (target == layout_ || m_ == 0) {
+      layout_ = target;
+      return;
+    }
+    const std::size_t rows = layout_ == BatchLayout::SystemMajor ? m_ : n_;
+    const std::size_t cols = layout_ == BatchLayout::SystemMajor ? n_ : m_;
+    PoolBlock staging = BufferPool::global().acquire(m_ * n_ * sizeof(T));
+    T* tmp = reinterpret_cast<T*>(staging.data());
+    for (T* lane : {pa_, pb_, pc_, pd_, px_}) {
+      blocked_transpose(lane, tmp, rows, cols);
+      std::copy(tmp, tmp + m_ * n_, lane);
+    }
+    layout_ = target;
+  }
 
   [[nodiscard]] std::span<T> a() { return {pa_, m_ * n_}; }
   [[nodiscard]] std::span<T> b() { return {pb_, m_ * n_}; }
@@ -150,27 +214,38 @@ class TridiagBatch {
   [[nodiscard]] std::span<const T> d() const { return {pd_, m_ * n_}; }
   [[nodiscard]] std::span<const T> x() const { return {px_, m_ * n_}; }
 
-  /// Coefficient view of system s (contiguous, stride 1).
+  /// Coefficient view of system s (contiguous stride-1 when
+  /// system-major; stride-m when element-major).
   [[nodiscard]] SystemView<T> system(std::size_t s) {
     TDA_REQUIRE(s < m_, "system index out of range");
-    const std::size_t off = s * n_;
-    return SystemView<T>{StridedView<T>(pa_ + off, n_, 1),
-                         StridedView<T>(pb_ + off, n_, 1),
-                         StridedView<T>(pc_ + off, n_, 1),
-                         StridedView<T>(pd_ + off, n_, 1)};
+    const std::size_t off = layout_ == BatchLayout::SystemMajor ? s * n_ : s;
+    const std::size_t str = layout_ == BatchLayout::SystemMajor ? 1 : m_;
+    return SystemView<T>{StridedView<T>(pa_ + off, n_, str),
+                         StridedView<T>(pb_ + off, n_, str),
+                         StridedView<T>(pc_ + off, n_, str),
+                         StridedView<T>(pd_ + off, n_, str)};
   }
 
   /// Solution view of system s.
   [[nodiscard]] StridedView<T> solution(std::size_t s) {
     TDA_REQUIRE(s < m_, "system index out of range");
-    return StridedView<T>(px_ + s * n_, n_, 1);
+    return layout_ == BatchLayout::SystemMajor
+               ? StridedView<T>(px_ + s * n_, n_, 1)
+               : StridedView<T>(px_ + s, n_, m_);
   }
 
   /// Enforces the boundary convention a[0] = c[n-1] = 0 on every system.
   void normalize_boundaries() {
-    for (std::size_t s = 0; s < m_; ++s) {
-      pa_[s * n_] = T{0};
-      pc_[s * n_ + n_ - 1] = T{0};
+    if (layout_ == BatchLayout::SystemMajor) {
+      for (std::size_t s = 0; s < m_; ++s) {
+        pa_[s * n_] = T{0};
+        pc_[s * n_ + n_ - 1] = T{0};
+      }
+    } else {
+      for (std::size_t s = 0; s < m_; ++s) {
+        pa_[s] = T{0};
+        pc_[(n_ - 1) * m_ + s] = T{0};
+      }
     }
   }
 
@@ -211,6 +286,7 @@ class TridiagBatch {
   void clear_handle() {
     m_ = 0;
     n_ = 0;
+    layout_ = BatchLayout::SystemMajor;
     pa_ = pb_ = pc_ = pd_ = px_ = nullptr;
   }
 
@@ -225,6 +301,7 @@ class TridiagBatch {
 
   std::size_t m_ = 0;
   std::size_t n_ = 0;
+  BatchLayout layout_ = BatchLayout::SystemMajor;
   AlignedBuffer<T> a_, b_, c_, d_, x_;  ///< Fresh storage (empty if pooled)
   PoolBlock slab_;                      ///< Pooled storage (empty if fresh)
   T* pa_ = nullptr;

@@ -123,18 +123,33 @@ TuningCache::ParseResult TuningCache::parse_stream(
   std::string line;
   while (std::getline(body, line)) {
     if (line.empty() || line[0] == '#') continue;
-    // key \t stage1 stage3 thomas variant ms
+    // key \t stage1 stage3 thomas variant layout ms
+    // Records written before layout was a tuner dimension omit the
+    // layout token; the token after `variant` is then the ms itself, so
+    // peek at it and default those records to system-major.
     std::istringstream ls(line);
-    std::string key, variant;
+    std::string key, variant, tok;
     CacheEntry e;
     bool ok = static_cast<bool>(std::getline(ls, key, '\t')) &&
               !key.empty() &&
               parse_count(ls, e.points.stage1_target_systems) &&
               parse_count(ls, e.points.stage3_system_size) &&
               parse_count(ls, e.points.thomas_switch) &&
-              static_cast<bool>(ls >> variant >> e.tuned_ms) &&
-              std::isfinite(e.tuned_ms) && e.tuned_ms >= 0.0 &&
+              static_cast<bool>(ls >> variant >> tok) &&
               (variant == "coalesced" || variant == "strided");
+    if (ok) {
+      if (tok == "system" || tok == "element") {
+        e.points.layout = (tok == "element")
+                              ? tridiag::BatchLayout::ElementMajor
+                              : tridiag::BatchLayout::SystemMajor;
+        ok = static_cast<bool>(ls >> e.tuned_ms);
+      } else {
+        char* end = nullptr;
+        e.tuned_ms = std::strtod(tok.c_str(), &end);
+        ok = end != nullptr && *end == '\0';
+      }
+      ok = ok && std::isfinite(e.tuned_ms) && e.tuned_ms >= 0.0;
+    }
     if (!ok) {
       ++result.skipped;
       continue;
@@ -164,7 +179,8 @@ bool TuningCache::write_atomic(
   for (const auto& [key, e] : entries) {
     payload << key << '\t' << e.points.stage1_target_systems << ' '
         << e.points.stage3_system_size << ' ' << e.points.thomas_switch
-        << ' ' << kernels::to_string(e.points.variant) << ' ' << e.tuned_ms
+        << ' ' << kernels::to_string(e.points.variant) << ' '
+        << tridiag::to_string(e.points.layout) << ' ' << e.tuned_ms
         << '\n';
   }
   const std::string body = payload.str();

@@ -255,9 +255,38 @@ class DynamicTuner {
       r.stage1_tuned = true;
     }
 
+    // ---- layout: staged pipeline vs interleaved (element-major) ----
+    // The element-major path has no switch points of its own (one
+    // transpose-in, one single-pass Thomas, one transpose-out), so one
+    // extra evaluation on the real workload answers whether the SIMD
+    // gain beats the transpose cost for this (device, m, n, dtype) —
+    // the same observed-time criterion as every other dimension.
+    {
+      solver::SwitchPoints cand = best_sp;
+      cand.layout = tridiag::BatchLayout::ElementMajor;
+      const double ms = evaluate(cand);
+      span_note_layout(tel, best_ms, ms);
+      if (ms < best_ms) {
+        best_ms = ms;
+        best_sp = cand;
+      }
+    }
+
     r.points = best_sp;
     r.best_ms = best_ms;
     return r;
+  }
+
+  /// Records the layout crossover the search observed (system- vs
+  /// element-major ms) on the enclosing tune span's metrics.
+  static void span_note_layout(telemetry::Telemetry* tel, double system_ms,
+                               double element_ms) {
+    if (tel == nullptr || !tel->metrics.enabled()) return;
+    tel->metrics.observe("tuner.layout_system_ms", system_ms);
+    tel->metrics.observe("tuner.layout_element_ms", element_ms);
+    tel->metrics.add(telemetry::labeled(
+        "tuner.layout_picked",
+        {{"choice", element_ms < system_ms ? "element" : "system"}}));
   }
 
   gpusim::Device* dev_;
@@ -293,6 +322,19 @@ TuneResult exhaustive_tune(gpusim::Device& dev, const solver::Workload& w) {
           }
         }
       }
+    }
+  }
+  // The element-major variant is a single extra point of the space (its
+  // path ignores the staged switch points).
+  {
+    solver::SwitchPoints sp;
+    sp.layout = tridiag::BatchLayout::ElementMajor;
+    solver::GpuTridiagonalSolver<T> s(dev, sp);
+    const double ms = s.run(scratch, kernels::ExecMode::CostOnly).total_ms;
+    ++r.evaluations;
+    if (ms < r.best_ms) {
+      r.best_ms = ms;
+      r.points = sp;
     }
   }
   return r;
